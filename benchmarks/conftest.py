@@ -1,0 +1,74 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``test_fig*`` / ``test_table*`` benchmark regenerates one of the
+paper's tables or figures and prints the rows it reports.  The suite
+runner (traces + baseline simulations) is built once per session; the
+heavyweight figure experiments that several benches share are also
+session-cached.
+
+Knobs:
+    REPRO_BENCH_INSTRUCTIONS   trace length per workload (default 8000)
+    REPRO_BENCH_WORKLOADS      optional comma-separated subset
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import SuiteRunner
+
+BENCH_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "16000"))
+_WORKLOADS = os.environ.get("REPRO_BENCH_WORKLOADS")
+
+# A representative cross-section used by the pricier sweeps (Figures
+# 5/7/10 and the ablations) so the full harness stays manageable.
+REPRESENTATIVE = [
+    "perlbmk", "perlbench", "nat", "gzip", "bzip2", "vortex", "gcc",
+    "aifirf", "tblook", "mcf", "h264ref", "milc", "sunspider", "avmshell",
+    "octane", "linpack", "puwmod", "xalancbmk", "pdfjs", "soplex",
+]
+
+
+def _names():
+    if _WORKLOADS:
+        return [n.strip() for n in _WORKLOADS.split(",") if n.strip()]
+    return None
+
+
+@pytest.fixture(scope="session")
+def suite_runner():
+    """Full-suite runner (all 78 workloads unless overridden)."""
+    return SuiteRunner(n_instructions=BENCH_INSTRUCTIONS, names=_names())
+
+
+@pytest.fixture(scope="session")
+def subset_runner():
+    """Representative-subset runner for multi-configuration sweeps."""
+    names = _names() or REPRESENTATIVE
+    return SuiteRunner(n_instructions=BENCH_INSTRUCTIONS, names=names)
+
+
+@pytest.fixture(scope="session")
+def fig6_result(suite_runner):
+    from repro.experiments import fig6_value_prediction
+    return fig6_value_prediction.run(suite_runner)
+
+
+_REPORT_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                            "bench_report.txt")
+_report_initialized = False
+
+
+def emit(result) -> None:
+    """Print an experiment's rows beneath the benchmark output and
+    append them to ``bench_report.txt`` (so the rendered tables survive
+    pytest's output capturing even without ``-s``)."""
+    global _report_initialized
+    text = result.render()
+    print()
+    print(text)
+    mode = "a" if _report_initialized else "w"
+    with open(_REPORT_PATH, mode) as fh:
+        fh.write(text)
+        fh.write("\n\n")
+    _report_initialized = True

@@ -1,0 +1,37 @@
+"""Ablation — APT allocation Policy-1 (always replace) vs Policy-2
+(replace only unconfident entries; the paper's choice, Section 3.1.2)."""
+
+from conftest import subset_runner  # noqa: F401  (fixture re-export)
+
+from repro.core import DlvpConfig
+from repro.experiments.runner import arithmetic_mean, format_table
+from repro.pipeline import DlvpScheme
+from repro.predictors import PapConfig
+
+
+def test_ablation_apt_policy(benchmark, subset_runner):
+    def sweep():
+        out = {}
+        for policy in (1, 2):
+            cfg = DlvpConfig(pap=PapConfig(allocation_policy=policy))
+            runs = subset_runner.run_scheme(lambda cfg=cfg: DlvpScheme(cfg))
+            out[policy] = {
+                "speedup": arithmetic_mean(subset_runner.speedups(runs).values()),
+                "coverage": arithmetic_mean(
+                    r.value_coverage for r in runs.values()
+                ),
+            }
+        return out
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("Ablation — APT allocation policy")
+    rows = [
+        [f"Policy-{p}", f"{v['speedup']:+7.2%}", f"{v['coverage']:6.1%}"]
+        for p, v in result.items()
+    ]
+    print(format_table(["policy", "avg speedup", "coverage"], rows))
+
+    # The paper found Policy-2 superior; at minimum it must not lose
+    # coverage (confident entries survive interference).
+    assert result[2]["coverage"] >= result[1]["coverage"] - 0.01

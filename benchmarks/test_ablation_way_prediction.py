@@ -1,0 +1,50 @@
+"""Ablation — way prediction on the speculative probe (Section 3.2.2,
+"Power Optimization").
+
+With way prediction the probe reads one cache way instead of the whole
+set; a way misprediction (block evicted and refilled elsewhere) shows
+up as a probe miss.  Paper: way mispredictions "almost never happen".
+"""
+
+from conftest import subset_runner  # noqa: F401
+
+from repro.core import DlvpConfig
+from repro.core.dlvp import DlvpStats
+from repro.experiments.runner import arithmetic_mean, format_table
+from repro.pipeline import DlvpScheme
+
+
+def test_ablation_way_prediction(benchmark, subset_runner):
+    def sweep():
+        out = {}
+        for enabled in (True, False):
+            cfg = DlvpConfig(way_prediction=enabled)
+            runs = subset_runner.run_scheme(lambda cfg=cfg: DlvpScheme(cfg))
+            way_misses = probes = 0
+            for r in runs.values():
+                assert isinstance(r.scheme_stats, DlvpStats)
+                way_misses += r.scheme_stats.way_mispredictions
+                probes += r.scheme_stats.probes
+            out[enabled] = {
+                "speedup": arithmetic_mean(subset_runner.speedups(runs).values()),
+                "way_misses": way_misses,
+                "probes": probes,
+            }
+        return out
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("Ablation — probe way prediction")
+    rows = [
+        [("on" if e else "off"), f"{v['speedup']:+7.2%}", str(v["way_misses"]),
+         str(v["probes"])]
+        for e, v in result.items()
+    ]
+    print(format_table(["way prediction", "avg speedup", "way misses", "probes"], rows))
+
+    with_wp = result[True]
+    # Way mispredictions are a vanishing fraction of probes (paper:
+    # "almost never"), so enabling the optimization is performance-free.
+    if with_wp["probes"]:
+        assert with_wp["way_misses"] / with_wp["probes"] < 0.01
+    assert abs(result[True]["speedup"] - result[False]["speedup"]) < 0.01

@@ -1,0 +1,73 @@
+"""Extension — the paper's stated future work (Section 5.2.4): under a
+replay-based recovery, trade prediction accuracy for coverage and look
+for the sweet spot.
+
+We sweep DLVP's APT confidence (the FPC vector) under both recovery
+models.  With flush recovery, loosening confidence is dangerous (every
+extra misprediction flushes); with oracle replay, mispredictions cost
+nothing, so looser confidence monotonically buys coverage — exactly the
+trade the paper anticipates.
+"""
+
+from conftest import subset_runner  # noqa: F401
+
+from repro.core import DlvpConfig
+from repro.experiments.runner import arithmetic_mean, format_table
+from repro.pipeline import DlvpScheme, RecoveryMode
+from repro.predictors import PapConfig
+
+CONFIDENCE_VECTORS = {
+    2: (1.0, 1.0),
+    4: (1.0, 0.5, 0.5),
+    8: (1.0, 0.5, 0.25),       # the paper's design point
+    16: (1.0, 0.5, 0.25, 0.125),
+}
+
+
+def test_extension_replay_tradeoff(benchmark, subset_runner):
+    def sweep():
+        out = {}
+        for threshold, vector in CONFIDENCE_VECTORS.items():
+            cfg = DlvpConfig(pap=PapConfig(fpc_vector=vector))
+            row = {}
+            for recovery in (RecoveryMode.FLUSH, RecoveryMode.ORACLE_REPLAY):
+                runs = subset_runner.run_scheme(
+                    lambda cfg=cfg: DlvpScheme(cfg), recovery=recovery
+                )
+                row[recovery.value] = {
+                    "speedup": arithmetic_mean(
+                        subset_runner.speedups(runs).values()
+                    ),
+                    "coverage": arithmetic_mean(
+                        r.value_coverage for r in runs.values()
+                    ),
+                }
+            out[threshold] = row
+        return out
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("Extension — accuracy-for-coverage trade under replay recovery")
+    rows = []
+    for threshold, row in result.items():
+        rows.append([
+            f"~{threshold}",
+            f"{row['flush']['speedup']:+7.2%}",
+            f"{row['oracle_replay']['speedup']:+7.2%}",
+            f"{row['oracle_replay']['coverage']:6.1%}",
+        ])
+    print(format_table(
+        ["confidence", "flush speedup", "replay speedup", "coverage"], rows
+    ))
+
+    # Looser confidence buys coverage...
+    assert result[2]["oracle_replay"]["coverage"] >= \
+        result[16]["oracle_replay"]["coverage"] - 0.01
+    # ...and replay makes loose confidence safe: at the loosest point,
+    # replay must do at least as well as flush.
+    assert result[2]["oracle_replay"]["speedup"] >= \
+        result[2]["flush"]["speedup"] - 0.002
+    # The sweet spot under replay is at or looser than the paper's
+    # flush-mode design point.
+    best_replay = max(result, key=lambda t: result[t]["oracle_replay"]["speedup"])
+    assert best_replay <= 8

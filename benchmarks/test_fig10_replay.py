@@ -1,0 +1,19 @@
+"""Figure 10 — flush vs oracle-replay recovery."""
+
+from conftest import emit
+
+from repro.experiments import fig10_recovery
+
+
+def test_fig10_replay(benchmark, subset_runner):
+    result = benchmark.pedantic(
+        fig10_recovery.run, args=(subset_runner,), rounds=1, iterations=1
+    )
+    emit(result)
+    # Shapes: replay never hurts, and the high-accuracy predictors
+    # (DLVP, VTAGE) gain only a little from it (paper: +0.8/+0.7 points)
+    # because they rarely flush in the first place.
+    for scheme in ("cap", "vtage", "dlvp"):
+        assert result.delta(scheme) >= -0.002
+    assert result.delta("dlvp") < 0.05
+    assert result.delta("vtage") < 0.05

@@ -1,0 +1,16 @@
+"""Figure 1 — load-store conflict breakdown (committed vs in-flight)."""
+
+from conftest import emit
+
+from repro.experiments import fig1_conflicts
+
+
+def test_fig1_conflicts(benchmark, suite_runner):
+    result = benchmark.pedantic(
+        fig1_conflicts.run, args=(suite_runner,), rounds=1, iterations=1
+    )
+    emit(result)
+    # Shape: conflicts exist, and committed stores dominate them
+    # (paper: ~67% of conflicts are with committed stores).
+    assert result.average_conflict_fraction > 0.02
+    assert result.average_committed_share > 0.5

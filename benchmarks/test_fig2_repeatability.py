@@ -1,0 +1,21 @@
+"""Figure 2 — address/value repeatability breakdown."""
+
+from conftest import emit
+
+from repro.experiments import fig2_repeatability
+
+
+def test_fig2_repeatability(benchmark, suite_runner):
+    result = benchmark.pedantic(
+        fig2_repeatability.run, args=(suite_runner,), rounds=1, iterations=1
+    )
+    emit(result)
+    # Shape: most loads have addresses repeating >= 8 times, and the
+    # address >=8 mass exceeds the value >=64 mass — the asymmetry that
+    # justifies PAP's low confidence threshold (paper: 91% vs 80%).
+    assert result.address_ge8 > 0.5
+    assert result.address_ge8 > result.value_ge64
+    # Cumulative series must be monotone non-increasing.
+    for kind in ("address", "value"):
+        series = list(result.series(kind).values())
+        assert all(a >= b for a, b in zip(series, series[1:]))

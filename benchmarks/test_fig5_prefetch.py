@@ -1,0 +1,16 @@
+"""Figure 5 — benefit of DLVP-generated prefetches."""
+
+from conftest import emit
+
+from repro.experiments import fig5_prefetch
+
+
+def test_fig5_prefetch(benchmark, subset_runner):
+    result = benchmark.pedantic(
+        fig5_prefetch.run, args=(subset_runner,), rounds=1, iterations=1
+    )
+    emit(result)
+    # Shape: the prefetch fraction is small (paper: ~0.3% average) and
+    # enabling prefetch is roughly speedup-neutral-to-positive.
+    assert result.average_prefetch_fraction < 0.08
+    assert result.average_delta > -0.01

@@ -1,0 +1,35 @@
+"""Figure 6a — per-workload speedup of CAP, VTAGE and DLVP.
+
+Paper: DLVP +4.8% average / up to +71% (perlbmk); VTAGE +2.1%;
+CAP +2.3%.
+"""
+
+from conftest import emit
+
+from repro.experiments.runner import format_table
+
+
+def test_fig6a_speedup(benchmark, fig6_result):
+    result = fig6_result
+
+    def per_workload_rows():
+        names = sorted(result.speedups["dlvp"])
+        return [
+            [name] + [f"{result.speedups[s][name]:+7.2%}"
+                      for s in ("cap", "vtage", "dlvp")]
+            for name in names
+        ]
+
+    rows = benchmark.pedantic(per_workload_rows, rounds=1, iterations=1)
+    print()
+    print("Figure 6a — per-workload speedups")
+    print(format_table(["workload", "cap", "vtage", "dlvp"], rows))
+    emit(result)
+
+    # Shape: DLVP wins on average and owns the outlier (perlbmk).
+    assert result.average_speedup("dlvp") > result.average_speedup("vtage")
+    assert result.average_speedup("dlvp") > result.average_speedup("cap")
+    assert result.average_speedup("dlvp") > 0.015
+    best_name, best = result.max_speedup("dlvp")
+    assert best_name == "perlbmk"
+    assert best > 0.30

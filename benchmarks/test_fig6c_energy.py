@@ -1,0 +1,21 @@
+"""Figure 6c — total core energy normalized to the baseline.
+
+Paper: DLVP's speedup more than offsets its extra cache activity; its
+average core energy is on par with the baseline and with VTAGE.
+"""
+
+from conftest import emit
+
+
+def test_fig6c_energy(benchmark, fig6_result):
+    result = fig6_result
+    averages = benchmark.pedantic(
+        lambda: {s: result.average_energy(s) for s in ("cap", "vtage", "dlvp")},
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    print(f"normalized core energy: {averages}")
+    # Shape: every scheme stays within a few percent of baseline energy,
+    # and DLVP does not cost more than ~5% despite probing twice.
+    for scheme, value in averages.items():
+        assert 0.85 < value < 1.10, scheme

@@ -1,0 +1,26 @@
+"""Figure 6d — predictor area/read/write energy normalized to PAP."""
+
+from repro.energy import predictor_cost_table
+from repro.experiments.runner import format_table
+
+
+def test_fig6d_predictor_costs(benchmark):
+    table = benchmark.pedantic(predictor_cost_table, rounds=1, iterations=1)
+    rows = [
+        [c.name, str(c.storage_bits), f"{c.area:5.2f}", f"{c.read_energy:5.2f}",
+         f"{c.write_energy:5.2f}"]
+        for c in table.values()
+    ]
+    print()
+    print("Figure 6d — predictor costs normalized to PAP")
+    print(format_table(["predictor", "bits", "area", "read", "write"], rows))
+
+    assert table["pap"].area == 1.0
+    # CAP stores more bits across two tables: bigger and hungrier.
+    assert table["cap"].area > 1.2
+    assert table["cap"].read_energy > 1.3
+    # VTAGE reads three tables per lookup.
+    assert table["vtage"].read_energy > 1.3
+    # Budgets (Table 4): PAP 67k+way, CAP ~95k, VTAGE ~62.3k bits.
+    assert table["cap"].storage_bits > table["pap"].storage_bits > \
+        table["vtage"].storage_bits

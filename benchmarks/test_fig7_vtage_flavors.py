@@ -1,0 +1,25 @@
+"""Figure 7 — VTAGE flavours (vanilla / dynamic / static filter, loads
+vs all instructions)."""
+
+from conftest import emit
+
+from repro.experiments import fig7_vtage_flavors
+
+
+def test_fig7_vtage_flavors(benchmark, subset_runner):
+    result = benchmark.pedantic(
+        fig7_vtage_flavors.run, args=(subset_runner,), rounds=1, iterations=1
+    )
+    emit(result)
+    static_loads = result.average_speedup("static/loads")
+    vanilla_loads = result.average_speedup("vanilla/loads")
+    static_all = result.average_speedup("static/all")
+
+    # Shapes: the static filter never loses to vanilla (it removes the
+    # multi-destination poison), and loads-only never loses to
+    # predicting everything at this modest 8KB budget.
+    assert static_loads >= vanilla_loads - 0.002
+    assert static_loads >= static_all - 0.002
+    # Filters must not reduce accuracy.
+    assert result.average_accuracy("static/loads") >= \
+        result.average_accuracy("vanilla/loads") - 0.001

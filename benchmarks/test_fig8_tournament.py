@@ -1,0 +1,23 @@
+"""Figure 8 — combining DLVP and VTAGE as a tournament."""
+
+from conftest import emit
+
+from repro.experiments import fig8_tournament
+
+
+def test_fig8_tournament(benchmark, suite_runner):
+    result = benchmark.pedantic(
+        fig8_tournament.run, args=(suite_runner,), rounds=1, iterations=1
+    )
+    emit(result)
+    d_share, v_share = result.prediction_breakdown()
+
+    # Shapes: combining beats either alone (or at worst matches DLVP),
+    # the coverage gain over DLVP alone is modest (heavy overlap), and
+    # DLVP supplies more of the final predictions than VTAGE
+    # (paper: 18.2% vs 16.1%).
+    assert result.average_speedup("tournament") >= \
+        result.average_speedup("dlvp") - 0.005
+    assert result.average_coverage("tournament") <= \
+        result.average_coverage("dlvp") + result.average_coverage("vtage")
+    assert d_share > v_share

@@ -1,0 +1,26 @@
+"""Figure 9 — selected benchmarks where speedup does not track coverage."""
+
+from conftest import BENCH_INSTRUCTIONS, emit
+
+from repro.experiments import SuiteRunner, fig9_selected
+
+
+def test_fig9_selected(benchmark):
+    runner = SuiteRunner(n_instructions=BENCH_INSTRUCTIONS)
+    result = benchmark.pedantic(
+        fig9_selected.run, args=(runner,), rounds=1, iterations=1
+    )
+    emit(result)
+    # Shape: speedup rank does not simply follow coverage rank across
+    # the selected set (the paper's point) — verify at least one pair
+    # is discordant for DLVP.
+    names = list(fig9_selected.SELECTED)
+    discordant = False
+    for a in names:
+        for b in names:
+            cov_gap = (result.dlvp[a].value_coverage
+                       - result.dlvp[b].value_coverage)
+            spd_gap = result.dlvp_speedups[a] - result.dlvp_speedups[b]
+            if cov_gap > 0.02 and spd_gap < -0.001:
+                discordant = True
+    assert discordant

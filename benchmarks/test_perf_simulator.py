@@ -1,0 +1,46 @@
+"""Throughput microbenchmarks of the simulator itself.
+
+Unlike the figure benches (one-shot row generators), these use real
+pytest-benchmark statistics (multiple rounds) and act as performance
+regression guards for the hot paths: trace generation, the baseline
+timing model, and a DLVP-equipped run.
+"""
+
+import pytest
+
+from repro.pipeline import DlvpScheme, simulate
+from repro.workloads import build_workload
+
+N = 4000
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return build_workload("vortex", N)
+
+
+def test_perf_trace_generation(benchmark):
+    trace = benchmark(build_workload, "vortex", N)
+    assert len(trace) >= N * 0.9
+
+
+def test_perf_baseline_simulation(benchmark, trace):
+    result = benchmark(simulate, trace)
+    assert result.cycles > 0
+
+
+def test_perf_dlvp_simulation(benchmark, trace):
+    result = benchmark(lambda: simulate(trace, scheme=DlvpScheme()))
+    assert result.value_predictions > 0
+
+
+def test_perf_standalone_pap(benchmark, trace):
+    from repro.experiments.fig4_address_prediction import evaluate_pap
+    stats = benchmark(evaluate_pap, trace)
+    assert stats.loads_seen > 0
+
+
+def test_perf_conflict_profiler(benchmark, trace):
+    from repro.trace import load_store_conflicts
+    profile = benchmark(load_store_conflicts, trace)
+    assert profile.total_loads > 0

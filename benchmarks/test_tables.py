@@ -1,0 +1,36 @@
+"""Tables 1-4 — configuration and structure tables."""
+
+from conftest import emit
+
+from repro.experiments import tables
+
+
+def test_table1_apt_layout(benchmark):
+    result = benchmark.pedantic(tables.table1, rounds=1, iterations=1)
+    emit(result)
+    assert result.armv7_bits == 50 and result.armv8_bits == 67
+
+
+def test_table2_pvt_designs(benchmark):
+    result = benchmark.pedantic(tables.table2, rounds=1, iterations=1)
+    emit(result)
+    d = result.designs
+    assert d["pvt"].area < 0.2
+    assert d["design1"].area < d["design3"].area < d["design2"].area
+    assert d["design3"].read_energy < 1.0
+    assert 1.0 < d["design3"].write_energy < d["design2"].write_energy
+
+
+def test_table3_suite(benchmark):
+    result = benchmark.pedantic(tables.table3, rounds=1, iterations=1)
+    emit(result)
+    assert result.total == 78
+
+
+def test_table4_budgets(benchmark):
+    result = benchmark.pedantic(tables.table4, rounds=1, iterations=1)
+    emit(result)
+    assert result.pap_bits == 1024 * 67          # paper: 67k bits (ARMv8)
+    assert result.pap_bits_v7 == 1024 * 50       # paper: 50k bits (ARMv7)
+    assert 90_000 < result.cap_bits < 100_000    # paper: 95k bits
+    assert 60_000 < result.vtage_bits < 65_000   # paper: 62.3k bits

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Compare the paper's value-prediction schemes on chosen workloads.
+
+Runs baseline, CAP-based DLVP, VTAGE, DLVP and the DLVP+VTAGE
+tournament on a few workloads and prints a Figure 6a-style table.
+
+Run:
+    python examples/compare_predictors.py [workload ...]
+"""
+
+import sys
+
+from repro import (
+    DlvpScheme,
+    TournamentScheme,
+    VtageScheme,
+    build_workload,
+    simulate,
+)
+from repro.experiments.runner import format_table
+from repro.predictors import CapConfig
+
+DEFAULT_WORKLOADS = ["perlbmk", "nat", "aifirf", "vortex", "gzip"]
+
+SCHEMES = {
+    "cap": lambda: DlvpScheme(use_cap=True,
+                              cap_config=CapConfig(confidence_threshold=24)),
+    "vtage": VtageScheme,
+    "dlvp": DlvpScheme,
+    "tournament": TournamentScheme,
+}
+
+
+def main() -> None:
+    names = sys.argv[1:] or DEFAULT_WORKLOADS
+    rows = []
+    for name in names:
+        trace = build_workload(name, n_instructions=16_000)
+        baseline = simulate(trace)
+        cells = [name]
+        for factory in SCHEMES.values():
+            result = simulate(trace, scheme=factory())
+            cells.append(
+                f"{result.speedup_over(baseline):+6.1%}/"
+                f"{result.value_coverage:5.1%}"
+            )
+        rows.append(cells)
+    print("speedup / coverage per scheme")
+    print(format_table(["workload", *SCHEMES], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Write your own workload generator and evaluate it.
+
+The WorkloadBuilder gives you an assembler-with-machine-state: loads
+read the live memory image, so store->load conflicts in your kernel are
+real.  This example builds a small "ring buffer logger" kernel by hand
+and checks how each predictor fares on it.
+
+Run:
+    python examples/custom_workload.py
+"""
+
+from repro import DlvpScheme, VtageScheme, simulate
+from repro.workloads import WorkloadBuilder
+
+
+def ring_logger(builder: WorkloadBuilder, n_instructions: int,
+                slots: int = 64) -> None:
+    """Append log records to a ring; a reader tails the ring far behind.
+
+    The reader's loads have per-slot static PCs (constant addresses —
+    address-predictor friendly) but the writer refreshed each slot a
+    full lap earlier (committed conflicts — value-table hostile).
+    """
+    ring = 0x900000
+    r_val, r_sum = 5, 6
+    i = 0
+    while not builder.full(n_instructions):
+        slot = i % slots
+        pc = 0x50000 + slot * 0x40
+        # Writer: fresh record into this slot.
+        builder.store(pc, addr=ring + slot * 16,
+                      value=builder.rng.getrandbits(48), size=8)
+        # Reader: tail the oldest slot — written a full lap (~250
+        # instructions) ago, safely committed before this load fetches.
+        tail = (slot + 1) % slots
+        builder.load(pc + 4, dests=(r_val,), addr=ring + tail * 16, size=8)
+        builder.alu(pc + 8, r_sum, srcs=(r_sum, r_val))
+        builder.branch(pc + 12, taken=bool(i % 7), target=0x50000,
+                       srcs=(r_val,))
+        i += 1
+
+
+def main() -> None:
+    builder = WorkloadBuilder("ring_logger", seed=11)
+    ring_logger(builder, 16_000)
+    trace = builder.build()
+    print(f"built {len(trace)} instructions, "
+          f"{trace.summary().loads} loads")
+
+    baseline = simulate(trace)
+    print(f"baseline IPC: {baseline.ipc:.2f}")
+    for name, factory in (("dlvp", DlvpScheme), ("vtage", VtageScheme)):
+        result = simulate(trace, scheme=factory())
+        print(f"{name:>6}: speedup {result.speedup_over(baseline):+6.1%}  "
+              f"coverage {result.value_coverage:5.1%}  "
+              f"accuracy {result.value_accuracy:.2%}")
+    print("\nThe reader's values change every lap, so VTAGE's tables are "
+          "permanently stale; the addresses never change, so DLVP covers "
+          "the reader outright.")
+
+
+if __name__ == "__main__":
+    main()

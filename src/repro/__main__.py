@@ -1,0 +1,169 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list``                         — list the workload suite
+* ``run <workload> [...]``         — simulate workloads under a scheme
+* ``figure <id>``                  — regenerate one paper figure/table
+* ``profile <workload> [...]``     — Figure 1/2 trace profiles
+
+Examples::
+
+    python -m repro run perlbmk nat --scheme dlvp --instructions 20000
+    python -m repro figure 6 --instructions 8000
+    python -m repro figure table2
+    python -m repro profile gzip
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import SuiteRunner
+from repro.experiments.runner import default_scheme_factories, format_table
+from repro.pipeline import DvtageScheme, RecoveryMode, simulate
+from repro.trace import load_store_conflicts, repeatability
+from repro.workloads import SUITE, build_workload, workload_names
+
+
+def _scheme_factories():
+    factories = default_scheme_factories()
+    factories["dvtage"] = DvtageScheme
+    return factories
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    rows = [
+        [spec.name, spec.group, spec.kernel.__name__]
+        for spec in sorted(SUITE.values(), key=lambda s: (s.group, s.name))
+    ]
+    print(format_table(["workload", "group", "kernel"], rows))
+    print(f"\n{len(SUITE)} workloads")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    factories = _scheme_factories()
+    if args.scheme not in factories:
+        print(f"unknown scheme {args.scheme!r}; have {sorted(factories)}",
+              file=sys.stderr)
+        return 2
+    recovery = RecoveryMode(args.recovery)
+    rows = []
+    for name in args.workloads:
+        trace = build_workload(name, args.instructions)
+        baseline = simulate(trace)
+        result = simulate(trace, scheme=factories[args.scheme](),
+                          recovery=recovery)
+        rows.append([
+            name,
+            f"{baseline.ipc:5.2f}",
+            f"{result.ipc:5.2f}",
+            f"{result.speedup_over(baseline):+7.2%}",
+            f"{result.value_coverage:6.1%}",
+            f"{result.value_accuracy:7.2%}",
+            str(result.flushes.value),
+        ])
+    print(format_table(
+        ["workload", "base ipc", "ipc", "speedup", "coverage", "accuracy",
+         "value flushes"],
+        rows,
+    ))
+    return 0
+
+
+_FIGURES = {
+    "1": ("fig1_conflicts", "run"),
+    "2": ("fig2_repeatability", "run"),
+    "4": ("fig4_address_prediction", "run"),
+    "5": ("fig5_prefetch", "run"),
+    "6": ("fig6_value_prediction", "run"),
+    "7": ("fig7_vtage_flavors", "run"),
+    "8": ("fig8_tournament", "run"),
+    "9": ("fig9_selected", "run"),
+    "10": ("fig10_recovery", "run"),
+}
+_TABLES = {"table1", "table2", "table3", "table4"}
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    import importlib
+    target = args.id.lower()
+    if target in _TABLES:
+        tables = importlib.import_module("repro.experiments.tables")
+        print(getattr(tables, target)().render())
+        return 0
+    if target not in _FIGURES:
+        print(f"unknown figure {args.id!r}; have "
+              f"{sorted(_FIGURES)} and {sorted(_TABLES)}", file=sys.stderr)
+        return 2
+    module_name, func = _FIGURES[target]
+    module = importlib.import_module(f"repro.experiments.{module_name}")
+    names = args.workloads or None
+    runner = SuiteRunner(n_instructions=args.instructions, names=names)
+    print(getattr(module, func)(runner).render())
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    for name in args.workloads:
+        trace = build_workload(name, args.instructions)
+        conflicts = load_store_conflicts(trace, window=64)
+        repeats = repeatability(trace)
+        print(f"{name}: {len(trace)} instructions, "
+              f"{conflicts.total_loads} loads")
+        print(f"  conflicting loads: {conflicts.fraction_conflicting:6.1%} "
+              f"(committed {conflicts.fraction_committed:.1%}, "
+              f"in-flight {conflicts.fraction_inflight:.1%})")
+        print(f"  addresses repeating >= 8:  "
+              f"{repeats.fraction_repeating('address', 8):6.1%}")
+        print(f"  values repeating >= 64:    "
+              f"{repeats.fraction_repeating('value', 64):6.1%}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="DLVP/PAP reproduction (MICRO 2017)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the workload suite")
+
+    run = sub.add_parser("run", help="simulate workloads under a scheme")
+    run.add_argument("workloads", nargs="+", choices=workload_names(),
+                     metavar="workload")
+    run.add_argument("--scheme", default="dlvp",
+                     help="dlvp | cap | vtage | dvtage | tournament")
+    run.add_argument("--recovery", default="flush",
+                     choices=[m.value for m in RecoveryMode])
+    run.add_argument("--instructions", type=int, default=16_000)
+
+    fig = sub.add_parser("figure", help="regenerate one figure or table")
+    fig.add_argument("id", help="1,2,4..10 or table1..table4")
+    fig.add_argument("--instructions", type=int, default=8_000)
+    fig.add_argument("--workloads", nargs="*", default=None,
+                     help="optional workload subset")
+
+    prof = sub.add_parser("profile", help="Figure 1/2 trace profiles")
+    prof.add_argument("workloads", nargs="+", choices=workload_names(),
+                      metavar="workload")
+    prof.add_argument("--instructions", type=int, default=16_000)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": cmd_list,
+        "run": cmd_run,
+        "figure": cmd_figure,
+        "profile": cmd_profile,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""Global history registers and history folding.
+
+Both TAGE (branch outcomes) and PAP (load-path bits) maintain a global
+shift register of single-bit events.  :func:`fold_history` compresses a
+long history into a short index contribution by XOR-folding fixed-width
+chunks, the standard TAGE construction.
+"""
+
+from __future__ import annotations
+
+
+def fold_history(history: int, history_bits: int, target_bits: int) -> int:
+    """XOR-fold the low ``history_bits`` of ``history`` to ``target_bits``."""
+    if target_bits <= 0:
+        return 0
+    mask = (1 << target_bits) - 1
+    value = history & ((1 << history_bits) - 1) if history_bits < 64 * 64 else history
+    folded = 0
+    while value:
+        folded ^= value & mask
+        value >>= target_bits
+    return folded
+
+
+class GlobalHistory:
+    """Bounded global shift register of single-bit events.
+
+    Supports snapshot/restore, which is how speculative history is
+    managed: the front-end takes a snapshot alongside each speculative
+    update and restores it on a squash (Section 2.2 highlights that this
+    is cheap precisely because the history is global, unlike CAP's
+    per-static-load history).
+    """
+
+    def __init__(self, length: int) -> None:
+        if length <= 0:
+            raise ValueError("history length must be positive")
+        self.length = length
+        self._mask = (1 << length) - 1
+        self._bits = 0
+
+    @property
+    def value(self) -> int:
+        return self._bits
+
+    def push(self, bit: int) -> None:
+        """Shift one event bit in (oldest bit falls off)."""
+        self._bits = ((self._bits << 1) | (bit & 1)) & self._mask
+
+    def folded(self, target_bits: int) -> int:
+        return fold_history(self._bits, self.length, target_bits)
+
+    def snapshot(self) -> int:
+        return self._bits
+
+    def restore(self, snapshot: int) -> None:
+        self._bits = snapshot & self._mask

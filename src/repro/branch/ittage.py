@@ -1,0 +1,100 @@
+"""ITTAGE indirect-target predictor.
+
+Same tagged geometric-history structure as TAGE but entries carry a full
+target address plus a 2-bit hysteresis counter; the longest matching
+component supplies the predicted target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.branch.history import GlobalHistory, fold_history
+
+
+@dataclass(frozen=True)
+class IttageConfig:
+    base_entries: int = 512
+    tagged_entries: int = 512
+    tag_bits: int = 11
+    history_lengths: tuple[int, ...] = (4, 16, 64)
+    max_history: int = 64
+
+
+@dataclass
+class _Entry:
+    tag: int = -1
+    target: int = 0
+    confidence: int = 0
+
+
+class Ittage:
+    """Indirect-branch target predictor."""
+
+    def __init__(self, config: IttageConfig | None = None) -> None:
+        self.config = config or IttageConfig()
+        cfg = self.config
+        self.history = GlobalHistory(cfg.max_history)
+        self._base: dict[int, int] = {}
+        self._tables: list[list[_Entry]] = [
+            [_Entry() for _ in range(cfg.tagged_entries)] for _ in cfg.history_lengths
+        ]
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def _index(self, pc: int, table: int) -> int:
+        cfg = self.config
+        idx_bits = cfg.tagged_entries.bit_length() - 1
+        folded = fold_history(self.history.value, cfg.history_lengths[table], idx_bits)
+        return ((pc >> 2) ^ folded ^ (table * 0x1F)) % cfg.tagged_entries
+
+    def _tag(self, pc: int, table: int) -> int:
+        cfg = self.config
+        folded = fold_history(self.history.value, cfg.history_lengths[table], cfg.tag_bits)
+        return ((pc >> 2) ^ (folded << 1)) & ((1 << cfg.tag_bits) - 1)
+
+    def predict(self, pc: int) -> int | None:
+        """Predicted target for the indirect branch at ``pc`` (None = no idea)."""
+        for table in reversed(range(len(self.config.history_lengths))):
+            entry = self._tables[table][self._index(pc, table)]
+            if entry.tag == self._tag(pc, table):
+                return entry.target
+        return self._base.get((pc >> 2) % self.config.base_entries)
+
+    def update(self, pc: int, target: int) -> bool:
+        """Train on the resolved target; returns True if mispredicted."""
+        predicted = self.predict(pc)
+        self.predictions += 1
+        mispredicted = predicted != target
+
+        provider = None
+        for table in reversed(range(len(self.config.history_lengths))):
+            entry = self._tables[table][self._index(pc, table)]
+            if entry.tag == self._tag(pc, table):
+                provider = table
+                if entry.target == target:
+                    entry.confidence = min(3, entry.confidence + 1)
+                else:
+                    if entry.confidence == 0:
+                        entry.target = target
+                    else:
+                        entry.confidence -= 1
+                break
+        self._base[(pc >> 2) % self.config.base_entries] = target
+
+        if mispredicted:
+            self.mispredictions += 1
+            start = 0 if provider is None else provider + 1
+            for table in range(start, len(self.config.history_lengths)):
+                entry = self._tables[table][self._index(pc, table)]
+                if entry.confidence == 0:
+                    entry.tag = self._tag(pc, table)
+                    entry.target = target
+                    entry.confidence = 1
+                    break
+        return mispredicted
+
+    def update_history(self, target: int) -> None:
+        # Indirect targets contribute a couple of target bits to history.
+        self.history.push((target >> 2) & 1)
+        self.history.push((target >> 3) & 1)

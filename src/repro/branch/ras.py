@@ -1,0 +1,40 @@
+"""Return address stack (16 entries per Table 4)."""
+
+from __future__ import annotations
+
+
+class ReturnAddressStack:
+    """Circular return-address stack.
+
+    Overflow wraps (overwriting the oldest entry) and underflow returns
+    ``None``, matching typical hardware behaviour where a too-deep call
+    chain corrupts the bottom of the stack rather than faulting.
+    """
+
+    def __init__(self, depth: int = 16) -> None:
+        if depth <= 0:
+            raise ValueError("RAS depth must be positive")
+        self.depth = depth
+        self._stack: list[int] = []
+        self.pushes = 0
+        self.pops = 0
+        self.underflows = 0
+
+    def push(self, return_address: int) -> None:
+        self.pushes += 1
+        if len(self._stack) == self.depth:
+            del self._stack[0]
+        self._stack.append(return_address)
+
+    def pop(self) -> int | None:
+        self.pops += 1
+        if not self._stack:
+            self.underflows += 1
+            return None
+        return self._stack.pop()
+
+    def peek(self) -> int | None:
+        return self._stack[-1] if self._stack else None
+
+    def __len__(self) -> int:
+        return len(self._stack)

@@ -1,0 +1,182 @@
+"""TAGE conditional branch predictor (Seznec, MICRO 2011 flavour).
+
+A bimodal base table backed by several partially tagged components
+indexed with geometrically increasing global-history lengths.  The
+implementation follows the canonical structure: longest-match provides
+the prediction, the alternate prediction arbitrates for "newly
+allocated" entries, and useful counters steer allocation on
+mispredictions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.branch.history import GlobalHistory, fold_history
+
+
+@dataclass(frozen=True)
+class TageConfig:
+    """Geometry of the TAGE predictor."""
+
+    base_entries: int = 4096
+    tagged_entries: int = 1024
+    tag_bits: int = 11
+    history_lengths: tuple[int, ...] = (4, 8, 16, 32, 64, 128)
+    counter_bits: int = 3
+    useful_bits: int = 2
+    max_history: int = 128
+
+
+@dataclass
+class _TaggedEntry:
+    tag: int = 0
+    ctr: int = 0          # signed, [-4, 3] for 3 bits
+    useful: int = 0
+
+
+class Tage:
+    """TAGE predictor with deterministic, seeded allocation randomness."""
+
+    def __init__(self, config: TageConfig | None = None, seed: int = 0x7A6E) -> None:
+        self.config = config or TageConfig()
+        cfg = self.config
+        self._rng = random.Random(seed)
+        self.history = GlobalHistory(cfg.max_history)
+        self._base = [0] * cfg.base_entries          # 2-bit counters, [0, 3]
+        self._tables: list[list[_TaggedEntry]] = [
+            [_TaggedEntry() for _ in range(cfg.tagged_entries)]
+            for _ in cfg.history_lengths
+        ]
+        self._ctr_max = (1 << (cfg.counter_bits - 1)) - 1
+        self._ctr_min = -(1 << (cfg.counter_bits - 1))
+        self._useful_max = (1 << cfg.useful_bits) - 1
+        self.predictions = 0
+        self.mispredictions = 0
+
+    # -- indexing -----------------------------------------------------
+
+    def _index(self, pc: int, table: int) -> int:
+        cfg = self.config
+        hist_len = cfg.history_lengths[table]
+        idx_bits = cfg.tagged_entries.bit_length() - 1
+        folded = fold_history(self.history.value, hist_len, idx_bits)
+        return ((pc >> 2) ^ (pc >> (2 + idx_bits)) ^ folded ^ table) % cfg.tagged_entries
+
+    def _tag(self, pc: int, table: int) -> int:
+        cfg = self.config
+        hist_len = cfg.history_lengths[table]
+        folded = fold_history(self.history.value, hist_len, cfg.tag_bits)
+        folded2 = fold_history(self.history.value, hist_len, cfg.tag_bits - 1)
+        return ((pc >> 2) ^ folded ^ (folded2 << 1)) & ((1 << cfg.tag_bits) - 1)
+
+    def _base_index(self, pc: int) -> int:
+        return (pc >> 2) % self.config.base_entries
+
+    # -- prediction ---------------------------------------------------
+
+    def predict(self, pc: int) -> bool:
+        """Predict taken/not-taken for the branch at ``pc``."""
+        taken, _, _ = self._lookup(pc)
+        return taken
+
+    def _lookup(self, pc: int) -> tuple[bool, int | None, bool]:
+        """Returns (prediction, provider table or None, alt prediction)."""
+        provider = None
+        provider_pred = None
+        alt_pred = self._base[self._base_index(pc)] >= 2
+        for table in reversed(range(len(self.config.history_lengths))):
+            entry = self._tables[table][self._index(pc, table)]
+            if entry.tag == self._tag(pc, table):
+                if provider is None:
+                    provider = table
+                    provider_pred = entry.ctr >= 0
+                else:
+                    alt_pred = entry.ctr >= 0
+                    break
+        if provider is None:
+            return alt_pred, None, alt_pred
+        assert provider_pred is not None
+        return provider_pred, provider, alt_pred
+
+    # -- update -------------------------------------------------------
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Train on the resolved branch; returns True if mispredicted.
+
+        The caller is responsible for pushing the outcome into
+        :attr:`history` afterwards via :meth:`update_history` (kept
+        separate so speculative-history schemes can manage it).
+        """
+        prediction, provider, alt_pred = self._lookup(pc)
+        self.predictions += 1
+        mispredicted = prediction != taken
+
+        base_idx = self._base_index(pc)
+        if provider is None or alt_pred == prediction:
+            counter = self._base[base_idx]
+            self._base[base_idx] = min(3, counter + 1) if taken else max(0, counter - 1)
+
+        if provider is not None:
+            entry = self._tables[provider][self._index(pc, provider)]
+            if taken:
+                entry.ctr = min(self._ctr_max, entry.ctr + 1)
+            else:
+                entry.ctr = max(self._ctr_min, entry.ctr - 1)
+            provider_pred = prediction
+            if provider_pred != alt_pred:
+                if provider_pred == taken:
+                    entry.useful = min(self._useful_max, entry.useful + 1)
+                else:
+                    entry.useful = max(0, entry.useful - 1)
+
+        if mispredicted:
+            self.mispredictions += 1
+            self._allocate(pc, taken, provider)
+        return mispredicted
+
+    def _allocate(self, pc: int, taken: bool, provider: int | None) -> None:
+        """Allocate in one table with longer history than the provider."""
+        start = 0 if provider is None else provider + 1
+        candidates = [
+            table
+            for table in range(start, len(self.config.history_lengths))
+            if self._tables[table][self._index(pc, table)].useful == 0
+        ]
+        if not candidates:
+            for table in range(start, len(self.config.history_lengths)):
+                entry = self._tables[table][self._index(pc, table)]
+                entry.useful = max(0, entry.useful - 1)
+            return
+        # Prefer shorter history with probability 1/2 each step, the
+        # usual TAGE anti-ping-pong heuristic.
+        chosen = candidates[0]
+        for candidate in candidates[1:]:
+            if self._rng.random() < 0.5:
+                break
+            chosen = candidate
+        entry = self._tables[chosen][self._index(pc, chosen)]
+        entry.tag = self._tag(pc, chosen)
+        entry.ctr = 0 if taken else -1
+        entry.useful = 0
+
+    def update_history(self, taken: bool) -> None:
+        self.history.push(1 if taken else 0)
+
+    @property
+    def accuracy(self) -> float:
+        if not self.predictions:
+            return 1.0
+        return 1.0 - self.mispredictions / self.predictions
+
+    def storage_bits(self) -> int:
+        """Approximate storage budget, for Table 4 style accounting."""
+        cfg = self.config
+        base = cfg.base_entries * 2
+        tagged = (
+            len(cfg.history_lengths)
+            * cfg.tagged_entries
+            * (cfg.tag_bits + cfg.counter_bits + cfg.useful_bits)
+        )
+        return base + tagged

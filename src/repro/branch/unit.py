@@ -1,0 +1,108 @@
+"""Front-end branch unit combining TAGE, ITTAGE and the RAS.
+
+The timing model hands every control instruction to
+:meth:`BranchUnit.resolve`, which predicts it, trains the predictors,
+and reports whether the front-end would have fetched down the wrong
+path (a flush-and-refill event).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa import Instruction, OpClass, INSTRUCTION_BYTES
+from repro.branch.tage import Tage, TageConfig
+from repro.branch.ittage import Ittage, IttageConfig
+from repro.branch.ras import ReturnAddressStack
+
+
+@dataclass
+class BranchUnitStats:
+    conditional: int = 0
+    conditional_mispredicted: int = 0
+    indirect: int = 0
+    indirect_mispredicted: int = 0
+    returns: int = 0
+    returns_mispredicted: int = 0
+    calls: int = 0
+    jumps: int = 0
+
+    @property
+    def branches(self) -> int:
+        return self.conditional + self.indirect + self.returns + self.calls + self.jumps
+
+    @property
+    def mispredictions(self) -> int:
+        return (
+            self.conditional_mispredicted
+            + self.indirect_mispredicted
+            + self.returns_mispredicted
+        )
+
+    @property
+    def mpki_numerator(self) -> int:
+        return self.mispredictions
+
+
+class BranchUnit:
+    """Complete baseline branch-prediction front-end."""
+
+    def __init__(
+        self,
+        tage_config: TageConfig | None = None,
+        ittage_config: IttageConfig | None = None,
+        ras_depth: int = 16,
+    ) -> None:
+        self.tage = Tage(tage_config)
+        self.ittage = Ittage(ittage_config)
+        self.ras = ReturnAddressStack(ras_depth)
+        self.stats = BranchUnitStats()
+
+    def resolve(self, inst: Instruction) -> bool:
+        """Predict + train on one control instruction.
+
+        Returns True if the branch was mispredicted (direction or
+        target), i.e. the pipeline must flush and refetch.
+        """
+        if inst.op == OpClass.BRANCH:
+            self.stats.conditional += 1
+            assert inst.taken is not None
+            mispredicted = self.tage.update(inst.pc, inst.taken)
+            self.tage.update_history(inst.taken)
+            if mispredicted:
+                self.stats.conditional_mispredicted += 1
+            return mispredicted
+
+        if inst.op == OpClass.JUMP:
+            self.stats.jumps += 1
+            return False
+
+        if inst.op == OpClass.CALL:
+            self.stats.calls += 1
+            self.ras.push(inst.pc + INSTRUCTION_BYTES)
+            self.tage.update_history(True)
+            return False
+
+        if inst.op == OpClass.RETURN:
+            self.stats.returns += 1
+            predicted = self.ras.pop()
+            mispredicted = predicted != inst.target
+            if mispredicted:
+                self.stats.returns_mispredicted += 1
+            return mispredicted
+
+        if inst.op == OpClass.INDIRECT:
+            self.stats.indirect += 1
+            assert inst.target is not None
+            mispredicted = self.ittage.update(inst.pc, inst.target)
+            self.ittage.update_history(inst.target)
+            if mispredicted:
+                self.stats.indirect_mispredicted += 1
+            return mispredicted
+
+        raise ValueError(f"not a control instruction: {inst.op!r}")
+
+    @property
+    def global_history(self):
+        """The TAGE global branch history (VTAGE's context source)."""
+        return self.tage.history

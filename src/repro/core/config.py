@@ -1,0 +1,39 @@
+"""DLVP configuration knobs (Sections 3.2.2 and 4.2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.predictors.pap import PapConfig
+
+
+@dataclass(frozen=True)
+class DlvpConfig:
+    """Everything DLVP-specific in one place.
+
+    Attributes:
+        pap: The PAP/APT configuration (Table 4: 1k entries, 16-bit
+            load-path history).
+        paq_entries: Predicted Address Queue capacity (Table 4: 32).
+        paq_drop_cycles: N — a PAQ entry is dropped if not serviced
+            within N cycles of allocation.  The paper derives N = 4 from
+            a Cortex-A72-like front-end (fetch 5 + decode 3 cycles,
+            minus 1 cycle each for prediction, transport and the
+            way-predicted cache read); pipeline stalls only add slack.
+        lscd_entries: Load-Store Conflict Detector capacity (4).
+        pvt_entries: Predicted Values Table capacity (32).
+        max_predictions_per_cycle: Address predictions per fetch group
+            (2 — FGA and FGA+1; >98% of groups have at most 2 loads).
+        prefetch_on_miss: Issue a prefetch when the probe misses L1.
+        way_prediction: Probe only the predicted way (energy
+            optimisation); a way mispredict is treated as a probe miss.
+    """
+
+    pap: PapConfig = field(default_factory=PapConfig)
+    paq_entries: int = 32
+    paq_drop_cycles: int = 4
+    lscd_entries: int = 4
+    pvt_entries: int = 32
+    max_predictions_per_cycle: int = 2
+    prefetch_on_miss: bool = True
+    way_prediction: bool = True

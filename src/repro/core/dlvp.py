@@ -1,0 +1,319 @@
+"""The DLVP engine: address-predict at fetch, probe, value-predict,
+train at execute (Section 3.2.2, Figure 3).
+
+The engine is deliberately decoupled from the timing model: the
+pipeline decides *when* things happen (fetch cycle, probe cycle,
+execute cycle) and the engine decides *what* happens (predictions,
+probes, training, LSCD filtering), so the same engine drives both the
+full pipeline simulations and standalone analyses.
+
+Probe semantics: the probe reads the *committed* memory image — the
+simulator applies stores to the image only when they commit, so an
+in-flight store is invisible to the probe exactly as it is invisible to
+the real L1 data array.  A correctly predicted address can therefore
+still yield a wrong value; that outcome trains the LSCD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa import Instruction, fetch_group_address
+from repro.memory import MemoryHierarchy, MemoryImage
+from repro.predictors.base import AddressPrediction
+from repro.predictors.cap import CapPredictor
+from repro.predictors.pap import PapPredictor
+from repro.core.config import DlvpConfig
+from repro.core.lscd import LoadStoreConflictDetector
+from repro.core.paq import PaqEntry, PredictedAddressQueue
+
+_PROBE_BYTES = 32      # captures LDM footprints up to 4 x 8B / VLD 2 x 16B
+
+
+@dataclass
+class DlvpStats:
+    """Everything the evaluation reads off a DLVP run."""
+
+    loads_seen: int = 0
+    lscd_blocked: int = 0
+    address_predictions: int = 0
+    address_correct: int = 0
+    value_predictions: int = 0
+    value_correct: int = 0
+    probes: int = 0
+    probe_hits: int = 0
+    probe_misses: int = 0
+    way_mispredictions: int = 0
+    prefetches: int = 0
+    inflight_conflicts: int = 0      # addr right, value wrong -> LSCD insert
+
+    @property
+    def coverage(self) -> float:
+        """Value-prediction coverage (Figure 6b's definition)."""
+        return self.value_predictions / self.loads_seen if self.loads_seen else 0.0
+
+    @property
+    def address_accuracy(self) -> float:
+        if not self.address_predictions:
+            return 1.0
+        return self.address_correct / self.address_predictions
+
+    @property
+    def value_accuracy(self) -> float:
+        if not self.value_predictions:
+            return 1.0
+        return self.value_correct / self.value_predictions
+
+    @property
+    def prefetch_fraction(self) -> float:
+        """Fraction of loads for which DLVP generated a prefetch (Fig 5)."""
+        return self.prefetches / self.loads_seen if self.loads_seen else 0.0
+
+
+@dataclass
+class DlvpFetchHandle:
+    """Per-load state carried from fetch to execute."""
+
+    load_pc: int
+    apt_index: int = 0
+    apt_tag: int = 0
+    prediction: AddressPrediction | None = None
+    lscd_blocked: bool = False
+    probed: bool = False
+    probe_hit: bool = False
+    raw_probe_value: int | None = None     # _PROBE_BYTES bytes at predicted addr
+    dropped: bool = False
+
+
+@dataclass
+class DlvpOutcome:
+    """What the pipeline needs to know after a load executes."""
+
+    value_predicted: bool
+    value_correct: bool
+    address_predicted: bool
+    address_correct: bool
+
+
+class DlvpEngine:
+    """DLVP with a pluggable address predictor (PAP, or CAP for the
+    paper's "CAP" value-prediction comparison point)."""
+
+    def __init__(
+        self,
+        config: DlvpConfig | None = None,
+        hierarchy: MemoryHierarchy | None = None,
+        image: MemoryImage | None = None,
+        address_predictor: PapPredictor | CapPredictor | None = None,
+    ) -> None:
+        self.config = config if config is not None else DlvpConfig()
+        self.hierarchy = hierarchy if hierarchy is not None else MemoryHierarchy()
+        # NB: ``image or MemoryImage()`` would be wrong — an empty image
+        # is falsy (it has __len__) and must still be shared by reference.
+        self.image = image if image is not None else MemoryImage()
+        self.predictor = (
+            address_predictor
+            if address_predictor is not None
+            else PapPredictor(self.config.pap)
+        )
+        self.paq = PredictedAddressQueue(
+            entries=self.config.paq_entries, drop_cycles=self.config.paq_drop_cycles
+        )
+        # lscd_entries == 0 disables the filter entirely (ablation).
+        self._lscd_enabled = self.config.lscd_entries > 0
+        self.lscd = LoadStoreConflictDetector(max(1, self.config.lscd_entries))
+        self.stats = DlvpStats()
+
+    @property
+    def _uses_pap(self) -> bool:
+        return isinstance(self.predictor, PapPredictor)
+
+    # -- fetch ----------------------------------------------------------
+
+    def on_load_fetch(self, inst: Instruction, fetch_cycle: int, slot: int) -> DlvpFetchHandle:
+        """Address-predict one load in the first fetch stage.
+
+        Args:
+            inst: The dynamic load (the model peeks at its PC; its
+                address/values are only consulted at execute).
+            fetch_cycle: Cycle the fetch group entered the pipeline.
+            slot: Which predicted load of the fetch group this is (0 or
+                1); PAP keys the APT with FGA + slot, the paper's
+                "fetch group PC and fetch group PC plus one".
+        """
+        handle = DlvpFetchHandle(load_pc=inst.pc)
+
+        if self._lscd_enabled and self.lscd.blocks(inst.pc):
+            handle.lscd_blocked = True
+            self._push_history(inst.pc)
+            return handle
+
+        if self._uses_pap:
+            # "Fetch group PC and fetch group PC plus one" (Section
+            # 3.1.1): the slot number must land in bits the key hash
+            # actually uses, so it is placed at the instruction-index
+            # granularity (bit 2).
+            key_pc = fetch_group_address(inst.pc) | (slot << 2)
+            index, tag = self.predictor.compute_key(key_pc)
+            handle.apt_index, handle.apt_tag = index, tag
+            handle.prediction = self.predictor.predict(index, tag)
+        else:
+            handle.prediction = self.predictor.predict_pc(inst.pc)
+
+        self._push_history(inst.pc)
+
+        if handle.prediction is not None:
+            accepted = self.paq.push(
+                PaqEntry(
+                    addr=handle.prediction.addr,
+                    size=handle.prediction.size,
+                    way=handle.prediction.way,
+                    allocated_cycle=fetch_cycle,
+                )
+            )
+            if not accepted:
+                handle.prediction = None       # PAQ full: no value prediction
+        return handle
+
+    def on_load_fetch_unpredicted(self, inst: Instruction) -> None:
+        """A load beyond the per-group prediction limit (Section 3.1.1).
+
+        Fewer than 2% of fetch groups carry more than two loads; the
+        extras still walk the load path (history update) and count
+        toward coverage denominators, but are neither predicted nor
+        trained.
+        """
+        self.stats.loads_seen += 1
+        self._push_history(inst.pc)
+
+    def _push_history(self, load_pc: int) -> None:
+        if self._uses_pap:
+            self.predictor.history.push_load(load_pc)
+
+    # -- probe ------------------------------------------------------------
+
+    def probe(self, handle: DlvpFetchHandle, probe_cycle: int) -> None:
+        """Speculatively probe the L1 with the queued predicted address.
+
+        Fills ``handle.raw_probe_value`` on an L1 hit; launches a
+        prefetch on a miss when enabled.  Way prediction: with a stale
+        or absent way, the one-way probe misses even though the block is
+        resident (counted, and the paper reports it almost never
+        happens).
+        """
+        if handle.prediction is None or handle.lscd_blocked:
+            return
+        entry = self.paq.service(probe_cycle)
+        if entry is None:
+            handle.dropped = True
+            handle.prediction = None
+            return
+        handle.probed = True
+        self.stats.probes += 1
+        hit, actual_way = self.hierarchy.probe_l1(entry.addr)
+        if hit and self.config.way_prediction and entry.way is not None:
+            if entry.way != actual_way:
+                self.stats.way_mispredictions += 1
+                hit = False
+        if hit:
+            self.stats.probe_hits += 1
+            handle.probe_hit = True
+            handle.raw_probe_value = self.image.read(entry.addr, _PROBE_BYTES)
+        else:
+            self.stats.probe_misses += 1
+            if self.config.prefetch_on_miss:
+                self.hierarchy.prefetch_fill(entry.addr)
+                self.stats.prefetches += 1
+
+    # -- value extraction ---------------------------------------------------
+
+    def predicted_values(self, handle: DlvpFetchHandle, inst: Instruction) -> tuple[int, ...] | None:
+        """Assemble per-destination values from the probed bytes.
+
+        Returns None when no usable probe data exists or the load's
+        footprint exceeds what the probe captured.
+        """
+        if handle.raw_probe_value is None:
+            return None
+        size = inst.mem_size
+        if size * max(1, len(inst.dests)) > _PROBE_BYTES:
+            return None
+        mask = (1 << (8 * size)) - 1
+        return tuple(
+            (handle.raw_probe_value >> (8 * size * k)) & mask
+            for k in range(len(inst.dests))
+        )
+
+    # -- execute --------------------------------------------------------
+
+    def on_load_execute(
+        self,
+        handle: DlvpFetchHandle,
+        inst: Instruction,
+        actual_way: int | None,
+        value_predicted: bool,
+        predicted: tuple[int, ...] | None,
+    ) -> DlvpOutcome:
+        """Validate the prediction and train the predictor (Section 3.1.2).
+
+        Args:
+            handle: The fetch-time handle.
+            inst: The executing load, with its computed address/values.
+            actual_way: L1 way the block occupies after the demand
+                access (trains way prediction).
+            value_predicted: Whether the pipeline actually consumed a
+                value prediction (it may have declined, e.g. PVT full).
+            predicted: The values that were predicted, if any.
+        """
+        assert inst.mem_addr is not None
+        self.stats.loads_seen += 1
+
+        if handle.lscd_blocked:
+            self.stats.lscd_blocked += 1
+            return DlvpOutcome(
+                value_predicted=False,
+                value_correct=False,
+                address_predicted=False,
+                address_correct=False,
+            )
+
+        addr_predicted = handle.prediction is not None
+        addr_correct = addr_predicted and handle.prediction.addr == inst.mem_addr
+        if addr_predicted:
+            self.stats.address_predictions += 1
+            if addr_correct:
+                self.stats.address_correct += 1
+
+        # Train the address predictor with the executed load.
+        if self._uses_pap:
+            self.predictor.train(
+                handle.apt_index,
+                handle.apt_tag,
+                inst.mem_addr,
+                inst.mem_size,
+                actual_way,
+            )
+        else:
+            self.predictor.train(inst.pc, inst.mem_addr)
+
+        value_correct = False
+        if value_predicted:
+            assert predicted is not None
+            masked_actual = tuple(v & ((1 << (8 * inst.mem_size)) - 1) for v in inst.values)
+            value_correct = predicted == masked_actual
+            self.stats.value_predictions += 1
+            if value_correct:
+                self.stats.value_correct += 1
+            elif addr_correct:
+                # An in-flight store changed the location between the
+                # probe and execution: exactly what LSCD filters.
+                self.stats.inflight_conflicts += 1
+                if self._lscd_enabled:
+                    self.lscd.insert(inst.pc)
+
+        return DlvpOutcome(
+            value_predicted=value_predicted,
+            value_correct=value_correct,
+            address_predicted=addr_predicted,
+            address_correct=addr_correct,
+        )

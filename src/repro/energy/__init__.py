@@ -1,0 +1,26 @@
+"""Area/energy modelling.
+
+The paper uses an in-house, RTL-PTPX-validated 28nm model that cannot
+be reproduced; we substitute an analytical SRAM model (bits x port
+scaling, CACTI-flavoured) and a core-energy accounting that charges
+per-event costs plus a static/clock term per cycle.  Only *relative*
+numbers are reported anywhere in the paper (Table 2 and Figures 6c/6d
+are all normalized), and the substitution preserves orderings and rough
+magnitudes; EXPERIMENTS.md records the residuals.
+"""
+
+from repro.energy.sram import SramModel, SramPort
+from repro.energy.prf import PvtDesign, pvt_design_table
+from repro.energy.predictor_costs import predictor_cost_table
+from repro.energy.core_energy import EnergyWeights, core_energy, normalized_core_energy
+
+__all__ = [
+    "SramModel",
+    "SramPort",
+    "PvtDesign",
+    "pvt_design_table",
+    "predictor_cost_table",
+    "EnergyWeights",
+    "core_energy",
+    "normalized_core_energy",
+]

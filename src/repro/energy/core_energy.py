@@ -1,0 +1,67 @@
+"""Figure 6c: total core energy normalized to the no-prediction baseline.
+
+Accounting: every run's :class:`~repro.pipeline.stats.EnergyEvents`
+carries counts of the activities that differ across schemes — cache
+demand accesses, DLVP's speculative probes (cheap when way-predicted),
+L2/L3 traffic, predictor table reads/writes, PVT traffic — plus cycles
+and instructions.  Energy is the weighted event sum plus a static/clock
+term proportional to cycles: a scheme that probes more but finishes
+sooner can still come out even, which is precisely the paper's claim
+for DLVP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pipeline.stats import SimResult
+
+
+@dataclass(frozen=True)
+class EnergyWeights:
+    """Per-event energy weights (arbitrary units).
+
+    Defaults put the static/clock share of baseline core energy around
+    30-40%, typical for a 28nm high-performance core, and charge a
+    way-predicted probe roughly a quarter of a full L1 access (1 way of
+    4 read, no fill path).
+    """
+
+    instruction: float = 1.0
+    l1_access: float = 2.0
+    l1_probe: float = 0.40
+    l2_access: float = 8.0
+    l3_access: float = 20.0
+    predictor_read_per_kbit: float = 0.0015
+    predictor_write_per_kbit: float = 0.0015
+    pvt_access: float = 0.1
+    static_per_cycle: float = 2.2
+
+
+def core_energy(result: SimResult, weights: EnergyWeights | None = None) -> float:
+    """Total core energy of one run (arbitrary units)."""
+    w = weights or EnergyWeights()
+    e = result.energy
+    table_kbits = max(e.predictor_bits, 1) / 1024.0
+    return (
+        w.instruction * e.instructions
+        + w.l1_access * e.l1d_accesses
+        + w.l1_probe * e.l1d_probes
+        + w.l2_access * e.l2_accesses
+        + w.l3_access * e.l3_accesses
+        + w.predictor_read_per_kbit * table_kbits * e.predictor_reads
+        + w.predictor_write_per_kbit * table_kbits * e.predictor_writes
+        + w.pvt_access * (e.pvt_reads + e.pvt_writes)
+        + w.static_per_cycle * e.cycles
+    )
+
+
+def normalized_core_energy(
+    result: SimResult,
+    baseline: SimResult,
+    weights: EnergyWeights | None = None,
+) -> float:
+    """Figure 6c's metric: scheme energy / baseline energy, same trace."""
+    if result.trace_name != baseline.trace_name:
+        raise ValueError("normalize against the baseline of the same trace")
+    return core_energy(result, weights) / core_energy(baseline, weights)

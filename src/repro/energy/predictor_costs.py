@@ -1,0 +1,82 @@
+"""Figure 6d: predictor area / read energy / write energy, normalized
+to the PAP predictor.
+
+Structure geometries follow Table 4:
+
+* PAP — one 1k-entry direct-mapped table (~67k bits, ARMv8);
+* CAP — two 1k-entry tables (~95k bits total); a prediction reads both
+  (load buffer then link table) and training writes both;
+* VTAGE — three 256-entry tables (~62.3k bits); a prediction reads all
+  three in parallel, training writes (mostly) one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.sram import SramModel, SramPort
+from repro.predictors.cap import CapConfig, CapPredictor
+from repro.predictors.pap import PapConfig, PapPredictor
+from repro.predictors.vtage import VtageConfig, VtagePredictor
+
+_PORTS = SramPort(read=1, write=1)
+
+
+@dataclass(frozen=True)
+class PredictorCost:
+    """One bar group of Figure 6d (normalized to PAP)."""
+
+    name: str
+    storage_bits: int
+    area: float
+    read_energy: float
+    write_energy: float
+
+
+def _models(bits_per_table: list[int]) -> list[SramModel]:
+    return [SramModel(bits=b, ports=_PORTS) for b in bits_per_table]
+
+
+def predictor_cost_table(
+    pap_config: PapConfig | None = None,
+    cap_config: CapConfig | None = None,
+    vtage_config: VtageConfig | None = None,
+) -> dict[str, PredictorCost]:
+    """Compute Figure 6d's three bar groups."""
+    pap = PapPredictor(pap_config)
+    cap = CapPredictor(cap_config)
+    vtage = VtagePredictor(vtage_config)
+
+    pap_tables = _models([pap.storage_bits(include_way=True)])
+    cap_cfg = cap.config
+    lb_bits = cap_cfg.load_buffer_entries * (cap_cfg.tag_bits + 2 + 8 + cap_cfg.history_bits)
+    link_bits = cap.storage_bits() - lb_bits
+    cap_tables = _models([lb_bits, link_bits])
+    vtage_per_table = vtage.storage_bits() // len(vtage.config.history_lengths)
+    vtage_tables = _models([vtage_per_table] * len(vtage.config.history_lengths))
+
+    def cost(name: str, bits: int, tables: list[SramModel], write_tables: float) -> PredictorCost:
+        return PredictorCost(
+            name=name,
+            storage_bits=bits,
+            area=sum(t.area() for t in tables),
+            read_energy=sum(t.read_energy() for t in tables),
+            write_energy=write_tables * tables[0].write_energy(),
+        )
+
+    raw = {
+        "pap": cost("PAP", pap.storage_bits(include_way=True), pap_tables, 1.0),
+        "cap": cost("CAP", cap.storage_bits(), cap_tables, 2.0),
+        "vtage": cost("VTAGE", vtage.storage_bits(), vtage_tables, 1.0),
+    }
+    base = raw["pap"]
+    return {
+        key: PredictorCost(
+            name=c.name,
+            storage_bits=c.storage_bits,
+            area=c.area / base.area,
+            read_energy=c.read_energy / base.read_energy,
+            write_energy=c.write_energy / base.write_energy,
+        )
+        for key, c in raw.items()
+    }

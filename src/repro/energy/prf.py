@@ -1,0 +1,95 @@
+"""Table 2: the three PRF/PVT designs for communicating predicted values.
+
+* Design #1 — arbitrate on the existing PRF write ports (8rd/8wr).
+* Design #2 — widen the PRF to 8rd/10wr to absorb predicted writes.
+* Design #3 — Design #1's PRF plus a small 2rd/2wr PVT (the paper's
+  choice, and this repository's).
+
+``pvt_design_table`` reproduces the normalized area / read energy /
+write energy rows, assuming (like the paper) that 30% of register
+values read/written are predicted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.sram import SramModel, SramPort
+
+_PRF_ENTRIES = 348
+_VALUE_BITS = 64
+_PVT_ENTRIES = 32
+_PVT_TAG_BITS = 9          # physical register number
+
+
+@dataclass(frozen=True)
+class PvtDesign:
+    """One row of Table 2 (values normalized to Design #1)."""
+
+    name: str
+    area: float
+    read_energy: float
+    write_energy: float
+
+
+def _prf(write_ports: int) -> SramModel:
+    return SramModel(
+        bits=_PRF_ENTRIES * _VALUE_BITS,
+        ports=SramPort(read=8, write=write_ports),
+    )
+
+
+def _pvt() -> SramModel:
+    return SramModel(
+        bits=_PVT_ENTRIES * (_VALUE_BITS + _PVT_TAG_BITS),
+        ports=SramPort(read=2, write=2),
+    )
+
+
+def pvt_design_table(predicted_fraction: float = 0.30) -> dict[str, PvtDesign]:
+    """Compute Table 2.
+
+    Args:
+        predicted_fraction: Share of register reads/writes that involve
+            predicted values (the paper assumes 30%).
+
+    Returns:
+        ``{"pvt", "design1", "design2", "design3"}`` rows, all
+        normalized to Design #1.
+    """
+    if not 0.0 <= predicted_fraction <= 1.0:
+        raise ValueError("predicted_fraction must be in [0, 1]")
+
+    base = _prf(8)
+    wide = _prf(10)
+    pvt = _pvt()
+    p = predicted_fraction
+
+    base_read, base_write = base.read_energy(), base.write_energy()
+
+    rows = {
+        "pvt": PvtDesign(
+            name="PVT (2rd/2wr)",
+            area=pvt.area() / base.area(),
+            read_energy=pvt.read_energy() / base_read,
+            write_energy=pvt.write_energy() / base_write,
+        ),
+        "design1": PvtDesign(name="Design #1 (PRF 8rd/8wr)", area=1.0,
+                             read_energy=1.0, write_energy=1.0),
+        "design2": PvtDesign(
+            name="Design #2 (PRF 8rd/10wr)",
+            area=wide.area() / base.area(),
+            # Every access now pays the bigger array's cost.
+            read_energy=wide.read_energy() / base_read,
+            write_energy=(wide.write_energy() * (1 + p)) / base_write,
+        ),
+        "design3": PvtDesign(
+            name="Design #3 (Design #1 + PVT)",
+            area=(base.area() + pvt.area()) / base.area(),
+            # Predicted reads are served by the cheap PVT instead.
+            read_energy=((1 - p) * base_read + p * pvt.read_energy()) / base_read,
+            # Predicted values are written twice: PVT now, PRF at execute.
+            write_energy=(base_write + p * pvt.write_energy()) / base_write,
+        ),
+    }
+    return rows

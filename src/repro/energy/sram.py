@@ -1,0 +1,66 @@
+"""Analytical SRAM area/energy model.
+
+A standard first-order model of multi-ported SRAM arrays:
+
+* each additional port adds a wordline + bitline pair, growing the cell
+  linearly in both dimensions, so cell area scales with
+  ``(1 + k(P - 1))^2``;
+* read/write energy scales with the bitline/wordline capacitance
+  switched per access — proportional to the array's linear dimensions,
+  i.e. ``sqrt(bits)`` times the port-pitch factor.
+
+Constants were chosen so the Table 2 orderings and rough magnitudes
+come out; no absolute joules/mm2 are claimed (the paper only reports
+normalized values).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_PORT_PITCH = 0.09       # per-port cell-pitch growth
+_FIXED_OVERHEAD_BITS = 1024   # decoders/sense-amps floor for tiny arrays
+
+
+@dataclass(frozen=True)
+class SramPort:
+    """Port configuration of one array."""
+
+    read: int
+    write: int
+
+    @property
+    def total(self) -> int:
+        return self.read + self.write
+
+
+class SramModel:
+    """Area and per-access energy of one SRAM structure."""
+
+    def __init__(self, bits: int, ports: SramPort) -> None:
+        if bits <= 0:
+            raise ValueError("bits must be positive")
+        if ports.read < 0 or ports.write < 0 or ports.total == 0:
+            raise ValueError("need at least one port")
+        self.bits = bits
+        self.ports = ports
+
+    def _pitch_factor(self) -> float:
+        return 1.0 + _PORT_PITCH * (self.ports.total - 1)
+
+    def area(self) -> float:
+        """Relative silicon area (arbitrary units)."""
+        return (self.bits + _FIXED_OVERHEAD_BITS) * self._pitch_factor() ** 2
+
+    def read_energy(self) -> float:
+        """Energy of one read access (arbitrary units)."""
+        return (self.bits + _FIXED_OVERHEAD_BITS) ** 0.5 * self._pitch_factor()
+
+    def write_energy(self) -> float:
+        """Energy of one write access (arbitrary units)."""
+        # Writes drive full-swing bitlines: a constant factor above reads.
+        return 1.25 * self.read_energy()
+
+    def leakage(self) -> float:
+        """Relative leakage power (scales with area)."""
+        return 0.01 * self.area()

@@ -1,0 +1,25 @@
+"""Experiment runners — one per table/figure in the paper's evaluation.
+
+Every module exposes a ``run(...)`` function returning a small result
+object with ``rows()`` (machine-readable) and ``render()`` (the text
+the benchmark harness prints).  The common machinery — building the
+suite once, running schemes, aggregating speedups — lives in
+:mod:`repro.experiments.runner`.
+
+| Paper artefact | Module |
+|---|---|
+| Figure 1  | :mod:`repro.experiments.fig1_conflicts` |
+| Figure 2  | :mod:`repro.experiments.fig2_repeatability` |
+| Figure 4  | :mod:`repro.experiments.fig4_address_prediction` |
+| Figure 5  | :mod:`repro.experiments.fig5_prefetch` |
+| Figure 6  | :mod:`repro.experiments.fig6_value_prediction` |
+| Figure 7  | :mod:`repro.experiments.fig7_vtage_flavors` |
+| Figure 8  | :mod:`repro.experiments.fig8_tournament` |
+| Figure 9  | :mod:`repro.experiments.fig9_selected` |
+| Figure 10 | :mod:`repro.experiments.fig10_recovery` |
+| Tables 1-4| :mod:`repro.experiments.tables` |
+"""
+
+from repro.experiments.runner import SuiteRunner, geometric_mean, arithmetic_mean
+
+__all__ = ["SuiteRunner", "geometric_mean", "arithmetic_mean"]

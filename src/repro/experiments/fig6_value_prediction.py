@@ -1,0 +1,114 @@
+"""Figure 6 — the paper's headline comparison of CAP, VTAGE and DLVP:
+
+* 6a per-workload speedup (paper: DLVP 4.8% avg / up to 71% on perlbmk;
+  VTAGE 2.1%; CAP 2.3%);
+* 6b coverage (paper: DLVP 31.1%, VTAGE 29.6%, CAP 23.8%);
+* 6c total core energy normalized to the baseline (paper: DLVP on par
+  with baseline and VTAGE);
+* 6d predictor area / read / write energy normalized to PAP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.energy import EnergyWeights, normalized_core_energy, predictor_cost_table
+from repro.energy.predictor_costs import PredictorCost
+from repro.experiments.runner import (
+    SuiteRunner,
+    arithmetic_mean,
+    default_scheme_factories,
+    format_table,
+)
+from repro.pipeline import SimResult
+
+_SCHEMES = ("cap", "vtage", "dlvp")
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    results: dict[str, dict[str, SimResult]]     # scheme -> workload -> run
+    speedups: dict[str, dict[str, float]]        # scheme -> workload -> speedup
+    energy: dict[str, dict[str, float]]          # scheme -> workload -> normalized
+    predictor_costs: dict[str, PredictorCost]
+
+    def average_speedup(self, scheme: str) -> float:
+        return arithmetic_mean(self.speedups[scheme].values())
+
+    def max_speedup(self, scheme: str) -> tuple[str, float]:
+        name = max(self.speedups[scheme], key=self.speedups[scheme].get)
+        return name, self.speedups[scheme][name]
+
+    def average_coverage(self, scheme: str) -> float:
+        return arithmetic_mean(
+            r.value_coverage for r in self.results[scheme].values()
+        )
+
+    def average_accuracy(self, scheme: str) -> float:
+        return arithmetic_mean(
+            r.value_accuracy for r in self.results[scheme].values()
+        )
+
+    def average_energy(self, scheme: str) -> float:
+        return arithmetic_mean(self.energy[scheme].values())
+
+    def workloads_improved(self, scheme: str, by: float = 0.01) -> int:
+        return sum(1 for s in self.speedups[scheme].values() if s > by)
+
+    def render(self) -> str:
+        parts = ["Figure 6a/6b/6c — value-prediction schemes over the suite"]
+        rows = []
+        for scheme in _SCHEMES:
+            best_name, best = self.max_speedup(scheme)
+            rows.append(
+                [
+                    scheme,
+                    f"{self.average_speedup(scheme):+7.1%}",
+                    f"{best:+7.1%} ({best_name})",
+                    f"{self.average_coverage(scheme):6.1%}",
+                    f"{self.average_accuracy(scheme):7.2%}",
+                    f"{self.average_energy(scheme):6.3f}",
+                    f"{self.workloads_improved(scheme)}",
+                ]
+            )
+        parts.append(
+            format_table(
+                ["scheme", "avg speedup", "max speedup", "coverage", "accuracy",
+                 "norm energy", ">1% wins"],
+                rows,
+            )
+        )
+        parts.append(
+            "(paper: DLVP +4.8%/max +71% perlbmk/31.1%/>99%, VTAGE +2.1%/29.6%, "
+            "CAP +2.3%/23.8%; energy ~1.00)"
+        )
+        parts.append("\nFigure 6d — predictor costs normalized to PAP")
+        cost_rows = [
+            [c.name, f"{c.area:5.2f}", f"{c.read_energy:5.2f}", f"{c.write_energy:5.2f}"]
+            for c in self.predictor_costs.values()
+        ]
+        parts.append(format_table(["predictor", "area", "read", "write"], cost_rows))
+        return "\n".join(parts)
+
+
+def run(runner: SuiteRunner, energy_weights: EnergyWeights | None = None) -> Fig6Result:
+    """Run CAP, VTAGE and DLVP over the suite (Figures 6a-6d)."""
+    factories = default_scheme_factories()
+    baselines = runner.baselines()
+    results: dict[str, dict[str, SimResult]] = {}
+    speedups: dict[str, dict[str, float]] = {}
+    energy: dict[str, dict[str, float]] = {}
+    for scheme in _SCHEMES:
+        runs = runner.run_scheme(factories[scheme])
+        results[scheme] = runs
+        speedups[scheme] = runner.speedups(runs)
+        energy[scheme] = {
+            name: normalized_core_energy(run, baselines[name], energy_weights)
+            for name, run in runs.items()
+        }
+    return Fig6Result(
+        results=results,
+        speedups=speedups,
+        energy=energy,
+        predictor_costs=predictor_cost_table(),
+    )

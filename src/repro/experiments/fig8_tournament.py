@@ -1,0 +1,79 @@
+"""Figure 8 — combining DLVP and VTAGE as a tournament.
+
+Paper headlines: the combined coverage barely exceeds either predictor
+alone (heavy overlap between the loads each captures), and of the final
+predictions DLVP supplies more (18.2% of loads) than VTAGE (16.1%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.runner import (
+    SuiteRunner,
+    arithmetic_mean,
+    default_scheme_factories,
+    format_table,
+)
+from repro.pipeline import SimResult
+from repro.pipeline.schemes import TournamentStats
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    dlvp: dict[str, SimResult]
+    vtage: dict[str, SimResult]
+    tournament: dict[str, SimResult]
+    speedups: dict[str, dict[str, float]]
+
+    def average_speedup(self, scheme: str) -> float:
+        return arithmetic_mean(self.speedups[scheme].values())
+
+    def average_coverage(self, scheme: str) -> float:
+        runs = {"dlvp": self.dlvp, "vtage": self.vtage, "tournament": self.tournament}[scheme]
+        return arithmetic_mean(r.value_coverage for r in runs.values())
+
+    def prediction_breakdown(self) -> tuple[float, float]:
+        """(DLVP share, VTAGE share) of loads whose final prediction each
+        engine made (Figure 8b; paper: 18.2% vs 16.1%)."""
+        dlvp_share = []
+        vtage_share = []
+        for result in self.tournament.values():
+            stats = result.scheme_stats
+            assert isinstance(stats, dict)
+            tstats = stats["tournament"]
+            assert isinstance(tstats, TournamentStats)
+            dlvp_share.append(tstats.dlvp_share)
+            vtage_share.append(tstats.vtage_share)
+        return arithmetic_mean(dlvp_share), arithmetic_mean(vtage_share)
+
+    def render(self) -> str:
+        rows = [
+            [
+                scheme,
+                f"{self.average_speedup(scheme):+7.2%}",
+                f"{self.average_coverage(scheme):6.1%}",
+            ]
+            for scheme in ("dlvp", "vtage", "tournament")
+        ]
+        table = format_table(["scheme", "avg speedup", "coverage"], rows)
+        d_share, v_share = self.prediction_breakdown()
+        summary = (
+            f"\nfinal predictions by DLVP:  {d_share:6.1%} of loads (paper 18.2%)"
+            f"\nfinal predictions by VTAGE: {v_share:6.1%} of loads (paper 16.1%)"
+        )
+        return "Figure 8 — DLVP+VTAGE tournament\n" + table + summary
+
+
+def run(runner: SuiteRunner) -> Fig8Result:
+    """Run DLVP, VTAGE and their tournament over the suite."""
+    factories = default_scheme_factories()
+    dlvp = runner.run_scheme(factories["dlvp"])
+    vtage = runner.run_scheme(factories["vtage"])
+    tournament = runner.run_scheme(factories["tournament"])
+    speedups = {
+        "dlvp": runner.speedups(dlvp),
+        "vtage": runner.speedups(vtage),
+        "tournament": runner.speedups(tournament),
+    }
+    return Fig8Result(dlvp=dlvp, vtage=vtage, tournament=tournament, speedups=speedups)

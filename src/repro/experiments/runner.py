@@ -1,0 +1,122 @@
+"""Shared experiment machinery.
+
+:class:`SuiteRunner` builds the workload suite once, caches the traces
+and the baseline runs, and executes value-prediction schemes over the
+suite.  Scheme objects are stateful, so a fresh instance is constructed
+per (scheme, trace) pair via factory callables.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Iterable
+
+from repro.pipeline import (
+    DlvpScheme,
+    RecoveryMode,
+    Scheme,
+    SimResult,
+    TournamentScheme,
+    VtageScheme,
+    simulate,
+)
+from repro.predictors.cap import CapConfig
+from repro.predictors.vtage import VtageConfig
+from repro.trace import Trace
+from repro.workloads import build_suite, workload_names
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    """Plain average; 0.0 for an empty sequence."""
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def geometric_mean(speedups: Iterable[float]) -> float:
+    """Geometric mean of (1 + speedup) factors, returned as a speedup."""
+    factors = [1.0 + s for s in speedups]
+    if not factors:
+        return 0.0
+    return math.exp(sum(math.log(f) for f in factors) / len(factors)) - 1.0
+
+
+def default_scheme_factories() -> dict[str, Callable[[], Scheme]]:
+    """The paper's three value predictors plus the Figure 8 tournament.
+
+    ``cap`` is DLVP with the CAP address predictor at confidence 24,
+    the best point found by the paper's sweep (Section 5.2.3);
+    ``vtage`` uses the static opcode filter on loads only, the winning
+    Figure 7 configuration.
+    """
+    return {
+        "dlvp": DlvpScheme,
+        "cap": lambda: DlvpScheme(
+            use_cap=True, cap_config=CapConfig(confidence_threshold=24)
+        ),
+        "vtage": lambda: VtageScheme(VtageConfig()),
+        "tournament": TournamentScheme,
+    }
+
+
+class SuiteRunner:
+    """Build-once, simulate-many experiment driver."""
+
+    def __init__(
+        self,
+        n_instructions: int = 12_000,
+        names: list[str] | None = None,
+    ) -> None:
+        self.names = names if names is not None else workload_names()
+        self.n_instructions = n_instructions
+        self._traces: dict[str, Trace] | None = None
+        self._baselines: dict[str, SimResult] | None = None
+
+    @property
+    def traces(self) -> dict[str, Trace]:
+        if self._traces is None:
+            self._traces = build_suite(self.n_instructions, names=self.names)
+        return self._traces
+
+    def baselines(self) -> dict[str, SimResult]:
+        """Baseline (no value prediction) run per workload, cached."""
+        if self._baselines is None:
+            self._baselines = {
+                name: simulate(trace) for name, trace in self.traces.items()
+            }
+        return self._baselines
+
+    def run_scheme(
+        self,
+        scheme_factory: Callable[[], Scheme] | None,
+        recovery: RecoveryMode = RecoveryMode.FLUSH,
+    ) -> dict[str, SimResult]:
+        """Run one scheme (or the baseline for None) over the suite."""
+        if scheme_factory is None:
+            return self.baselines()
+        return {
+            name: simulate(trace, scheme=scheme_factory(), recovery=recovery)
+            for name, trace in self.traces.items()
+        }
+
+    def speedups(self, results: dict[str, SimResult]) -> dict[str, float]:
+        """Per-workload speedup of ``results`` over the cached baselines."""
+        baselines = self.baselines()
+        return {
+            name: result.speedup_over(baselines[name])
+            for name, result in results.items()
+        }
+
+
+def format_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Plain-text table rendering used by every experiment's render()."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""ARM-like instruction-set model used by the trace-driven simulator.
+
+The paper evaluates on ARMv7/ARMv8 binaries.  We do not interpret real
+machine code; instead, workload generators emit :class:`Instruction`
+records that carry everything the microarchitecture model needs: PC,
+operation class, register operands, memory address/size, the values read
+or written, and branch outcomes.
+
+Multi-destination loads (LDP, LDM, VLD) are modelled explicitly because
+the paper's ISA-specific VTAGE findings (Section 5.2.2) hinge on them.
+"""
+
+from repro.isa.instructions import (
+    EXECUTION_LATENCY,
+    Instruction,
+    OpClass,
+    is_memory_op,
+    is_branch_op,
+)
+from repro.isa.registers import (
+    NUM_GENERAL_REGS,
+    NUM_VECTOR_REGS,
+    REG_SP,
+    REG_LR,
+    RegisterFile,
+    general_reg,
+    vector_reg,
+)
+from repro.isa.fetch import (
+    INSTRUCTION_BYTES,
+    FETCH_GROUP_INSTRUCTIONS,
+    FETCH_GROUP_BYTES,
+    fetch_group_address,
+    fetch_group_slot,
+)
+
+__all__ = [
+    "EXECUTION_LATENCY",
+    "Instruction",
+    "OpClass",
+    "is_memory_op",
+    "is_branch_op",
+    "NUM_GENERAL_REGS",
+    "NUM_VECTOR_REGS",
+    "REG_SP",
+    "REG_LR",
+    "RegisterFile",
+    "general_reg",
+    "vector_reg",
+    "INSTRUCTION_BYTES",
+    "FETCH_GROUP_INSTRUCTIONS",
+    "FETCH_GROUP_BYTES",
+    "fetch_group_address",
+    "fetch_group_slot",
+]

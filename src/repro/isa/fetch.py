@@ -1,0 +1,33 @@
+"""Fetch-group arithmetic.
+
+The PAP predictor is indexed with the fetch group address (FGA) as a
+proxy for the load PC (Section 3.1.1), and up to two loads per fetch
+group are predicted per cycle using FGA and FGA+1.  These helpers keep
+that arithmetic in one place.
+"""
+
+from __future__ import annotations
+
+INSTRUCTION_BYTES = 4
+FETCH_GROUP_INSTRUCTIONS = 4          # 4-wide in-order front-end (Table 4)
+FETCH_GROUP_BYTES = INSTRUCTION_BYTES * FETCH_GROUP_INSTRUCTIONS
+
+
+def fetch_group_address(pc: int) -> int:
+    """Address of the fetch group containing ``pc``."""
+    return pc & ~(FETCH_GROUP_BYTES - 1)
+
+
+def fetch_group_slot(pc: int) -> int:
+    """Index of ``pc`` within its fetch group (0..3)."""
+    return (pc & (FETCH_GROUP_BYTES - 1)) // INSTRUCTION_BYTES
+
+
+def path_history_bit(pc: int) -> int:
+    """The load-path history bit contributed by a load at ``pc``.
+
+    Section 3.1: the least-significant non-zero bit of a 4-byte-aligned
+    PC is bit 2, so that is the bit shifted into the load-path history
+    register.
+    """
+    return (pc >> 2) & 1

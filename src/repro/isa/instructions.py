@@ -1,0 +1,162 @@
+"""Dynamic instruction records.
+
+An :class:`Instruction` is one *dynamic* instance in a trace.  Static
+instructions are identified by their PC; dynamic instances of the same
+static instruction share a PC but may differ in operands, addresses and
+values.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class OpClass(enum.IntEnum):
+    """Coarse operation classes, enough to drive the timing model.
+
+    The classes mirror the execution-lane taxonomy of the baseline core
+    (Table 4): 2 lanes support load/store operations and 6 lanes are
+    generic.  ``LOAD``/``STORE`` need a load-store lane; everything else
+    runs on a generic lane.
+    """
+
+    ALU = 0
+    MUL = 1
+    DIV = 2
+    FP = 3
+    LOAD = 4
+    STORE = 5
+    BRANCH = 6          # conditional direct branch
+    JUMP = 7            # unconditional direct branch
+    CALL = 8            # direct call (pushes return address)
+    RETURN = 9          # return (pops return address; indirect)
+    INDIRECT = 10       # indirect branch (e.g. switch dispatch)
+    BARRIER = 11        # memory barrier / fence
+    ATOMIC = 12         # atomic or exclusive memory access
+    NOP = 13
+
+
+_MEMORY_OPS = frozenset({OpClass.LOAD, OpClass.STORE, OpClass.ATOMIC})
+_BRANCH_OPS = frozenset(
+    {OpClass.BRANCH, OpClass.JUMP, OpClass.CALL, OpClass.RETURN, OpClass.INDIRECT}
+)
+
+
+def is_memory_op(op: OpClass) -> bool:
+    """Return True for operations that touch memory."""
+    return op in _MEMORY_OPS
+
+
+def is_branch_op(op: OpClass) -> bool:
+    """Return True for operations that redirect control flow."""
+    return op in _BRANCH_OPS
+
+
+# Execution latencies in cycles, keyed by operation class.  Loads take the
+# cache-determined latency instead (the timing model asks the hierarchy).
+EXECUTION_LATENCY: dict[OpClass, int] = {
+    OpClass.ALU: 1,
+    OpClass.MUL: 3,
+    OpClass.DIV: 12,
+    OpClass.FP: 4,
+    OpClass.LOAD: 1,       # address-generation portion; cache adds the rest
+    OpClass.STORE: 1,
+    OpClass.BRANCH: 1,
+    OpClass.JUMP: 1,
+    OpClass.CALL: 1,
+    OpClass.RETURN: 1,
+    OpClass.INDIRECT: 1,
+    OpClass.BARRIER: 1,
+    OpClass.ATOMIC: 2,
+    OpClass.NOP: 1,
+}
+
+
+@dataclass(slots=True)
+class Instruction:
+    """One dynamic instruction.
+
+    Attributes:
+        pc: Byte address of the instruction (4-byte aligned).
+        op: Operation class.
+        srcs: Source register identifiers.
+        dests: Destination register identifiers.  Loads may have several
+            destinations (LDP has 2, LDM up to 16); each destination gets
+            its own value in ``values``.
+        mem_addr: Effective (base) memory address for memory operations,
+            else ``None``.  Multi-destination loads read consecutive
+            ``mem_size``-byte chunks starting here.
+        mem_size: Bytes read/written *per destination register*.
+        values: For a load, the value loaded into each destination (same
+            order as ``dests``).  For a store, a single-element tuple with
+            the stored value.  For other ops, the computed result (one per
+            destination), used only for value-predictor bookkeeping.
+        taken: Branch outcome, ``None`` for non-branches.
+        target: Branch target PC when taken (or fall-through when not).
+        is_vector: True for VLD-style 128-bit vector loads; a conventional
+            value predictor must burn two 64-bit entries per value.
+    """
+
+    pc: int
+    op: OpClass
+    srcs: tuple[int, ...] = ()
+    dests: tuple[int, ...] = ()
+    mem_addr: int | None = None
+    mem_size: int = 8
+    values: tuple[int, ...] = ()
+    taken: bool | None = None
+    target: int | None = None
+    is_vector: bool = False
+
+    def __post_init__(self) -> None:
+        if self.op == OpClass.LOAD:
+            if self.mem_addr is None:
+                raise ValueError("load requires a memory address")
+            if len(self.values) != len(self.dests):
+                raise ValueError(
+                    "load needs one value per destination register "
+                    f"(got {len(self.values)} values, {len(self.dests)} dests)"
+                )
+        if self.op == OpClass.STORE and self.mem_addr is None:
+            raise ValueError("store requires a memory address")
+
+    @property
+    def is_load(self) -> bool:
+        return self.op == OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.op == OpClass.STORE
+
+    @property
+    def is_branch(self) -> bool:
+        return is_branch_op(self.op)
+
+    @property
+    def num_dests(self) -> int:
+        return len(self.dests)
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Total bytes touched in memory by this instruction."""
+        if self.mem_addr is None:
+            return 0
+        return self.mem_size * max(1, len(self.dests)) if self.is_load else self.mem_size
+
+    def value_prediction_slots(self) -> int:
+        """How many 64-bit value-predictor entries this instruction needs.
+
+        A conventional value predictor (Section 5.2.2) spends one entry per
+        destination register, and two entries per 128-bit vector value.
+        """
+        per_dest = 2 if self.is_vector else 1
+        return per_dest * len(self.dests)
+
+    def loaded_addresses(self) -> tuple[int, ...]:
+        """Addresses of each chunk a multi-destination load reads."""
+        if self.mem_addr is None:
+            return ()
+        return tuple(
+            self.mem_addr + i * self.mem_size for i in range(max(1, len(self.dests)))
+        )

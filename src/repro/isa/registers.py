@@ -1,0 +1,60 @@
+"""Architectural register model.
+
+We use a flat integer namespace: general-purpose registers are
+``0..NUM_GENERAL_REGS-1`` (X0..X30 plus SP), vector registers follow.
+The timing model only needs register identities for dependence tracking,
+and the workload generators need a small interpreter-grade register file
+to produce self-consistent values.
+"""
+
+from __future__ import annotations
+
+NUM_GENERAL_REGS = 32
+NUM_VECTOR_REGS = 32
+
+REG_SP = 31          # stack pointer (by AArch64 convention, X31/SP)
+REG_LR = 30          # link register (X30)
+
+_VECTOR_BASE = NUM_GENERAL_REGS
+
+
+def general_reg(index: int) -> int:
+    """Identifier of general-purpose register ``Xindex``."""
+    if not 0 <= index < NUM_GENERAL_REGS:
+        raise ValueError(f"general register index out of range: {index}")
+    return index
+
+
+def vector_reg(index: int) -> int:
+    """Identifier of vector register ``Vindex``."""
+    if not 0 <= index < NUM_VECTOR_REGS:
+        raise ValueError(f"vector register index out of range: {index}")
+    return _VECTOR_BASE + index
+
+
+def is_vector_reg(reg: int) -> bool:
+    """True when ``reg`` names a vector register."""
+    return reg >= _VECTOR_BASE
+
+
+class RegisterFile:
+    """Minimal architectural register file for workload generation.
+
+    Values are Python ints truncated to 64 bits.  Reads of never-written
+    registers return 0, matching a zeroed initial machine state.
+    """
+
+    _MASK = (1 << 64) - 1
+
+    def __init__(self) -> None:
+        self._values: dict[int, int] = {}
+
+    def read(self, reg: int) -> int:
+        return self._values.get(reg, 0)
+
+    def write(self, reg: int, value: int) -> None:
+        self._values[reg] = value & self._MASK
+
+    def snapshot(self) -> dict[int, int]:
+        """Copy of the current register state (for tests)."""
+        return dict(self._values)

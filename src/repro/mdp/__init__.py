@@ -1,0 +1,17 @@
+"""Memory dependence prediction substrate (store sets).
+
+The baseline back-end uses an MDP "similar to Alpha 21264" (Section
+4.2).  We implement the store-sets scheme of Chrysos & Emer: an SSIT
+maps instruction PCs to store-set identifiers and an LFST tracks the
+last fetched store of each set, so predicted-dependent loads are held
+until that store executes.
+
+The paper leans on this substrate in one specific way: the MDP is
+*back-end coupled* and therefore cannot be used to stop DLVP's
+front-end probes from racing in-flight stores — that is why DLVP adds
+the tiny LSCD filter (Section 3.2.2).  We model the same separation.
+"""
+
+from repro.mdp.store_sets import StoreSetsPredictor, StoreSetsConfig
+
+__all__ = ["StoreSetsPredictor", "StoreSetsConfig"]

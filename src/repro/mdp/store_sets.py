@@ -1,0 +1,95 @@
+"""Store-sets memory dependence predictor (Chrysos & Emer, ISCA 1998)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StoreSetsConfig:
+    ssit_entries: int = 1024       # store-set ID table (PC-indexed)
+    lfst_entries: int = 128        # last-fetched-store table (set-indexed)
+    clear_interval: int = 30000    # periodic clearing combats staleness
+
+
+class StoreSetsPredictor:
+    """Store sets with periodic invalidation.
+
+    Usage protocol (mirrors the hardware events):
+
+    * ``store_fetched(pc, seq)`` — every store, in fetch order.
+    * ``load_dependence(pc)`` — at load issue; returns the sequence
+      number of the store the load must wait for, or ``None``.
+    * ``store_executed(pc)`` — clears the LFST entry when the store
+      leaves the execution stage.
+    * ``report_violation(load_pc, store_pc)`` — on a memory-order
+      violation; merges both PCs into one store set.
+    """
+
+    def __init__(self, config: StoreSetsConfig | None = None) -> None:
+        self.config = config or StoreSetsConfig()
+        self._ssit: dict[int, int] = {}
+        self._lfst: dict[int, tuple[int, int]] = {}   # set -> (store pc, seq)
+        self._next_set = 0
+        self._events = 0
+        self.violations = 0
+        self.dependencies_predicted = 0
+
+    def _tick(self) -> None:
+        self._events += 1
+        if self._events % self.config.clear_interval == 0:
+            self._ssit.clear()
+            self._lfst.clear()
+
+    def _ssit_slot(self, pc: int) -> int:
+        return (pc >> 2) % self.config.ssit_entries
+
+    def store_fetched(self, pc: int, seq: int) -> None:
+        self._tick()
+        store_set = self._ssit.get(self._ssit_slot(pc))
+        if store_set is not None:
+            self._lfst[store_set % self.config.lfst_entries] = (pc, seq)
+
+    def store_executed(self, pc: int) -> None:
+        store_set = self._ssit.get(self._ssit_slot(pc))
+        if store_set is None:
+            return
+        slot = store_set % self.config.lfst_entries
+        entry = self._lfst.get(slot)
+        if entry is not None and entry[0] == pc:
+            del self._lfst[slot]
+
+    def load_dependence(self, pc: int) -> int | None:
+        """Sequence number of the store this load should wait for."""
+        self._tick()
+        store_set = self._ssit.get(self._ssit_slot(pc))
+        if store_set is None:
+            return None
+        entry = self._lfst.get(store_set % self.config.lfst_entries)
+        if entry is None:
+            return None
+        self.dependencies_predicted += 1
+        return entry[1]
+
+    def report_violation(self, load_pc: int, store_pc: int) -> None:
+        """Merge the load and store into a common store set."""
+        self.violations += 1
+        load_slot = self._ssit_slot(load_pc)
+        store_slot = self._ssit_slot(store_pc)
+        load_set = self._ssit.get(load_slot)
+        store_set = self._ssit.get(store_slot)
+        if load_set is None and store_set is None:
+            new_set = self._next_set
+            self._next_set += 1
+            self._ssit[load_slot] = new_set
+            self._ssit[store_slot] = new_set
+        elif load_set is None:
+            assert store_set is not None
+            self._ssit[load_slot] = store_set
+        elif store_set is None:
+            self._ssit[store_slot] = load_set
+        else:
+            # Convention: both move to the smaller set ID.
+            winner = min(load_set, store_set)
+            self._ssit[load_slot] = winner
+            self._ssit[store_slot] = winner

@@ -1,0 +1,40 @@
+"""Memory-system substrate: caches, TLB, prefetcher, memory image.
+
+The paper's baseline hierarchy (Table 4): split 64KB 4-way L1 (1/2-cycle
+I/D), private 512KB 8-way L2 (16 cycles), shared 8MB 16-way L3 (32
+cycles), 200-cycle memory, 64B L1 blocks / 128B L2-L3 blocks, 512-entry
+8-way TLB, stride prefetchers.
+
+Two distinct roles are served here:
+
+* *Timing*: :class:`MemoryHierarchy` answers "how many cycles does this
+  access take" and tracks way placement so DLVP's way prediction can be
+  evaluated.
+* *Values*: :class:`MemoryImage` models committed architectural memory
+  contents.  DLVP's speculative cache probes read it, so a probe sees
+  committed stores but not in-flight ones — the precise hazard the LSCD
+  filter exists for.
+"""
+
+from repro.memory.memory_image import MemoryImage
+from repro.memory.cache import Cache, CacheConfig, CacheStats
+from repro.memory.tlb import Tlb, TlbConfig
+from repro.memory.prefetcher import StridePrefetcher
+from repro.memory.hierarchy import (
+    AccessResult,
+    HierarchyConfig,
+    MemoryHierarchy,
+)
+
+__all__ = [
+    "MemoryImage",
+    "Cache",
+    "CacheConfig",
+    "CacheStats",
+    "Tlb",
+    "TlbConfig",
+    "StridePrefetcher",
+    "AccessResult",
+    "HierarchyConfig",
+    "MemoryHierarchy",
+]

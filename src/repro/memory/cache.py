@@ -1,0 +1,168 @@
+"""Set-associative cache with true-LRU replacement and way tracking.
+
+DLVP's way-prediction optimization (Section 3.2.2, "Power Optimization")
+needs to know *which way* a block occupies and whether that way changes
+when a block is evicted and later refilled, so :meth:`Cache.lookup` and
+:meth:`Cache.fill` report way numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level."""
+
+    name: str
+    size_bytes: int
+    associativity: int
+    block_bytes: int
+    latency: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.associativity * self.block_bytes):
+            raise ValueError(
+                f"{self.name}: size {self.size_bytes} not divisible by "
+                f"assoc*block ({self.associativity}*{self.block_bytes})"
+            )
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError(f"{self.name}: number of sets must be a power of two")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.associativity * self.block_bytes)
+
+
+@dataclass
+class CacheStats:
+    """Access counters for one cache level."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    probe_hits: int = 0
+    probe_misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """One level of set-associative cache.
+
+    Each set is an ordered list of block tags, most-recently-used first.
+    Way numbers are stable per block: a block keeps its way until
+    evicted.  This matches hardware, where LRU state is metadata and
+    blocks do not migrate between ways.
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.stats = CacheStats()
+        num_sets = config.num_sets
+        self._set_shift = config.block_bytes.bit_length() - 1
+        self._set_mask = num_sets - 1
+        # Per set: way -> block address (None = invalid), plus LRU order
+        # of occupied ways (MRU first).
+        self._ways: list[list[int | None]] = [
+            [None] * config.associativity for _ in range(num_sets)
+        ]
+        self._lru: list[list[int]] = [[] for _ in range(num_sets)]
+
+    def _set_index(self, addr: int) -> int:
+        return (addr >> self._set_shift) & self._set_mask
+
+    def _block_addr(self, addr: int) -> int:
+        return addr >> self._set_shift
+
+    def lookup(self, addr: int, update_lru: bool = True) -> tuple[bool, int | None]:
+        """Check residency without allocating.
+
+        Returns:
+            ``(hit, way)`` — ``way`` is the occupied way on a hit, else
+            ``None``.
+        """
+        set_idx = self._set_index(addr)
+        block = self._block_addr(addr)
+        ways = self._ways[set_idx]
+        for way, resident in enumerate(ways):
+            if resident == block:
+                if update_lru:
+                    lru = self._lru[set_idx]
+                    lru.remove(way)
+                    lru.insert(0, way)
+                return True, way
+        return False, None
+
+    def access(self, addr: int) -> tuple[bool, int]:
+        """Demand access: hit updates LRU; miss fills (evicting LRU).
+
+        Returns ``(hit, way)`` where ``way`` is the block's way after the
+        access completes.
+        """
+        hit, way = self.lookup(addr)
+        if hit:
+            assert way is not None
+            self.stats.hits += 1
+            return True, way
+        self.stats.misses += 1
+        return False, self.fill(addr)
+
+    def probe(self, addr: int) -> tuple[bool, int | None]:
+        """Speculative (DLVP-style) probe: never allocates or reorders LRU."""
+        hit, way = self.lookup(addr, update_lru=False)
+        if hit:
+            self.stats.probe_hits += 1
+        else:
+            self.stats.probe_misses += 1
+        return hit, way
+
+    def fill(self, addr: int) -> int:
+        """Insert the block for ``addr``; returns the way it landed in.
+
+        Filling an already-resident block just refreshes its LRU
+        position.
+        """
+        hit, way = self.lookup(addr)
+        if hit:
+            assert way is not None
+            return way
+        set_idx = self._set_index(addr)
+        block = self._block_addr(addr)
+        ways = self._ways[set_idx]
+        lru = self._lru[set_idx]
+        for candidate, resident in enumerate(ways):
+            if resident is None:
+                ways[candidate] = block
+                lru.insert(0, candidate)
+                return candidate
+        victim = lru.pop()
+        ways[victim] = block
+        lru.insert(0, victim)
+        self.stats.evictions += 1
+        return victim
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop the block for ``addr`` if resident; True if it was."""
+        set_idx = self._set_index(addr)
+        block = self._block_addr(addr)
+        ways = self._ways[set_idx]
+        for way, resident in enumerate(ways):
+            if resident == block:
+                ways[way] = None
+                self._lru[set_idx].remove(way)
+                return True
+        return False
+
+    def resident_blocks(self) -> int:
+        """Number of valid blocks (for tests and occupancy reporting)."""
+        return sum(
+            1 for ways in self._ways for resident in ways if resident is not None
+        )

@@ -1,0 +1,108 @@
+"""Three-level memory hierarchy with TLB and stride prefetching.
+
+Latency model: an access that misses at level N pays N's latency and
+continues downward; the total is the sum of latencies down to the first
+hitting level (memory on a full miss).  Fills propagate back up so the
+block is resident at every level afterwards — an inclusive hierarchy,
+the simplest arrangement consistent with the paper's configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memory.cache import Cache, CacheConfig
+from repro.memory.prefetcher import StridePrefetcher
+from repro.memory.tlb import Tlb, TlbConfig
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Table 4 memory-hierarchy parameters."""
+
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            name="l1d", size_bytes=64 * 1024, associativity=4, block_bytes=64, latency=2
+        )
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            name="l2", size_bytes=512 * 1024, associativity=8, block_bytes=128, latency=16
+        )
+    )
+    l3: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            name="l3", size_bytes=8 * 1024 * 1024, associativity=16, block_bytes=128, latency=32
+        )
+    )
+    memory_latency: int = 200
+    tlb: TlbConfig = field(default_factory=TlbConfig)
+    prefetch: bool = True
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one demand access."""
+
+    latency: int
+    l1_hit: bool
+    tlb_hit: bool
+    way: int
+
+
+class MemoryHierarchy:
+    """L1D + L2 + L3 + memory, with TLB and an L1 stride prefetcher."""
+
+    def __init__(self, config: HierarchyConfig | None = None) -> None:
+        self.config = config or HierarchyConfig()
+        self.l1d = Cache(self.config.l1d)
+        self.l2 = Cache(self.config.l2)
+        self.l3 = Cache(self.config.l3)
+        self.tlb = Tlb(self.config.tlb)
+        self.prefetcher = StridePrefetcher() if self.config.prefetch else None
+        self.demand_accesses = 0
+        self.prefetch_fills = 0
+
+    def access(self, pc: int, addr: int, is_store: bool = False) -> AccessResult:
+        """Demand load/store; returns latency and placement information."""
+        self.demand_accesses += 1
+        tlb_hit, tlb_penalty = self.tlb.access(addr)
+        latency = self.config.l1d.latency + tlb_penalty
+        l1_hit, way = self.l1d.access(addr)
+        if not l1_hit:
+            latency += self._fill_from_below(addr)
+            _, way = self.l1d.lookup(addr, update_lru=False)
+            assert way is not None
+        if self.prefetcher is not None and not is_store:
+            for target in self.prefetcher.observe(pc, addr):
+                self.prefetch_fill(target)
+        return AccessResult(latency=latency, l1_hit=l1_hit, tlb_hit=tlb_hit, way=way)
+
+    def probe_l1(self, addr: int) -> tuple[bool, int | None]:
+        """DLVP speculative probe: L1 residency check, non-allocating
+        for the cache but translated through the TLB — probing twice per
+        predicted load perturbs TLB contents, the second-order effect
+        behind the paper's Figure 9 bzip2/avmshell anomalies."""
+        self.tlb.access(addr)
+        return self.l1d.probe(addr)
+
+    def prefetch_fill(self, addr: int) -> None:
+        """Bring ``addr`` into L1 (checking L1 first, as the paper's
+        L1 prefetcher does) without counting as a demand access."""
+        hit, _ = self.l1d.probe(addr)
+        if hit:
+            return
+        self._fill_from_below(addr)
+        self.prefetch_fills += 1
+
+    def _fill_from_below(self, addr: int) -> int:
+        """Walk L2 -> L3 -> memory; fill upward.  Returns added latency."""
+        latency = self.config.l2.latency
+        l2_hit, _ = self.l2.access(addr)
+        if not l2_hit:
+            latency += self.config.l3.latency
+            l3_hit, _ = self.l3.access(addr)
+            if not l3_hit:
+                latency += self.config.memory_latency
+        self.l1d.fill(addr)
+        return latency

@@ -1,0 +1,77 @@
+"""Committed architectural memory contents.
+
+The image stores values at 4-byte-word granularity.  Reads of words that
+were never written return a deterministic pseudo-random "background"
+value derived from the word index, so that probing a *wrong* address
+yields a stable value that essentially never coincides with the correct
+one (mirroring real memory holding unrelated data).
+"""
+
+from __future__ import annotations
+
+_WORD_BYTES = 4
+_WORD_MASK = (1 << 32) - 1
+_VALUE_MASK = (1 << 64) - 1
+
+
+def _background(word_index: int) -> int:
+    """Deterministic filler contents for never-written words.
+
+    Real process images are zero-heavy (bss, calloc'd heaps, padding),
+    so a quarter of the background words read as zero; the rest get a
+    SplitMix64-style mix of their index.  The zero mass matters to the
+    Figure 2 reproduction: repeated *values* across distinct addresses
+    are what give value predictors their slight repeatability edge.
+    """
+    z = (word_index * 0x9E3779B97F4A7C15) & _VALUE_MASK
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _VALUE_MASK
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _VALUE_MASK
+    z = (z ^ (z >> 31)) & _WORD_MASK
+    if z & 0b11 == 0:
+        return 0
+    return z
+
+
+class MemoryImage:
+    """Sparse word-granular memory with deterministic background."""
+
+    def __init__(self) -> None:
+        self._words: dict[int, int] = {}
+
+    def write(self, addr: int, size: int, value: int) -> None:
+        """Store ``size`` bytes of ``value`` at ``addr``.
+
+        ``size`` must be a positive multiple of 4 and ``addr`` 4-byte
+        aligned; the workload generators only emit aligned accesses,
+        matching the paper's compiled ARM binaries.
+        """
+        if size <= 0 or size % _WORD_BYTES:
+            raise ValueError(f"size must be a positive multiple of 4, got {size}")
+        if addr % _WORD_BYTES:
+            raise ValueError(f"address must be 4-byte aligned, got {addr:#x}")
+        word = addr // _WORD_BYTES
+        for i in range(size // _WORD_BYTES):
+            self._words[word + i] = (value >> (32 * i)) & _WORD_MASK
+
+    def read(self, addr: int, size: int) -> int:
+        """Read ``size`` bytes at ``addr`` as a little-endian integer."""
+        if size <= 0 or size % _WORD_BYTES:
+            raise ValueError(f"size must be a positive multiple of 4, got {size}")
+        if addr % _WORD_BYTES:
+            raise ValueError(f"address must be 4-byte aligned, got {addr:#x}")
+        word = addr // _WORD_BYTES
+        value = 0
+        for i in range(size // _WORD_BYTES):
+            chunk = self._words.get(word + i)
+            if chunk is None:
+                chunk = _background(word + i)
+            value |= chunk << (32 * i)
+        return value
+
+    def is_written(self, addr: int, size: int) -> bool:
+        """True if every word in the range has been explicitly written."""
+        word = addr // _WORD_BYTES
+        return all(word + i in self._words for i in range(max(1, size // _WORD_BYTES)))
+
+    def __len__(self) -> int:
+        return len(self._words)

@@ -1,0 +1,52 @@
+"""Per-PC stride prefetcher (the baseline's "stride-based prefetchers")."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class _StrideEntry:
+    last_addr: int
+    stride: int = 0
+    confidence: int = 0
+
+
+class StridePrefetcher:
+    """Classic reference-prediction-table stride prefetcher.
+
+    Trains on the (PC, address) stream of demand loads; once a stride
+    repeats ``threshold`` times it emits prefetch addresses
+    ``degree`` strides ahead.
+    """
+
+    def __init__(self, entries: int = 256, threshold: int = 2, degree: int = 2) -> None:
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        self.entries = entries
+        self.threshold = threshold
+        self.degree = degree
+        self._table: dict[int, _StrideEntry] = {}
+        self.trained = 0
+        self.issued = 0
+
+    def observe(self, pc: int, addr: int) -> list[int]:
+        """Record a demand access; return prefetch addresses to issue."""
+        slot = pc % self.entries
+        entry = self._table.get(slot)
+        if entry is None:
+            self._table[slot] = _StrideEntry(last_addr=addr)
+            return []
+        stride = addr - entry.last_addr
+        if stride == entry.stride and stride != 0:
+            entry.confidence = min(entry.confidence + 1, self.threshold)
+        else:
+            entry.stride = stride
+            entry.confidence = 0
+        entry.last_addr = addr
+        if entry.confidence < self.threshold or entry.stride == 0:
+            return []
+        self.trained += 1
+        prefetches = [addr + entry.stride * (i + 1) for i in range(self.degree)]
+        self.issued += len(prefetches)
+        return prefetches

@@ -1,0 +1,333 @@
+"""The trace-driven out-of-order core model.
+
+One pass over the trace assigns each dynamic instruction a fetch,
+issue, completion and commit cycle under the baseline's resource
+constraints (Table 4).  Wrong-path work is not simulated; control and
+value mispredictions cost their redirect/refill latency, the standard
+trace-driven approximation.
+
+What the model captures (because the paper's results hinge on it):
+
+* load-use dependence chains — consumers wait on ``reg_ready`` unless a
+  value prediction made the destination available at rename;
+* flush costs — branch, memory-order and value mispredictions push the
+  fetch stream past the resolving cycle plus the front-end depth;
+* early branch resolution — a branch fed by a value-predicted load
+  issues earlier, shrinking its own misprediction penalty (the paper's
+  perlbmk effect);
+* in-flight-store visibility — stores update the committed memory image
+  only at commit, so DLVP probes can return stale values for racing
+  loads (the LSCD's reason to exist);
+* lane/width/window contention — 2 LS + 6 generic lanes, 4-wide fetch,
+  8-wide commit, ROB/LDQ/STQ occupancy.
+"""
+
+from __future__ import annotations
+
+from repro.branch import BranchUnit
+from repro.isa import (
+    EXECUTION_LATENCY,
+    Instruction,
+    OpClass,
+    fetch_group_address,
+    is_branch_op,
+)
+from repro.mdp import StoreSetsPredictor
+from repro.memory import HierarchyConfig, MemoryHierarchy, MemoryImage
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.recovery import RecoveryMode
+from repro.pipeline.schemes import Scheme
+from repro.pipeline.stats import EnergyEvents, FlushStats, SimResult
+from repro.trace import Trace
+
+_WORD_BYTES = 4
+_LS_OPS = frozenset({OpClass.LOAD, OpClass.STORE, OpClass.ATOMIC})
+
+
+def _touched_words(addr: int, nbytes: int) -> range:
+    first = addr // _WORD_BYTES
+    last = (addr + max(1, nbytes) - 1) // _WORD_BYTES
+    return range(first, last + 1)
+
+
+class _IssuePorts:
+    """Out-of-order issue bandwidth for one lane group.
+
+    Tracks how many operations issued in each cycle; an operation ready
+    at cycle ``r`` issues in the earliest cycle >= r with a free slot.
+    Unlike a per-lane "next free" reservation, this lets ready younger
+    ops backfill around older stalled ones — i.e., actual out-of-order
+    scheduling under a lane-count constraint.
+    """
+
+    __slots__ = ("width", "_busy")
+
+    def __init__(self, width: int) -> None:
+        self.width = width
+        self._busy: dict[int, int] = {}
+
+    def issue_at(self, ready: int) -> int:
+        busy = self._busy
+        cycle = ready
+        while busy.get(cycle, 0) >= self.width:
+            cycle += 1
+        busy[cycle] = busy.get(cycle, 0) + 1
+        return cycle
+
+
+def simulate(
+    trace: Trace,
+    scheme: Scheme | None = None,
+    core_config: CoreConfig | None = None,
+    hierarchy_config: HierarchyConfig | None = None,
+    recovery: RecoveryMode = RecoveryMode.FLUSH,
+) -> SimResult:
+    """Run one trace through the core model.
+
+    Args:
+        trace: The workload trace.
+        scheme: Value-prediction scheme, or None for the baseline.
+        core_config: Core parameters (Table 4 defaults).
+        hierarchy_config: Memory-hierarchy parameters.
+        recovery: Value-misprediction recovery model (Figure 10).
+
+    Returns:
+        A :class:`SimResult`; compare runs of the same trace with
+        :meth:`SimResult.speedup_over`.
+    """
+    cfg = core_config or CoreConfig()
+    hierarchy = MemoryHierarchy(hierarchy_config)
+    image = MemoryImage()
+    branch_unit = BranchUnit()
+    mdp = StoreSetsPredictor()
+    if scheme is not None:
+        scheme.bind(hierarchy, image, branch_unit)
+
+    n = len(trace)
+    commit_cycles = [0] * n
+    reg_ready: dict[int, int] = {}
+    ls_ports = _IssuePorts(cfg.ls_lanes)
+    gen_ports = _IssuePorts(cfg.generic_lanes)
+    # word -> (store seq, store done cycle, store pc): newest store per word.
+    word_store: dict[int, tuple[int, int, int]] = {}
+    store_done: dict[int, int] = {}
+
+    fetch_cycle = 0
+    pending_redirect = 0
+    force_new_group = True
+    slots_used = 0
+    current_group = -1
+    prev_pc: int | None = None
+    loads_in_group = 0
+
+    commit_ptr = 0
+    last_commit_cycle = 0
+    commits_in_cycle = 0
+    load_commits: list[int] = []
+    store_commits: list[int] = []
+
+    flushes = FlushStats()
+    loads = 0
+
+    instructions = trace.instructions
+    for i in range(n):
+        inst = instructions[i]
+
+        # ---- fetch grouping --------------------------------------------
+        new_group = (
+            force_new_group
+            or slots_used >= cfg.fetch_width
+            or prev_pc is None
+            or inst.pc != prev_pc + 4
+            or fetch_group_address(inst.pc) != current_group
+        )
+        if new_group:
+            fetch_cycle = max(fetch_cycle + 1, pending_redirect)
+            slots_used = 0
+            loads_in_group = 0
+            current_group = fetch_group_address(inst.pc)
+            force_new_group = False
+        slots_used += 1
+        prev_pc = inst.pc
+
+        # ---- structural stalls (ROB / LDQ / STQ) ------------------------
+        if i >= cfg.rob_entries:
+            fetch_cycle = max(fetch_cycle, commit_cycles[i - cfg.rob_entries])
+        if inst.op == OpClass.LOAD and len(load_commits) >= cfg.ldq_entries:
+            fetch_cycle = max(fetch_cycle, load_commits[-cfg.ldq_entries])
+        if inst.op == OpClass.STORE and len(store_commits) >= cfg.stq_entries:
+            fetch_cycle = max(fetch_cycle, store_commits[-cfg.stq_entries])
+
+        # ---- retire committed stores into the memory image --------------
+        while commit_ptr < i and commit_cycles[commit_ptr] <= fetch_cycle:
+            cinst = instructions[commit_ptr]
+            if cinst.op == OpClass.STORE:
+                assert cinst.mem_addr is not None
+                image.write(cinst.mem_addr, cinst.mem_size, cinst.values[0])
+            commit_ptr += 1
+
+        # ---- scheme fetch side ------------------------------------------
+        load_slot: int | None = None
+        if inst.op == OpClass.LOAD:
+            loads += 1
+            if loads_in_group < 2:
+                load_slot = loads_in_group
+            loads_in_group += 1
+        sp = None
+        if scheme is not None:
+            # Probe on the first load-store bubble after the predicted
+            # address reaches the back-end (1 cycle predict + 1 cycle
+            # transport).  Lane *reservations* are for future issue
+            # cycles, so a bubble is essentially always available now;
+            # the paper measures <0.1% of PAQ entries aging out.
+            probe_cycle = fetch_cycle + 2
+            sp = scheme.fetch_side(inst, fetch_cycle, load_slot, probe_cycle)
+
+        # ---- issue timing -----------------------------------------------
+        src_ready = 0
+        for reg in inst.srcs:
+            ready = reg_ready.get(reg, 0)
+            if ready > src_ready:
+                src_ready = ready
+        earliest_exec = fetch_cycle + cfg.fetch_to_execute
+        ports = ls_ports if inst.op in _LS_OPS else gen_ports
+        ready = max(earliest_exec, src_ready)
+
+        access = None
+        if inst.op == OpClass.LOAD:
+            assert inst.mem_addr is not None
+            # MDP-predicted dependence: wait for the predicted store.
+            dep_seq = mdp.load_dependence(inst.pc)
+            if dep_seq is not None and dep_seq in store_done:
+                if commit_cycles[dep_seq] > ready:
+                    ready = max(ready, store_done[dep_seq])
+            issue = ports.issue_at(ready)
+            access = hierarchy.access(inst.pc, inst.mem_addr)
+            newest = None
+            for word in _touched_words(inst.mem_addr, inst.footprint_bytes):
+                entry = word_store.get(word)
+                if entry is not None and (newest is None or entry[0] > newest[0]):
+                    newest = entry
+            if newest is not None and commit_cycles[newest[0]] > issue:
+                # In-flight producing store: forward from the STQ.
+                if newest[1] > issue and (dep_seq is None or dep_seq < newest[0]):
+                    mdp.report_violation(inst.pc, newest[2])
+                done = max(issue, newest[1]) + cfg.store_forward_latency
+            else:
+                # Address generation (1 cycle) then the cache access.
+                done = issue + 1 + access.latency
+        elif inst.op == OpClass.STORE:
+            assert inst.mem_addr is not None
+            mdp.store_fetched(inst.pc, i)
+            access = hierarchy.access(inst.pc, inst.mem_addr, is_store=True)
+            issue = ports.issue_at(ready)
+            done = issue + 1
+            for word in _touched_words(inst.mem_addr, inst.mem_size):
+                word_store[word] = (i, done, inst.pc)
+            store_done[i] = done
+            mdp.store_executed(inst.pc)
+        else:
+            issue = ports.issue_at(ready)
+            done = issue + EXECUTION_LATENCY[inst.op]
+
+        # ---- branches ----------------------------------------------------
+        if is_branch_op(inst.op):
+            done = issue + cfg.branch_resolution_latency
+            mispredicted = branch_unit.resolve(inst)
+            if mispredicted:
+                flushes.branch += 1
+                pending_redirect = done + 1
+                force_new_group = True
+                if scheme is not None:
+                    scheme.on_branch_flush()
+
+        # ---- value prediction resolution -----------------------------------
+        value_predicted = False
+        if sp is not None and scheme is not None:
+            if sp.values is not None:
+                if recovery == RecoveryMode.ORACLE_REPLAY and not sp.correct:
+                    pass        # oracle replay: treat as never predicted
+                elif scheme.vpe.admit(sp.registers, fetch_cycle, done):
+                    value_predicted = True
+            outcome = scheme.execute_side(inst, sp, access, value_predicted)
+            if value_predicted:
+                scheme.vpe.record_validation(outcome.value_correct)
+                scheme.vpe.pvt.note_consumer_read(sp.registers)
+                if outcome.value_correct:
+                    ready_time = fetch_cycle + cfg.rename_depth
+                    for reg in inst.dests:
+                        reg_ready[reg] = ready_time
+                else:
+                    flushes.value += 1
+                    pending_redirect = done + 1 + cfg.value_validation_penalty
+                    force_new_group = True
+                    scheme.on_value_flush()
+                    for reg in inst.dests:
+                        reg_ready[reg] = done
+        if not value_predicted:
+            for reg in inst.dests:
+                reg_ready[reg] = done
+
+        # ---- in-order commit ------------------------------------------------
+        cc = max(done + 1, last_commit_cycle)
+        if cc == last_commit_cycle:
+            if commits_in_cycle >= cfg.commit_width:
+                cc += 1
+                commits_in_cycle = 1
+            else:
+                commits_in_cycle += 1
+        else:
+            commits_in_cycle = 1
+        last_commit_cycle = cc
+        commit_cycles[i] = cc
+        if inst.op == OpClass.LOAD:
+            load_commits.append(cc)
+        elif inst.op == OpClass.STORE:
+            store_commits.append(cc)
+
+    cycles = last_commit_cycle
+
+    # ---- assemble the result -------------------------------------------
+    energy = EnergyEvents(
+        cycles=cycles,
+        instructions=n,
+        l1d_accesses=hierarchy.l1d.stats.accesses,
+        l1d_probes=hierarchy.l1d.stats.probe_hits + hierarchy.l1d.stats.probe_misses,
+        l2_accesses=hierarchy.l2.stats.accesses,
+        l3_accesses=hierarchy.l3.stats.accesses,
+    )
+    value_predictions = 0
+    value_mispredictions = 0
+    scheme_name = "baseline"
+    scheme_stats = None
+    if scheme is not None:
+        scheme_name = scheme.name
+        scheme_stats = scheme.result_stats()
+        value_predictions = scheme.vpe.stats.value_predictions
+        value_mispredictions = scheme.vpe.stats.value_mispredictions
+        reads, writes = scheme.access_counts()
+        energy.predictor_reads = reads
+        energy.predictor_writes = writes
+        energy.predictor_bits = scheme.predictor_storage_bits()
+        energy.pvt_reads = scheme.vpe.pvt.reads
+        energy.pvt_writes = scheme.vpe.pvt.writes
+
+    tlb_stats = hierarchy.tlb.stats
+    tlb_miss_rate = (
+        tlb_stats.misses / tlb_stats.accesses if tlb_stats.accesses else 0.0
+    )
+    return SimResult(
+        trace_name=trace.name,
+        scheme_name=scheme_name,
+        instructions=n,
+        cycles=cycles,
+        flushes=flushes,
+        branch_mispredictions=branch_unit.stats.mispredictions,
+        value_predictions=value_predictions,
+        value_mispredictions=value_mispredictions,
+        loads=loads,
+        l1d_hit_rate=hierarchy.l1d.stats.hit_rate,
+        tlb_miss_rate=tlb_miss_rate,
+        energy=energy,
+        scheme_stats=scheme_stats,
+    )

@@ -1,0 +1,21 @@
+"""Value-misprediction recovery models (Section 5.2.4).
+
+* ``FLUSH`` — the paper's default: a value misprediction squashes
+  everything younger than the load and refetches, after a 1-cycle
+  validation penalty.
+* ``ORACLE_REPLAY`` — the paper's idealised replay approximation: a
+  value misprediction is accounted as if the load had never been
+  predicted at all (consumers simply wait for the real value; no flush,
+  no penalty).  Real replay hardware would fall between the two.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class RecoveryMode(enum.Enum):
+    """Value-misprediction recovery model (see module docstring)."""
+
+    FLUSH = "flush"
+    ORACLE_REPLAY = "oracle_replay"

@@ -1,0 +1,443 @@
+"""Value-prediction schemes as the pipeline sees them.
+
+A scheme is the glue between the timing model and the predictors: the
+pipeline asks the scheme for a prediction at fetch (``fetch_side``),
+decides admission (PVT capacity, recovery mode), and reports back at
+execute (``execute_side``) so the scheme can train.  Three schemes
+reproduce the paper's three value predictors — DLVP (PAP-based), the
+CAP variant of DLVP, and VTAGE — plus the DLVP+VTAGE tournament of
+Figure 8.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.branch import BranchUnit
+from repro.core import DlvpConfig, DlvpEngine, ValuePredictionEngine
+from repro.core.dlvp import DlvpFetchHandle
+from repro.isa import Instruction, OpClass
+from repro.memory import AccessResult, MemoryHierarchy, MemoryImage
+from repro.predictors.cap import CapConfig, CapPredictor
+from repro.predictors.tournament import TournamentChooser
+from repro.predictors.vtage import VtageConfig, VtageHandle, VtagePredictor
+
+_MASK64 = (1 << 64) - 1
+
+
+@dataclass
+class SchemePrediction:
+    """Fetch-side result for one instruction."""
+
+    values: tuple[int, ...] | None     # None: no value prediction available
+    correct: bool                      # trace-known correctness of ``values``
+    handle: object                     # scheme-private state for execute_side
+    registers: int                     # PVT entries the prediction would need
+
+
+@dataclass
+class SchemeOutcome:
+    value_predicted: bool
+    value_correct: bool
+
+
+class Scheme(abc.ABC):
+    """Base class for value-prediction schemes driven by the pipeline."""
+
+    name: str = "scheme"
+
+    def __init__(self, pvt_entries: int = 32) -> None:
+        self.vpe = ValuePredictionEngine(pvt_entries=pvt_entries)
+
+    def bind(
+        self,
+        hierarchy: MemoryHierarchy,
+        image: MemoryImage,
+        branch_unit: BranchUnit,
+    ) -> None:
+        """Attach per-run substrate objects before simulation starts."""
+        self.hierarchy = hierarchy
+        self.image = image
+        self.branch_unit = branch_unit
+
+    @abc.abstractmethod
+    def fetch_side(
+        self,
+        inst: Instruction,
+        fetch_cycle: int,
+        load_slot: int | None,
+        probe_cycle: int,
+    ) -> SchemePrediction | None:
+        """Attempt a prediction as the instruction is fetched.
+
+        ``load_slot`` is 0/1 for the first two loads of a fetch group
+        and None beyond that (the per-cycle prediction limit).
+        Returns None when this scheme has nothing to do for ``inst``.
+        """
+
+    @abc.abstractmethod
+    def execute_side(
+        self,
+        inst: Instruction,
+        sp: SchemePrediction,
+        access: AccessResult | None,
+        value_predicted: bool,
+    ) -> SchemeOutcome:
+        """Validate and train once the instruction executes."""
+
+    def on_value_flush(self) -> None:
+        """A value misprediction flushed the pipeline."""
+        self.vpe.flush()
+
+    def on_branch_flush(self) -> None:
+        """A branch misprediction flushed the pipeline front-end."""
+
+    @abc.abstractmethod
+    def result_stats(self) -> object:
+        """Scheme-shaped statistics for :class:`SimResult`."""
+
+    @abc.abstractmethod
+    def predictor_storage_bits(self) -> int:
+        """Prediction-table budget (energy model input)."""
+
+    @abc.abstractmethod
+    def access_counts(self) -> tuple[int, int]:
+        """Approximate (reads, writes) of the prediction tables."""
+
+
+def _masked_values(inst: Instruction, size: int | None = None) -> tuple[int, ...]:
+    """The architecturally loaded values masked to the access width."""
+    nbytes = size if size is not None else inst.mem_size
+    mask = (1 << (8 * nbytes)) - 1
+    return tuple(v & mask for v in inst.values)
+
+
+class DlvpScheme(Scheme):
+    """DLVP proper (PAP), or the paper's "CAP" comparison point when
+    constructed with ``use_cap=True``."""
+
+    def __init__(
+        self,
+        config: DlvpConfig | None = None,
+        use_cap: bool = False,
+        cap_config: CapConfig | None = None,
+    ) -> None:
+        super().__init__(pvt_entries=(config or DlvpConfig()).pvt_entries)
+        self.config = config or DlvpConfig()
+        self.use_cap = use_cap
+        self.cap_config = cap_config
+        self.name = "cap" if use_cap else "dlvp"
+        self.engine: DlvpEngine | None = None
+
+    def bind(self, hierarchy, image, branch_unit) -> None:
+        super().bind(hierarchy, image, branch_unit)
+        address_predictor = (
+            CapPredictor(self.cap_config or CapConfig(confidence_threshold=24))
+            if self.use_cap
+            else None
+        )
+        self.engine = DlvpEngine(
+            config=self.config,
+            hierarchy=hierarchy,
+            image=image,
+            address_predictor=address_predictor,
+        )
+
+    def fetch_side(self, inst, fetch_cycle, load_slot, probe_cycle):
+        if inst.op != OpClass.LOAD:
+            return None
+        assert self.engine is not None
+        if load_slot is None:
+            self.engine.on_load_fetch_unpredicted(inst)
+            return None
+        handle = self.engine.on_load_fetch(inst, fetch_cycle, load_slot)
+        self.engine.probe(handle, probe_cycle)
+        values = self.engine.predicted_values(handle, inst)
+        correct = values is not None and values == _masked_values(inst)
+        return SchemePrediction(
+            values=values, correct=correct, handle=handle, registers=len(inst.dests)
+        )
+
+    def execute_side(self, inst, sp, access, value_predicted):
+        assert self.engine is not None
+        assert isinstance(sp.handle, DlvpFetchHandle)
+        way = access.way if access is not None else None
+        outcome = self.engine.on_load_execute(
+            sp.handle,
+            inst,
+            way,
+            value_predicted,
+            sp.values if value_predicted else None,
+        )
+        return SchemeOutcome(
+            value_predicted=outcome.value_predicted,
+            value_correct=outcome.value_correct,
+        )
+
+    def on_value_flush(self) -> None:
+        super().on_value_flush()
+        assert self.engine is not None
+        self.engine.paq.flush()
+
+    def on_branch_flush(self) -> None:
+        assert self.engine is not None
+        self.engine.paq.flush()
+
+    def result_stats(self):
+        assert self.engine is not None
+        return self.engine.stats
+
+    def predictor_storage_bits(self) -> int:
+        assert self.engine is not None
+        predictor = self.engine.predictor
+        if isinstance(predictor, CapPredictor):
+            return predictor.storage_bits()
+        return predictor.storage_bits(include_way=self.config.way_prediction)
+
+    def access_counts(self) -> tuple[int, int]:
+        assert self.engine is not None
+        loads = self.engine.stats.loads_seen
+        return loads, loads
+
+
+class VtageScheme(Scheme):
+    """VTAGE driven by the core's global branch history."""
+
+    def __init__(self, config: VtageConfig | None = None) -> None:
+        super().__init__()
+        self.config = config or VtageConfig()
+        self.name = "vtage"
+        self.predictor = VtagePredictor(self.config)
+
+    def fetch_side(self, inst, fetch_cycle, load_slot, probe_cycle):
+        if not inst.dests or not inst.values:
+            return None
+        if self.config.loads_only and inst.op != OpClass.LOAD:
+            return None
+        handle = self.predictor.begin(inst, self.branch_unit.global_history.value)
+        if handle is None:
+            return None
+        values = handle.prediction
+        if inst.op == OpClass.LOAD and load_slot is None:
+            values = None              # per-cycle prediction-port limit
+        correct = values is not None and values == tuple(
+            v & _MASK64 if not inst.is_vector else v for v in inst.values
+        )
+        return SchemePrediction(
+            values=values,
+            correct=correct,
+            handle=handle,
+            registers=inst.value_prediction_slots(),
+        )
+
+    def execute_side(self, inst, sp, access, value_predicted):
+        assert isinstance(sp.handle, VtageHandle)
+        correct = self.predictor.finish(sp.handle, inst)
+        return SchemeOutcome(value_predicted=value_predicted, value_correct=correct)
+
+    def result_stats(self):
+        return self.predictor.stats
+
+    def predictor_storage_bits(self) -> int:
+        return self.predictor.storage_bits()
+
+    def access_counts(self) -> tuple[int, int]:
+        loads = self.predictor.stats.loads_seen
+        tables = len(self.config.history_lengths)
+        return tables * loads, loads
+
+
+class DvtageScheme(Scheme):
+    """D-VTAGE (differential VTAGE) driven by the global branch history.
+
+    An extension beyond the paper's evaluated set: Section 2.1 discusses
+    D-VTAGE's trade-offs (adder on the critical path, speculative
+    last-value window) without evaluating it; this scheme lets the
+    benchmarks quantify them on the same workloads.
+    """
+
+    def __init__(self, config: "DvtageConfig | None" = None) -> None:
+        super().__init__()
+        from repro.predictors.dvtage import DvtageConfig
+        self.config = config or DvtageConfig()
+        self.name = "dvtage"
+        from repro.predictors.dvtage import DvtagePredictor
+        self.predictor = DvtagePredictor(self.config)
+
+    def fetch_side(self, inst, fetch_cycle, load_slot, probe_cycle):
+        if inst.op != OpClass.LOAD:
+            return None
+        history = self.branch_unit.global_history.value
+        prediction = self.predictor.predict(inst, history)
+        if load_slot is None:
+            prediction = None
+        correct = (
+            prediction is not None
+            and (prediction,) == tuple(v & _MASK64 for v in inst.values)
+        )
+        return SchemePrediction(
+            values=(prediction,) if prediction is not None else None,
+            correct=correct,
+            handle=history,
+            registers=len(inst.dests),
+        )
+
+    def execute_side(self, inst, sp, access, value_predicted):
+        history = sp.handle
+        prediction = self.predictor.train(inst, history)
+        correct = prediction is not None and (prediction,) == tuple(
+            v & _MASK64 for v in inst.values
+        )
+        return SchemeOutcome(value_predicted=value_predicted, value_correct=correct)
+
+    def result_stats(self):
+        return self.predictor.stats
+
+    def predictor_storage_bits(self) -> int:
+        return self.predictor.storage_bits()
+
+    def access_counts(self) -> tuple[int, int]:
+        loads = self.predictor.stats.loads_seen
+        tables = 1 + len(self.config.history_lengths)
+        return tables * loads, loads
+
+
+@dataclass
+class TournamentStats:
+    """Figure 8 material."""
+
+    loads: int = 0
+    final_predictions: int = 0
+    final_by_dlvp: int = 0
+    final_by_vtage: int = 0
+
+    @property
+    def coverage(self) -> float:
+        return self.final_predictions / self.loads if self.loads else 0.0
+
+    @property
+    def dlvp_share(self) -> float:
+        """Fraction of loads whose final prediction came from DLVP."""
+        return self.final_by_dlvp / self.loads if self.loads else 0.0
+
+    @property
+    def vtage_share(self) -> float:
+        return self.final_by_vtage / self.loads if self.loads else 0.0
+
+
+@dataclass
+class _TournamentHandle:
+    sp_dlvp: SchemePrediction | None
+    sp_vtage: SchemePrediction | None
+    final_is_dlvp: bool
+
+
+class TournamentScheme(Scheme):
+    """DLVP and VTAGE running concurrently with a 2-bit chooser."""
+
+    def __init__(
+        self,
+        dlvp_config: DlvpConfig | None = None,
+        vtage_config: VtageConfig | None = None,
+        chooser_entries: int = 1024,
+    ) -> None:
+        super().__init__()
+        self.name = "tournament"
+        self.dlvp = DlvpScheme(dlvp_config)
+        self.vtage = VtageScheme(vtage_config)
+        self.chooser = TournamentChooser(entries=chooser_entries)
+        self.stats = TournamentStats()
+
+    def bind(self, hierarchy, image, branch_unit) -> None:
+        super().bind(hierarchy, image, branch_unit)
+        self.dlvp.bind(hierarchy, image, branch_unit)
+        self.vtage.bind(hierarchy, image, branch_unit)
+
+    def fetch_side(self, inst, fetch_cycle, load_slot, probe_cycle):
+        if inst.op != OpClass.LOAD:
+            return None
+        sp_d = self.dlvp.fetch_side(inst, fetch_cycle, load_slot, probe_cycle)
+        sp_v = self.vtage.fetch_side(inst, fetch_cycle, load_slot, probe_cycle)
+        self.stats.loads += 1
+
+        prefer_dlvp = self.chooser.choose_a(inst.pc)
+        candidates: list[tuple[bool, SchemePrediction]] = []
+        if sp_d is not None and sp_d.values is not None:
+            candidates.append((True, sp_d))
+        if sp_v is not None and sp_v.values is not None:
+            candidates.append((False, sp_v))
+        if not candidates:
+            return SchemePrediction(
+                values=None,
+                correct=False,
+                handle=_TournamentHandle(sp_d, sp_v, prefer_dlvp),
+                registers=len(inst.dests),
+            )
+        final_is_dlvp, chosen = candidates[0]
+        for is_dlvp, sp in candidates:
+            if is_dlvp == prefer_dlvp:
+                final_is_dlvp, chosen = is_dlvp, sp
+                break
+        self.chooser.record_choice(final_is_dlvp)
+        self.stats.final_predictions += 1
+        if final_is_dlvp:
+            self.stats.final_by_dlvp += 1
+        else:
+            self.stats.final_by_vtage += 1
+        return SchemePrediction(
+            values=chosen.values,
+            correct=chosen.correct,
+            handle=_TournamentHandle(sp_d, sp_v, final_is_dlvp),
+            registers=chosen.registers,
+        )
+
+    def execute_side(self, inst, sp, access, value_predicted):
+        handle = sp.handle
+        assert isinstance(handle, _TournamentHandle)
+        a_correct: bool | None = None
+        b_correct: bool | None = None
+        outcome = SchemeOutcome(value_predicted=value_predicted, value_correct=False)
+        if handle.sp_dlvp is not None:
+            dlvp_used = value_predicted and handle.final_is_dlvp
+            d_out = self.dlvp.execute_side(inst, handle.sp_dlvp, access, dlvp_used)
+            if handle.sp_dlvp.values is not None:
+                a_correct = handle.sp_dlvp.correct
+            if dlvp_used:
+                outcome.value_correct = d_out.value_correct
+        if handle.sp_vtage is not None:
+            v_out = self.vtage.execute_side(inst, handle.sp_vtage, access, False)
+            if handle.sp_vtage.values is not None:
+                b_correct = handle.sp_vtage.correct
+            if value_predicted and not handle.final_is_dlvp:
+                outcome.value_correct = v_out.value_correct
+        self.chooser.update(inst.pc, a_correct, b_correct)
+        return outcome
+
+    def on_value_flush(self) -> None:
+        super().on_value_flush()
+        self.dlvp.on_value_flush()
+        self.vtage.on_value_flush()
+
+    def on_branch_flush(self) -> None:
+        self.dlvp.on_branch_flush()
+
+    def result_stats(self):
+        return {
+            "tournament": self.stats,
+            "dlvp": self.dlvp.result_stats(),
+            "vtage": self.vtage.result_stats(),
+            "chooser": self.chooser.stats,
+        }
+
+    def predictor_storage_bits(self) -> int:
+        return (
+            self.dlvp.predictor_storage_bits()
+            + self.vtage.predictor_storage_bits()
+            + self.chooser.storage_bits()
+        )
+
+    def access_counts(self) -> tuple[int, int]:
+        dr, dw = self.dlvp.access_counts()
+        vr, vw = self.vtage.access_counts()
+        return dr + vr, dw + vw

@@ -1,0 +1,85 @@
+"""Per-run results of the timing model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.dlvp import DlvpStats
+from repro.predictors.base import PredictorStats
+
+
+@dataclass
+class FlushStats:
+    branch: int = 0
+    value: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.branch + self.value
+
+
+@dataclass
+class EnergyEvents:
+    """Raw event counts the energy model converts to joules-equivalents."""
+
+    cycles: int = 0
+    instructions: int = 0
+    l1d_accesses: int = 0
+    l1d_probes: int = 0
+    l1d_probes_way_predicted: int = 0
+    l2_accesses: int = 0
+    l3_accesses: int = 0
+    predictor_reads: int = 0
+    predictor_writes: int = 0
+    predictor_bits: int = 0
+    pvt_reads: int = 0
+    pvt_writes: int = 0
+
+
+@dataclass
+class SimResult:
+    """Everything a simulation run reports.
+
+    ``scheme_stats`` is scheme-shaped: a :class:`DlvpStats` for DLVP
+    runs, a :class:`PredictorStats` for VTAGE runs, a dict for
+    tournaments, ``None`` for the baseline.
+    """
+
+    trace_name: str
+    scheme_name: str
+    instructions: int
+    cycles: int
+    flushes: FlushStats = field(default_factory=FlushStats)
+    branch_mispredictions: int = 0
+    value_predictions: int = 0
+    value_mispredictions: int = 0
+    loads: int = 0
+    l1d_hit_rate: float = 0.0
+    tlb_miss_rate: float = 0.0
+    energy: EnergyEvents = field(default_factory=EnergyEvents)
+    scheme_stats: object | None = None
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def speedup_over(self, baseline: "SimResult") -> float:
+        """Relative speedup vs a baseline run of the same trace."""
+        if baseline.trace_name != self.trace_name:
+            raise ValueError(
+                f"speedup across different traces: {baseline.trace_name} vs {self.trace_name}"
+            )
+        if not self.cycles:
+            return 0.0
+        return baseline.cycles / self.cycles - 1.0
+
+    @property
+    def value_coverage(self) -> float:
+        """Fraction of dynamic loads that were value predicted."""
+        return self.value_predictions / self.loads if self.loads else 0.0
+
+    @property
+    def value_accuracy(self) -> float:
+        if not self.value_predictions:
+            return 1.0
+        return 1.0 - self.value_mispredictions / self.value_predictions

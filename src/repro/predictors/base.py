@@ -1,0 +1,62 @@
+"""Shared prediction types and coverage/accuracy accounting.
+
+The paper's definitions (Section 5.1, footnote 1):
+
+* *coverage* — predicted dynamic loads / all dynamic loads
+* *accuracy* — correctly predicted dynamic loads / predicted dynamic loads
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AddressPrediction:
+    """One address prediction made at fetch.
+
+    Attributes:
+        addr: Predicted effective (base) memory address.
+        size: Predicted per-destination access size in bytes.
+        way: Predicted L1D way, or ``None`` when way prediction is off
+            or the training fill has not recorded one yet.
+        index: APT/link-table slot the prediction came from — carried
+            along so training updates the same entry the prediction
+            used, even if global history has moved on since fetch.
+        tag: The tag computed at prediction time (same purpose).
+    """
+
+    addr: int
+    size: int
+    way: int | None
+    index: int
+    tag: int
+
+
+@dataclass
+class PredictorStats:
+    """Coverage/accuracy accounting in the paper's terms."""
+
+    loads_seen: int = 0
+    predictions: int = 0
+    correct: int = 0
+
+    @property
+    def coverage(self) -> float:
+        return self.predictions / self.loads_seen if self.loads_seen else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.predictions if self.predictions else 1.0
+
+    @property
+    def mispredictions(self) -> int:
+        return self.predictions - self.correct
+
+    def merge(self, other: "PredictorStats") -> "PredictorStats":
+        """Combine accounting from two runs (suite-level aggregation)."""
+        return PredictorStats(
+            loads_seen=self.loads_seen + other.loads_seen,
+            predictions=self.predictions + other.predictions,
+            correct=self.correct + other.correct,
+        )

@@ -1,0 +1,229 @@
+"""CAP: Correlated Address Predictor (Bekerman et al., ISCA 1999).
+
+The paper's address-prediction baseline.  Two direct-mapped tables
+(Table 4: 1k entries each):
+
+* *Load buffer* — indexed by load PC; holds a tag, a per-static-load
+  history register (hash of the load's recent addresses), a saturating
+  confidence counter and the last observed address.
+* *Link table* — indexed by the load-buffer history; holds a tag and
+  the address that followed that history last time ("link").
+
+Because the context is *per static load*, managing speculative state is
+awkward in hardware (Section 2.2); in this functional model we simply
+train at execute in program order, which is the idealised behaviour.
+
+The confidence threshold is a parameter: the original paper used 3; the
+DLVP paper sweeps 3..64 (Figure 4) and uses 24 inside DLVP-with-CAP
+(Section 5.2.3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.predictors.base import AddressPrediction, PredictorStats
+from repro.branch.history import fold_history
+
+
+@dataclass(frozen=True)
+class CapConfig:
+    """CAP parameters (Table 4 defaults).
+
+    ``update_delay`` models the structural lag of CAP's per-static-load
+    history: the history is built from load *addresses*, which are not
+    known at fetch, so with many instances of a tight loop in flight
+    the history (and the link/confidence state) used by a lookup trails
+    the youngest executed instance by roughly the in-flight load count.
+    PAP does not share this problem — its context is load *PCs*, which
+    the front-end has at fetch and can update speculatively (the
+    Section 2.2 comparison).  The delay is expressed in dynamic loads;
+    224 ROB entries at a ~1/3 load mix give ~48-75 in-flight loads.
+    """
+
+    load_buffer_entries: int = 1024
+    link_entries: int = 1024
+    tag_bits: int = 14
+    history_bits: int = 16
+    confidence_threshold: int = 3
+    address_bits: int = 49
+    update_delay: int = 48
+
+    def __post_init__(self) -> None:
+        if self.load_buffer_entries & (self.load_buffer_entries - 1):
+            raise ValueError("load buffer entries must be a power of two")
+        if self.link_entries & (self.link_entries - 1):
+            raise ValueError("link entries must be a power of two")
+        if self.confidence_threshold <= 0:
+            raise ValueError("confidence threshold must be positive")
+
+
+@dataclass
+class _LoadBufferEntry:
+    tag: int
+    history: int = 0
+    confidence: int = 0
+    last_addr: int = 0
+
+
+@dataclass
+class _LinkEntry:
+    tag: int
+    addr: int
+
+
+class CapPredictor:
+    """Two-table correlated address predictor."""
+
+    def __init__(self, config: CapConfig | None = None) -> None:
+        self.config = config or CapConfig()
+        self._load_buffer: list[_LoadBufferEntry | None] = [None] * self.config.load_buffer_entries
+        self._links: list[_LinkEntry | None] = [None] * self.config.link_entries
+        self._pending: deque[tuple[int, int]] = deque()
+        # Last link-table candidate computed at lookup time per static
+        # load: confidence is trained against *these* (what a real CAP
+        # would actually have predicted at fetch), not against the
+        # delayed training stream's self-consistent view.
+        self._shadow: dict[int, int | None] = {}
+        self.stats = PredictorStats()
+
+    # -- indexing -----------------------------------------------------
+
+    def _lb_index(self, pc: int) -> int:
+        word = pc >> 2
+        bits = self.config.load_buffer_entries.bit_length() - 1
+        return (word ^ (word >> bits) ^ (word >> (2 * bits))) & (
+            self.config.load_buffer_entries - 1
+        )
+
+    def _lb_tag(self, pc: int) -> int:
+        return ((pc >> 2) ^ (pc >> (2 + self.config.tag_bits))) & (
+            (1 << self.config.tag_bits) - 1
+        )
+
+    def _link_index(self, pc: int, history: int) -> int:
+        bits = self.config.link_entries.bit_length() - 1
+        folded = fold_history(history, self.config.history_bits, bits)
+        word = pc >> 2
+        return (word ^ (word >> bits) ^ folded) & (self.config.link_entries - 1)
+
+    def _link_tag(self, pc: int, history: int) -> int:
+        folded = fold_history(history, self.config.history_bits, self.config.tag_bits)
+        return ((pc >> 2) ^ (folded << 1)) & ((1 << self.config.tag_bits) - 1)
+
+    def _hash_history(self, history: int, addr: int) -> int:
+        """Shift 4 low address bits into the 16-bit per-load history.
+
+        CAP keeps a *compressed* address history — a few low-order bits
+        per address, four addresses deep here.  The compression is what
+        limits it: streams alias every 16 elements and data-dependent
+        address sequences fold onto each other, so confidence never
+        builds there, while constant-address and short-period loads
+        survive.  (Keeping full addresses would need hundreds of bits
+        per load-buffer entry.)
+        """
+        mask = (1 << self.config.history_bits) - 1
+        return ((history << 4) | ((addr >> 3) & 0xF)) & mask
+
+    # -- prediction ---------------------------------------------------
+
+    def predict_pc(self, pc: int) -> AddressPrediction | None:
+        """Predict the next address for the static load at ``pc``.
+
+        The link candidate is computed (and remembered for confidence
+        training) even while the predictor is below threshold — a real
+        CAP reads both tables every lookup and uses the outcome to move
+        the confidence counter.
+        """
+        lb = self._load_buffer[self._lb_index(pc)]
+        if lb is None or lb.tag != self._lb_tag(pc):
+            self._shadow[pc] = None
+            return None
+        link_index = self._link_index(pc, lb.history)
+        link = self._links[link_index]
+        if link is None or link.tag != self._link_tag(pc, lb.history):
+            self._shadow[pc] = None
+            return None
+        self._shadow[pc] = link.addr
+        if lb.confidence < self.config.confidence_threshold:
+            return None
+        return AddressPrediction(
+            addr=link.addr, size=8, way=None, index=link_index, tag=link.tag
+        )
+
+    # -- training -----------------------------------------------------
+
+    def train(self, pc: int, addr: int) -> None:
+        """Train with an executed load (applied after ``update_delay``).
+
+        Updates are queued and applied once ``update_delay`` younger
+        loads have trained — the in-flight history lag described in
+        :class:`CapConfig`.  With ``update_delay=0`` training is
+        immediate (the idealised predictor).
+        """
+        self._train_confidence(pc, addr)
+        if self.config.update_delay <= 0:
+            self._apply_train(pc, addr)
+            return
+        self._pending.append((pc, addr))
+        while len(self._pending) > self.config.update_delay:
+            old_pc, old_addr = self._pending.popleft()
+            self._apply_train(old_pc, old_addr)
+
+    def _train_confidence(self, pc: int, addr: int) -> None:
+        """Move the confidence counter by the real lookup outcome."""
+        lb = self._load_buffer[self._lb_index(pc)]
+        if lb is None or lb.tag != self._lb_tag(pc):
+            return
+        shadow = self._shadow.get(pc)
+        if shadow is None:
+            return
+        if shadow == addr:
+            if lb.confidence < self.config.confidence_threshold:
+                lb.confidence += 1
+        elif lb.confidence > 0:
+            lb.confidence -= 1
+
+    def _apply_train(self, pc: int, addr: int) -> None:
+        lb_index = self._lb_index(pc)
+        lb_tag = self._lb_tag(pc)
+        lb = self._load_buffer[lb_index]
+
+        if lb is None or lb.tag != lb_tag:
+            self._load_buffer[lb_index] = _LoadBufferEntry(
+                tag=lb_tag, history=self._hash_history(0, addr), last_addr=addr
+            )
+            return
+
+        # Install the (history -> address) link and advance the history.
+        # Confidence is handled in _train_confidence against real
+        # lookup outcomes, not here.
+        link_index = self._link_index(pc, lb.history)
+        link_tag = self._link_tag(pc, lb.history)
+        link = self._links[link_index]
+        if link is None or link.tag != link_tag or link.addr != addr:
+            self._links[link_index] = _LinkEntry(tag=link_tag, addr=addr)
+
+        lb.history = self._hash_history(lb.history, addr)
+        lb.last_addr = addr
+
+    # -- accounting ---------------------------------------------------
+
+    def record_outcome(self, prediction: AddressPrediction | None, actual_addr: int) -> bool:
+        """Coverage/accuracy bookkeeping, same contract as PAP's."""
+        self.stats.loads_seen += 1
+        if prediction is None:
+            return False
+        self.stats.predictions += 1
+        correct = prediction.addr == actual_addr
+        if correct:
+            self.stats.correct += 1
+        return correct
+
+    def storage_bits(self) -> int:
+        """Table 4: ~95k bits for ARMv8 (78k for ARMv7)."""
+        cfg = self.config
+        lb_bits = cfg.load_buffer_entries * (cfg.tag_bits + 2 + 8 + cfg.history_bits)
+        link_bits = cfg.link_entries * (cfg.tag_bits + (cfg.address_bits - 8))
+        return lb_bits + link_bits

@@ -1,0 +1,46 @@
+"""Load-path history (Section 3.1).
+
+The load-path history register is built by shifting the least
+significant non-zero PC bit (bit 2 of a 4-byte-aligned PC) of *each
+dynamic load* into a global shift register.  It forms a global context
+describing the path by which the current load was reached.  Compared to
+branch-path history it is "less compact but allows the predictor to
+distinguish among multiple loads in the same basic block".
+
+Because the context is a single global register, managing speculative
+state is trivial: snapshot on each speculative update, restore the
+snapshot of the value-mispredicted load on recovery (Section 2.2).
+"""
+
+from __future__ import annotations
+
+from repro.branch.history import GlobalHistory
+from repro.isa.fetch import path_history_bit
+
+
+class LoadPathHistory:
+    """Global load-path history register with snapshot/restore."""
+
+    def __init__(self, length: int = 16) -> None:
+        self._history = GlobalHistory(length)
+
+    @property
+    def length(self) -> int:
+        return self._history.length
+
+    @property
+    def value(self) -> int:
+        return self._history.value
+
+    def push_load(self, load_pc: int) -> None:
+        """Record one dynamic load on the path."""
+        self._history.push(path_history_bit(load_pc))
+
+    def folded(self, target_bits: int) -> int:
+        return self._history.folded(target_bits)
+
+    def snapshot(self) -> int:
+        return self._history.snapshot()
+
+    def restore(self, snapshot: int) -> None:
+        self._history.restore(snapshot)

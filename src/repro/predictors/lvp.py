@@ -1,0 +1,99 @@
+"""Last-value predictor (Lipasti et al., 1996).
+
+The simplest context-free value predictor: a PC-indexed table holding
+the last value each static load produced, guarded by a forward
+probabilistic confidence counter.  It is the scheme Figure 1's
+motivation targets: an interleaving store makes the stored last value
+stale and forces a misprediction plus retraining.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.isa import Instruction, OpClass
+from repro.predictors.base import PredictorStats
+from repro.predictors.confidence import VTAGE_FPC_VECTOR
+
+
+@dataclass
+class _LvpEntry:
+    tag: int
+    value: int
+    confidence: int = 0
+
+
+class LastValuePredictor:
+    """Tagged, direct-mapped last-value table (single-destination loads).
+
+    Multi-destination loads are handled like vanilla VTAGE handles them:
+    one slot per destination via PC concatenation.
+    """
+
+    def __init__(
+        self,
+        entries: int = 1024,
+        tag_bits: int = 14,
+        fpc_vector: tuple[float, ...] = VTAGE_FPC_VECTOR,
+        seed: int = 0x14B,
+    ) -> None:
+        if entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self.entries = entries
+        self.tag_bits = tag_bits
+        self.fpc_vector = fpc_vector
+        self._rng = random.Random(seed)
+        self._table: list[_LvpEntry | None] = [None] * entries
+        self.stats = PredictorStats()
+
+    def _key(self, pc: int, slot: int) -> tuple[int, int]:
+        base = ((pc >> 2) << 4) | slot
+        bits = self.entries.bit_length() - 1
+        index = (base ^ (base >> bits) ^ (base >> (2 * bits))) & (self.entries - 1)
+        tag = (base ^ (base >> bits)) & ((1 << self.tag_bits) - 1)
+        return index, tag
+
+    def _predict_slot(self, pc: int, slot: int) -> int | None:
+        index, tag = self._key(pc, slot)
+        entry = self._table[index]
+        if entry is None or entry.tag != tag:
+            return None
+        if entry.confidence < len(self.fpc_vector):
+            return None
+        return entry.value
+
+    def _train_slot(self, pc: int, slot: int, value: int) -> None:
+        index, tag = self._key(pc, slot)
+        entry = self._table[index]
+        if entry is None or entry.tag != tag:
+            self._table[index] = _LvpEntry(tag=tag, value=value)
+            return
+        if entry.value == value:
+            if entry.confidence < len(self.fpc_vector):
+                if self._rng.random() <= self.fpc_vector[entry.confidence]:
+                    entry.confidence += 1
+        else:
+            entry.value = value
+            entry.confidence = 0
+
+    def train(self, inst: Instruction) -> tuple[int, ...] | None:
+        """Predict-and-train; returns the prediction made (or None)."""
+        if inst.op != OpClass.LOAD or not inst.dests:
+            return None
+        self.stats.loads_seen += 1
+        mask = (1 << 64) - 1
+        predictions = [
+            self._predict_slot(inst.pc, slot) for slot in range(len(inst.dests))
+        ]
+        for slot, value in enumerate(inst.values):
+            self._train_slot(inst.pc, slot, value & mask)
+        if any(p is None for p in predictions):
+            return None
+        self.stats.predictions += 1
+        if all(p == (v & mask) for p, v in zip(predictions, inst.values)):
+            self.stats.correct += 1
+        return tuple(predictions)  # type: ignore[arg-type]
+
+    def storage_bits(self) -> int:
+        return self.entries * (self.tag_bits + 64 + 3)

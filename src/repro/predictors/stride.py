@@ -1,0 +1,94 @@
+"""Stride value predictor (computation-based class, Section 2.1).
+
+Predicts ``last_value + stride`` per static load; the stride must be
+observed twice in a row before it is trusted, and a forward
+probabilistic counter gates prediction like the other predictors here.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.isa import Instruction, OpClass
+from repro.predictors.base import PredictorStats
+from repro.predictors.confidence import VTAGE_FPC_VECTOR
+
+_MASK = (1 << 64) - 1
+
+
+@dataclass
+class _StrideEntry:
+    tag: int
+    last_value: int
+    stride: int = 0
+    stride_confirmed: bool = False
+    confidence: int = 0
+
+
+class StrideValuePredictor:
+    """Classic last-value + stride predictor for single-dest loads."""
+
+    def __init__(
+        self,
+        entries: int = 1024,
+        tag_bits: int = 14,
+        fpc_vector: tuple[float, ...] = VTAGE_FPC_VECTOR,
+        seed: int = 0x57D,
+    ) -> None:
+        if entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self.entries = entries
+        self.tag_bits = tag_bits
+        self.fpc_vector = fpc_vector
+        self._rng = random.Random(seed)
+        self._table: list[_StrideEntry | None] = [None] * entries
+        self.stats = PredictorStats()
+
+    def _key(self, pc: int) -> tuple[int, int]:
+        index = (pc >> 2) & (self.entries - 1)
+        tag = ((pc >> 2) ^ (pc >> (2 + self.tag_bits))) & ((1 << self.tag_bits) - 1)
+        return index, tag
+
+    def train(self, inst: Instruction) -> tuple[int, ...] | None:
+        """Predict-and-train; single-destination scalar loads only."""
+        if inst.op != OpClass.LOAD or len(inst.dests) != 1 or inst.is_vector:
+            return None
+        self.stats.loads_seen += 1
+        value = inst.values[0] & _MASK
+        index, tag = self._key(inst.pc)
+        entry = self._table[index]
+
+        prediction: int | None = None
+        if (
+            entry is not None
+            and entry.tag == tag
+            and entry.stride_confirmed
+            and entry.confidence >= len(self.fpc_vector)
+        ):
+            prediction = (entry.last_value + entry.stride) & _MASK
+
+        if entry is None or entry.tag != tag:
+            self._table[index] = _StrideEntry(tag=tag, last_value=value)
+        else:
+            stride = (value - entry.last_value) & _MASK
+            if stride == entry.stride:
+                entry.stride_confirmed = True
+                if entry.confidence < len(self.fpc_vector):
+                    if self._rng.random() <= self.fpc_vector[entry.confidence]:
+                        entry.confidence += 1
+            else:
+                entry.stride = stride
+                entry.stride_confirmed = False
+                entry.confidence = 0
+            entry.last_value = value
+
+        if prediction is None:
+            return None
+        self.stats.predictions += 1
+        if prediction == value:
+            self.stats.correct += 1
+        return (prediction,)
+
+    def storage_bits(self) -> int:
+        return self.entries * (self.tag_bits + 64 + 16 + 3)

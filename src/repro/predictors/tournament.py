@@ -1,0 +1,96 @@
+"""Tournament chooser for combining DLVP and VTAGE (Section 5.2.3,
+Figure 8).
+
+Both predictors run concurrently; a PC-indexed table of 2-bit counters
+tracks which one performs better per static load and selects who makes
+the final prediction.  Counter convention: high values favour the first
+predictor ("A", DLVP in the paper's experiment), low values favour the
+second ("B", VTAGE).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ChooserStats:
+    chose_a: int = 0
+    chose_b: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.chose_a + self.chose_b
+
+    @property
+    def a_share(self) -> float:
+        return self.chose_a / self.total if self.total else 0.0
+
+
+class TournamentChooser:
+    """PC-indexed 2-bit chooser."""
+
+    def __init__(self, entries: int = 1024, initial: int | None = None) -> None:
+        """``initial=None`` (default) initializes counters unbiased: a
+        2-bit counter has no midpoint, so entries alternate between the
+        two weak states — shared loads start evenly split between the
+        predictors until evidence moves them."""
+        if entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        if initial is not None and not 0 <= initial <= 3:
+            raise ValueError("initial counter value must be in [0, 3]")
+        self.entries = entries
+        if initial is None:
+            self._counters = [1 + (i & 1) for i in range(entries)]
+        else:
+            self._counters = [initial] * entries
+        self.stats = ChooserStats()
+
+    def _index(self, pc: int) -> int:
+        word = pc >> 2
+        bits = self.entries.bit_length() - 1
+        # Fold high PC bits so regularly-strided code does not collapse
+        # onto a handful of counters.
+        return (word ^ (word >> bits) ^ (word >> (2 * bits))) & (self.entries - 1)
+
+    def choose_a(self, pc: int) -> bool:
+        """True if predictor A should make the final prediction."""
+        return self._counters[self._index(pc)] >= 2
+
+    def record_choice(self, chose_a: bool) -> None:
+        if chose_a:
+            self.stats.chose_a += 1
+        else:
+            self.stats.chose_b += 1
+
+    def update(self, pc: int, a_correct: bool | None, b_correct: bool | None) -> None:
+        """Train with each predictor's outcome (None = did not predict).
+
+        The chooser only matters when *both* predictors offer a value —
+        a lone prediction wins by default — so abstentions carry no
+        routing signal and leave the counter alone.  What moves it is a
+        *misprediction*: a predictor that was wrong loses to one that
+        was right or stayed silent.
+        """
+        score_a = self._score(a_correct)
+        score_b = self._score(b_correct)
+        if score_a == score_b or (a_correct is None and b_correct is None):
+            return
+        if a_correct is None and b_correct:
+            return          # abstain vs correct: no routing information
+        if b_correct is None and a_correct:
+            return
+        index = self._index(pc)
+        if score_a > score_b:
+            self._counters[index] = min(3, self._counters[index] + 1)
+        else:
+            self._counters[index] = max(0, self._counters[index] - 1)
+
+    @staticmethod
+    def _score(correct: bool | None) -> int:
+        if correct is None:
+            return 1        # abstained
+        return 2 if correct else 0
+
+    def storage_bits(self) -> int:
+        return self.entries * 2

@@ -1,0 +1,363 @@
+"""VTAGE value predictor (Perais & Seznec, HPCA 2014) with the paper's
+ARM-specific opcode filters.
+
+Structure per Table 4: three direct-mapped, partially tagged tables of
+256 entries indexed with hashes of PC and global *branch* history of
+lengths {0, 5, 13}; each entry carries a 16-bit tag, a 64-bit value and
+a 3-bit forward-probabilistic confidence counter.  The 0-history table
+doubles as the tagged last-value base ("using tags with the LVP table is
+crucial", Section 2.1).
+
+Multi-destination loads (Section 5.2.2): each destination register is a
+separate prediction slot whose key concatenates the slot number with the
+PC; a 128-bit vector value burns two 64-bit slots.  Mispredicting *any*
+slot flushes, and a load only counts as covered when *every* slot
+predicts — this is precisely the ISA-induced inefficiency the paper
+diagnoses.
+
+Opcode filters:
+
+* ``STATIC`` — LDP/LDM/VLD are never predicted and never update the
+  tables (preloaded filter, no training needed).
+* ``DYNAMIC`` — a small table tracks per-instruction-type accuracy;
+  types observed below 95% accuracy are blocked from predicting and
+  updating.  Training the filter costs mispredictions, which is why the
+  paper finds static beats dynamic.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+
+from repro.isa import Instruction, OpClass
+from repro.predictors.base import PredictorStats
+from repro.predictors.confidence import VTAGE_FPC_VECTOR
+from repro.branch.history import fold_history
+
+
+class OpcodeFilterMode(enum.Enum):
+    """Which multi-destination-load filter VTAGE runs with (Fig 7)."""
+
+    NONE = "none"
+    DYNAMIC = "dynamic"
+    STATIC = "static"
+
+
+def instruction_type(inst: Instruction) -> str:
+    """Coarse instruction type used by the opcode filters."""
+    if inst.op == OpClass.LOAD:
+        if inst.is_vector:
+            return "vld"
+        if len(inst.dests) == 2:
+            return "ldp"
+        if len(inst.dests) > 2:
+            return "ldm"
+        return "load"
+    return inst.op.name.lower()
+
+
+_FILTERED_TYPES = frozenset({"ldp", "ldm", "vld"})
+
+
+@dataclass(frozen=True)
+class VtageConfig:
+    """VTAGE parameters (Table 4: 3 x 256 x 83 bits = 62.3k bits)."""
+
+    table_entries: int = 256
+    tag_bits: int = 16
+    history_lengths: tuple[int, ...] = (0, 5, 13)
+    fpc_vector: tuple[float, ...] = VTAGE_FPC_VECTOR
+    loads_only: bool = True
+    filter_mode: OpcodeFilterMode = OpcodeFilterMode.STATIC
+    dynamic_filter_threshold: float = 0.95
+    dynamic_filter_warmup: int = 128
+    max_history: int = 64
+    seed: int = 0x57A6
+
+    def __post_init__(self) -> None:
+        if self.table_entries & (self.table_entries - 1):
+            raise ValueError("table entries must be a power of two")
+        if not self.history_lengths or self.history_lengths[0] != 0:
+            raise ValueError("first VTAGE component must use history length 0 (LVP base)")
+
+
+@dataclass
+class _VtageEntry:
+    tag: int
+    value: int
+    confidence: int = 0
+
+
+@dataclass
+class _SlotLookup:
+    """Where one prediction slot hit (or would allocate)."""
+
+    keys: list[tuple[int, int]]          # (index, tag) per table
+    provider: int | None                  # table index of longest match
+    prediction: int | None                # value if provider confident
+
+
+@dataclass
+class VtageHandle:
+    """Fetch-time lookup state carried to execute (two-phase driving)."""
+
+    lookups: list[_SlotLookup]
+    prediction: tuple[int, ...] | None
+
+
+@dataclass
+class _TypeAccuracy:
+    predictions: int = 0
+    correct: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.predictions if self.predictions else 1.0
+
+
+class VtagePredictor:
+    """VTAGE with per-destination-register slots and opcode filtering."""
+
+    def __init__(self, config: VtageConfig | None = None) -> None:
+        self.config = config or VtageConfig()
+        cfg = self.config
+        self._rng = random.Random(cfg.seed)
+        self._tables: list[list[_VtageEntry | None]] = [
+            [None] * cfg.table_entries for _ in cfg.history_lengths
+        ]
+        self._index_bits = cfg.table_entries.bit_length() - 1
+        self.stats = PredictorStats()              # per-load accounting
+        self.slot_predictions = 0
+        self.slot_correct = 0
+        self._type_accuracy: dict[str, _TypeAccuracy] = {}
+
+    # -- eligibility ----------------------------------------------------
+
+    def eligible(self, inst: Instruction) -> bool:
+        """May this instruction be predicted / may it update the tables?"""
+        if not inst.dests or not inst.values:
+            return False
+        if self.config.loads_only and inst.op != OpClass.LOAD:
+            return False
+        if inst.op in (OpClass.STORE, OpClass.ATOMIC, OpClass.BARRIER):
+            return False
+        itype = instruction_type(inst)
+        mode = self.config.filter_mode
+        if mode == OpcodeFilterMode.STATIC and itype in _FILTERED_TYPES:
+            return False
+        if mode == OpcodeFilterMode.DYNAMIC:
+            acc = self._type_accuracy.get(itype)
+            if (
+                acc is not None
+                and acc.predictions >= self.config.dynamic_filter_warmup
+                and acc.accuracy < self.config.dynamic_filter_threshold
+            ):
+                return False
+        return True
+
+    # -- keys -----------------------------------------------------------
+
+    def _slot_keys(self, pc: int, num_slots: int, slot: int, history: int) -> list[tuple[int, int]]:
+        """(index, tag) in each table for one prediction slot.
+
+        The PC is concatenated with the slot number and the destination
+        count (the paper's fix for multi-destination loads) before
+        hashing with the folded branch history.
+        """
+        cfg = self.config
+        base = ((pc >> 2) << 5) | (slot << 1) | (num_slots & 1)
+        # Fold high bits down so regularly-strided code does not alias
+        # systematically in the small (256-entry) tables.
+        mixed = base ^ (base >> self._index_bits) ^ (base >> (2 * self._index_bits))
+        keys = []
+        for table, hist_len in enumerate(cfg.history_lengths):
+            idx_fold = fold_history(history, hist_len, self._index_bits) if hist_len else 0
+            tag_fold = fold_history(history, hist_len, cfg.tag_bits) if hist_len else 0
+            index = (mixed ^ idx_fold ^ (table * 0x9E5)) & (cfg.table_entries - 1)
+            tag = (base ^ (base >> self._index_bits) ^ (tag_fold << 1)) & (
+                (1 << cfg.tag_bits) - 1
+            )
+            keys.append((index, tag))
+        return keys
+
+    def _lookup_slot(self, keys: list[tuple[int, int]]) -> _SlotLookup:
+        provider = None
+        prediction = None
+        for table in reversed(range(len(self.config.history_lengths))):
+            index, tag = keys[table]
+            entry = self._tables[table][index]
+            if entry is not None and entry.tag == tag:
+                provider = table
+                if entry.confidence >= len(self.config.fpc_vector):
+                    prediction = entry.value
+                break
+        return _SlotLookup(keys=keys, provider=provider, prediction=prediction)
+
+    # -- prediction -------------------------------------------------------
+
+    def predict(self, inst: Instruction, history: int) -> tuple[int, ...] | None:
+        """Predict all destination values, or None.
+
+        All-or-nothing: a multi-destination load is only predicted when
+        every slot has a confident provider (a partial prediction would
+        still stall the consumers of the unpredicted registers and still
+        risk a flush).
+        """
+        lookups = self._lookups(inst, history)
+        if lookups is None:
+            return None
+        values = self._slot_values(inst, lookups)
+        if any(v is None for v in values):
+            return None
+        return self._assemble(inst, values)  # type: ignore[arg-type]
+
+    def _lookups(self, inst: Instruction, history: int) -> list[_SlotLookup] | None:
+        if not self.eligible(inst):
+            return None
+        num_slots = inst.value_prediction_slots()
+        return [
+            self._lookup_slot(self._slot_keys(inst.pc, num_slots, slot, history))
+            for slot in range(num_slots)
+        ]
+
+    def _slot_values(self, inst: Instruction, lookups: list[_SlotLookup]) -> list[int | None]:
+        return [lk.prediction for lk in lookups]
+
+    def _assemble(self, inst: Instruction, slot_values: list[int]) -> tuple[int, ...]:
+        """Recombine 64-bit slots into per-destination values."""
+        if not inst.is_vector:
+            return tuple(slot_values)
+        values = []
+        for i in range(len(inst.dests)):
+            low, high = slot_values[2 * i], slot_values[2 * i + 1]
+            values.append((high << 64) | low)
+        return tuple(values)
+
+    def _slot_targets(self, inst: Instruction) -> list[int]:
+        """The correct 64-bit value for each prediction slot."""
+        if not inst.is_vector:
+            return [v & ((1 << 64) - 1) for v in inst.values]
+        targets = []
+        for value in inst.values:
+            targets.append(value & ((1 << 64) - 1))
+            targets.append((value >> 64) & ((1 << 64) - 1))
+        return targets
+
+    # -- two-phase driving (used inside the pipeline model) ---------------
+
+    def begin(self, inst: Instruction, history: int) -> VtageHandle | None:
+        """Fetch side: look up all slots; None when ineligible.
+
+        Counts every load toward the coverage denominator, eligible or
+        not — the paper's coverage is over *all* dynamic loads.
+        """
+        if inst.op == OpClass.LOAD:
+            self.stats.loads_seen += 1
+        lookups = self._lookups(inst, history)
+        if lookups is None:
+            return None
+        slot_values = self._slot_values(inst, lookups)
+        prediction = None
+        if all(v is not None for v in slot_values):
+            prediction = self._assemble(inst, slot_values)  # type: ignore[arg-type]
+        return VtageHandle(lookups=lookups, prediction=prediction)
+
+    def finish(self, handle: VtageHandle, inst: Instruction) -> bool:
+        """Execute side: train using the fetch-time lookups.
+
+        Returns True when the (made) prediction was fully correct.
+        """
+        return self._train_with_lookups(handle.lookups, inst)
+
+    # -- training ---------------------------------------------------------
+
+    def train(self, inst: Instruction, history: int) -> tuple[int, ...] | None:
+        """Predict-and-train for one instruction; returns the prediction.
+
+        Combines the fetch-time lookup with the execute-time update under
+        the same history value — the idealised speculative-history
+        management the standalone drivers use.
+        """
+        if inst.op == OpClass.LOAD:
+            self.stats.loads_seen += 1
+        lookups = self._lookups(inst, history)
+        if lookups is None:
+            return None
+        slot_values = self._slot_values(inst, lookups)
+        predicted_all = all(v is not None for v in slot_values)
+        self._train_with_lookups(lookups, inst)
+        if not predicted_all:
+            return None
+        return self._assemble(inst, slot_values)  # type: ignore[arg-type]
+
+    def _train_with_lookups(self, lookups: list[_SlotLookup], inst: Instruction) -> bool:
+        targets = self._slot_targets(inst)
+        slot_values = self._slot_values(inst, lookups)
+        predicted_all = all(v is not None for v in slot_values)
+        correct_all = predicted_all and all(
+            v == t for v, t in zip(slot_values, targets)
+        )
+
+        for lookup, target in zip(lookups, targets):
+            self._train_slot(lookup, target)
+
+        if inst.op == OpClass.LOAD and predicted_all:
+            self.stats.predictions += 1
+            if correct_all:
+                self.stats.correct += 1
+
+        itype = instruction_type(inst)
+        acc = self._type_accuracy.setdefault(itype, _TypeAccuracy())
+        if predicted_all:
+            acc.predictions += 1
+            if correct_all:
+                acc.correct += 1
+            self.slot_predictions += len(lookups)
+            self.slot_correct += sum(
+                1 for v, t in zip(slot_values, targets) if v == t
+            )
+
+        return correct_all
+
+    def _train_slot(self, lookup: _SlotLookup, target: int) -> None:
+        cfg = self.config
+        if lookup.provider is not None:
+            index, tag = lookup.keys[lookup.provider]
+            entry = self._tables[lookup.provider][index]
+            assert entry is not None and entry.tag == tag
+            if entry.value == target:
+                if entry.confidence < len(cfg.fpc_vector):
+                    if self._rng.random() <= cfg.fpc_vector[entry.confidence]:
+                        entry.confidence += 1
+                return
+            if entry.confidence == 0:
+                entry.value = target
+            else:
+                entry.confidence = 0
+            self._allocate(lookup, target)
+            return
+        self._allocate(lookup, target)
+
+    def _allocate(self, lookup: _SlotLookup, target: int) -> None:
+        """Allocate in a longer-history table whose victim is unconfident."""
+        start = 0 if lookup.provider is None else lookup.provider + 1
+        for table in range(start, len(self.config.history_lengths)):
+            index, tag = lookup.keys[table]
+            entry = self._tables[table][index]
+            if entry is None or entry.confidence == 0:
+                self._tables[table][index] = _VtageEntry(tag=tag, value=target)
+                return
+
+    # -- accounting ---------------------------------------------------------
+
+    def storage_bits(self) -> int:
+        """Table 4: 3 x 256 x 83 = 62.3k bits."""
+        cfg = self.config
+        entry_bits = cfg.tag_bits + 64 + 3
+        return len(cfg.history_lengths) * cfg.table_entries * entry_bits
+
+    def type_accuracy_report(self) -> dict[str, float]:
+        """Observed per-type accuracy (drives the dynamic filter)."""
+        return {t: a.accuracy for t, a in self._type_accuracy.items() if a.predictions}

@@ -1,0 +1,26 @@
+"""Dynamic instruction traces and trace-level analyses.
+
+The paper's Figures 1 and 2 are properties of the workloads themselves
+(load-store conflict mix and address/value repeatability); they are
+computed here directly from traces, independent of any predictor.
+"""
+
+from repro.trace.trace import Trace, TraceSummary
+from repro.trace.profiling import (
+    ConflictProfile,
+    RepeatabilityProfile,
+    load_store_conflicts,
+    repeatability,
+)
+from repro.trace.serialization import load_trace, save_trace
+
+__all__ = [
+    "Trace",
+    "TraceSummary",
+    "ConflictProfile",
+    "RepeatabilityProfile",
+    "load_store_conflicts",
+    "repeatability",
+    "load_trace",
+    "save_trace",
+]

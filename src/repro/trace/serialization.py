@@ -1,0 +1,88 @@
+"""Compact, line-oriented trace serialization.
+
+The format is a plain-text header line followed by one line per
+instruction.  It is intentionally simple: traces here are synthetic and
+regenerable, so the serializer exists for caching and for interchange
+with external tools, not as an archival format.
+
+Line grammar (space-separated fields; ``-`` means absent)::
+
+    pc op srcs dests mem_addr mem_size values taken target vector
+
+``srcs``/``dests``/``values`` are comma-joined integers (or ``-``).
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from repro.isa import Instruction, OpClass
+from repro.trace.trace import Trace
+
+_MAGIC = "repro-trace-v1"
+
+
+def _join(items: tuple[int, ...]) -> str:
+    return ",".join(str(i) for i in items) if items else "-"
+
+
+def _split(field: str) -> tuple[int, ...]:
+    return () if field == "-" else tuple(int(x) for x in field.split(","))
+
+
+def _opt(field: str) -> int | None:
+    return None if field == "-" else int(field)
+
+
+def save_trace(trace: Trace, path: str | Path) -> None:
+    """Write ``trace`` to ``path`` in the v1 line format."""
+    buf = io.StringIO()
+    buf.write(f"{_MAGIC} {trace.name} {len(trace)}\n")
+    for inst in trace:
+        taken = "-" if inst.taken is None else ("1" if inst.taken else "0")
+        target = "-" if inst.target is None else str(inst.target)
+        mem_addr = "-" if inst.mem_addr is None else str(inst.mem_addr)
+        buf.write(
+            f"{inst.pc} {int(inst.op)} {_join(inst.srcs)} {_join(inst.dests)} "
+            f"{mem_addr} {inst.mem_size} {_join(inst.values)} "
+            f"{taken} {target} {1 if inst.is_vector else 0}\n"
+        )
+    Path(path).write_text(buf.getvalue())
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    lines = Path(path).read_text().splitlines()
+    if not lines:
+        raise ValueError(f"empty trace file: {path}")
+    header = lines[0].split()
+    if len(header) != 3 or header[0] != _MAGIC:
+        raise ValueError(f"not a {_MAGIC} file: {path}")
+    name, count = header[1], int(header[2])
+    body = lines[1:]
+    if len(body) != count:
+        raise ValueError(
+            f"trace {path} declares {count} instructions but has {len(body)}"
+        )
+    instructions = []
+    for line in body:
+        fields = line.split()
+        if len(fields) != 10:
+            raise ValueError(f"malformed trace line: {line!r}")
+        taken_field = fields[7]
+        instructions.append(
+            Instruction(
+                pc=int(fields[0]),
+                op=OpClass(int(fields[1])),
+                srcs=_split(fields[2]),
+                dests=_split(fields[3]),
+                mem_addr=_opt(fields[4]),
+                mem_size=int(fields[5]),
+                values=_split(fields[6]),
+                taken=None if taken_field == "-" else taken_field == "1",
+                target=_opt(fields[8]),
+                is_vector=fields[9] == "1",
+            )
+        )
+    return Trace(name, instructions)

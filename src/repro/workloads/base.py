@@ -1,0 +1,295 @@
+"""Workload-builder infrastructure.
+
+A :class:`WorkloadBuilder` is a tiny "assembler + machine state" that
+kernel generators drive: it tracks a memory image and register file so
+that every emitted load's values are the true contents of memory at
+that point in program order.  The simulator later reconstructs the same
+image by replaying stores at *commit* time — which is exactly how DLVP's
+speculative probes can observe stale data for in-flight conflicts.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.isa import (
+    INSTRUCTION_BYTES,
+    Instruction,
+    OpClass,
+    RegisterFile,
+)
+from repro.memory import MemoryImage
+from repro.trace import Trace
+
+_MASK64 = (1 << 64) - 1
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One named workload in the suite registry.
+
+    ``cold_fraction`` interleaves blocks of rarely-executed code (init,
+    error handling, glue) whose loads have fresh static PCs.  Real
+    binaries carry thousands of such static loads; they dilute coverage
+    denominators and — crucially — put capacity pressure on prediction
+    tables.  PAP's Policy-2 allocation lets confident entries survive
+    cold-load eviction attempts, while CAP's load buffer replaces on
+    miss and retrains from scratch: this asymmetry is a large part of
+    the paper's Figure 4 coverage gap.
+    """
+
+    name: str
+    group: str                      # benchmark suite it stands in for
+    kernel: Callable[..., None]     # generator: kernel(builder, n, **params)
+    params: dict = field(default_factory=dict)
+    seed: int = 0
+    cold_fraction: float = 0.08
+
+    def build(self, n_instructions: int) -> Trace:
+        builder = WorkloadBuilder(self.name, seed=self.seed)
+        hot_budget = int(n_instructions * (1.0 - self.cold_fraction))
+        self.kernel(builder, hot_budget, **self.params)
+        if self.cold_fraction > 0.0:
+            _sprinkle_cold_code(builder, n_instructions)
+        return builder.build()
+
+
+_COLD_CODE_BASE = 0x2000000
+_COLD_DATA_BASE = 0x8000000
+_COLD_POOL = 512
+
+
+def _cold_block_instructions(builder: "WorkloadBuilder", block: int) -> list[Instruction]:
+    """Emit one cold block through the builder and detach it.
+
+    Cold blocks have *diverse code* (fresh static PCs — the predictor
+    pressure) but *shared data* (a small common region): glue code reads
+    stacks and common globals, not fresh gigabytes, so its loads stay
+    cache-resident and the bursts do not turn into memory-stall storms.
+    """
+    mark = builder.checkpoint()
+    pc = _COLD_CODE_BASE + block * 0x40
+    data = _COLD_DATA_BASE + (block % 24) * 0x100
+    builder.load(pc, dests=(20,), addr=data, size=8)
+    builder.alu(pc + 4, 21, srcs=(20,))
+    builder.load(pc + 8, dests=(22,), addr=data + 16, size=8)
+    # Glue-code branches are overwhelmingly not-taken error checks —
+    # and a freshly-initialized bimodal counter predicts exactly that.
+    builder.branch(pc + 12, taken=False, target=pc + 0x20)
+    return builder.take_from(mark)
+
+
+def _sprinkle_cold_code(
+    builder: "WorkloadBuilder",
+    n_instructions: int,
+    burst_spacing: int = 2500,
+) -> None:
+    """Interleave *bursts* of cold blocks through the generated stream.
+
+    Cold code in real programs is bursty (allocation slow paths, GC,
+    syscall glue), not uniformly diffused; bursts also keep the global
+    load-path history clean between episodes, so the hot code's
+    prediction contexts recover within one 16-load window.  Cold blocks
+    only read their own private data region, so reordering them
+    relative to hot code cannot change any load's value.
+    """
+    hot = builder.take_from(0)
+    cold_budget = max(0, n_instructions - len(hot))
+    if not cold_budget:
+        builder.extend(hot)
+        return
+    n_bursts = max(1, len(hot) // burst_spacing)
+    blocks_per_burst = max(1, cold_budget // (4 * n_bursts))
+    merged: list[Instruction] = []
+    block = builder.rng.randrange(_COLD_POOL)
+    next_burst = burst_spacing
+    for i, inst in enumerate(hot):
+        merged.append(inst)
+        if i >= next_burst:
+            next_burst += burst_spacing
+            for _ in range(blocks_per_burst):
+                merged.extend(_cold_block_instructions(builder, block))
+                block = (block + 1) % _COLD_POOL
+    builder.extend(merged)
+
+
+class WorkloadBuilder:
+    """Emit a self-consistent dynamic instruction stream."""
+
+    def __init__(self, name: str, seed: int = 0) -> None:
+        self.name = name
+        self.rng = random.Random(seed ^ 0x5EED)
+        self.image = MemoryImage()
+        self.regs = RegisterFile()
+        self._insts: list[Instruction] = []
+
+    # -- construction ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._insts)
+
+    def build(self) -> Trace:
+        return Trace(self.name, self._insts)
+
+    def full(self, n_instructions: int) -> bool:
+        """Budget check kernels poll in their outer loops."""
+        return len(self._insts) >= n_instructions
+
+    def checkpoint(self) -> int:
+        """Current emission position (pairs with :meth:`take_from`)."""
+        return len(self._insts)
+
+    def take_from(self, mark: int) -> list[Instruction]:
+        """Detach and return everything emitted since ``mark``."""
+        taken = self._insts[mark:]
+        del self._insts[mark:]
+        return taken
+
+    def extend(self, instructions: list[Instruction]) -> None:
+        """Re-attach a previously detached (and possibly merged) stream."""
+        self._insts.extend(instructions)
+
+    # -- emission helpers --------------------------------------------------
+
+    def alu(
+        self,
+        pc: int,
+        dest: int,
+        srcs: tuple[int, ...] = (),
+        value: int | None = None,
+        op: OpClass = OpClass.ALU,
+    ) -> int:
+        """Emit a computational instruction; returns the produced value.
+
+        ``value=None`` computes a deterministic mix of the source
+        registers, so dependent chains carry real data.
+        """
+        if value is None:
+            acc = 0x9E3779B9
+            for src in srcs:
+                acc = (acc * 31 + self.regs.read(src)) & _MASK64
+            value = acc
+        self.regs.write(dest, value)
+        self._insts.append(
+            Instruction(pc=pc, op=op, srcs=srcs, dests=(dest,), values=(value & _MASK64,))
+        )
+        return value & _MASK64
+
+    def load(
+        self,
+        pc: int,
+        dests: tuple[int, ...],
+        addr: int,
+        size: int = 8,
+        srcs: tuple[int, ...] = (),
+        is_vector: bool = False,
+    ) -> tuple[int, ...]:
+        """Emit a load; values are read from the memory image.
+
+        Multi-destination loads (LDP/LDM) read consecutive ``size``-byte
+        chunks from ``addr``; vector loads read 16 bytes per register.
+        """
+        values = tuple(
+            self.image.read(addr + k * size, size) for k in range(len(dests))
+        )
+        for dest, value in zip(dests, values):
+            self.regs.write(dest, value)
+        self._insts.append(
+            Instruction(
+                pc=pc,
+                op=OpClass.LOAD,
+                srcs=srcs,
+                dests=dests,
+                mem_addr=addr,
+                mem_size=size,
+                values=values,
+                is_vector=is_vector,
+            )
+        )
+        return values
+
+    def store(
+        self,
+        pc: int,
+        addr: int,
+        value: int,
+        size: int = 8,
+        srcs: tuple[int, ...] = (),
+    ) -> None:
+        """Emit a store; the memory image is updated immediately (the
+        simulator re-applies it at commit time)."""
+        value &= (1 << (8 * size)) - 1
+        self.image.write(addr, size, value)
+        self._insts.append(
+            Instruction(
+                pc=pc,
+                op=OpClass.STORE,
+                srcs=srcs,
+                mem_addr=addr,
+                mem_size=size,
+                values=(value,),
+            )
+        )
+
+    def branch(self, pc: int, taken: bool, target: int, srcs: tuple[int, ...] = ()) -> None:
+        """Conditional direct branch."""
+        self._insts.append(
+            Instruction(
+                pc=pc,
+                op=OpClass.BRANCH,
+                srcs=srcs,
+                taken=taken,
+                target=target if taken else pc + INSTRUCTION_BYTES,
+            )
+        )
+
+    def jump(self, pc: int, target: int) -> None:
+        self._insts.append(
+            Instruction(pc=pc, op=OpClass.JUMP, taken=True, target=target)
+        )
+
+    def call(self, pc: int, target: int) -> None:
+        self._insts.append(
+            Instruction(pc=pc, op=OpClass.CALL, taken=True, target=target)
+        )
+
+    def ret(self, pc: int, return_to: int) -> None:
+        self._insts.append(
+            Instruction(pc=pc, op=OpClass.RETURN, taken=True, target=return_to)
+        )
+
+    def indirect(self, pc: int, target: int, srcs: tuple[int, ...] = ()) -> None:
+        """Indirect branch (interpreter dispatch, virtual call)."""
+        self._insts.append(
+            Instruction(pc=pc, op=OpClass.INDIRECT, srcs=srcs, taken=True, target=target)
+        )
+
+    def nop(self, pc: int) -> None:
+        self._insts.append(Instruction(pc=pc, op=OpClass.NOP))
+
+    # -- composite idioms ---------------------------------------------------
+
+    def literal_load(self, pc: int, dest: int, literal_addr: int) -> int:
+        """A literal-pool / global-constant load.
+
+        Compiled ARM code is full of these (PC-relative literal loads,
+        GOT entries, global table bases): the address is a constant per
+        static PC and the value never changes — bread and butter for
+        both address and value predictors, and a large share of why
+        Figure 2's repeat fractions are as high as they are.
+        """
+        return self.load(pc, dests=(dest,), addr=literal_addr, size=8)[0]
+
+    def global_rmw(self, pc: int, dest: int, global_addr: int, new_value: int) -> int:
+        """Read-modify-write of a mutable global (counter, statistic).
+
+        The load's address is rock-stable but its value changes with
+        every update — after the updating store commits, a value
+        predictor is stale (Figure 1's motivation) while DLVP reads the
+        current value from the cache.
+        """
+        old = self.load(pc, dests=(dest,), addr=global_addr, size=8)[0]
+        self.store(pc + 4, addr=global_addr, value=new_value, size=8, srcs=(dest,))
+        return old

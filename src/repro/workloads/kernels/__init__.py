@@ -1,0 +1,37 @@
+"""Kernel families the suite instantiates.
+
+Each kernel is a plain function ``kernel(builder, n_instructions,
+**params)`` that drives a :class:`~repro.workloads.base.WorkloadBuilder`
+until the instruction budget is reached.  Families are chosen to cover
+the behaviours the paper's evaluation depends on; see each module's
+docstring for which figures it feeds.
+"""
+
+from repro.workloads.kernels.streaming import streaming_sum, matrix_multiply
+from repro.workloads.kernels.pointer_chase import pointer_chase
+from repro.workloads.kernels.stack_frames import call_tree
+from repro.workloads.kernels.hash_table import hash_lookup
+from repro.workloads.kernels.interpreter import bytecode_interpreter
+from repro.workloads.kernels.state_machine import table_state_machine
+from repro.workloads.kernels.vector_kernel import vector_filter
+from repro.workloads.kernels.string_ops import string_scan
+from repro.workloads.kernels.producer_consumer import producer_consumer
+from repro.workloads.kernels.flag_loop import flag_check_loop
+from repro.workloads.kernels.object_graph import object_graph
+from repro.workloads.kernels.mixed import mixed_phases
+
+__all__ = [
+    "streaming_sum",
+    "matrix_multiply",
+    "pointer_chase",
+    "call_tree",
+    "hash_lookup",
+    "bytecode_interpreter",
+    "table_state_machine",
+    "vector_filter",
+    "string_scan",
+    "producer_consumer",
+    "flag_check_loop",
+    "object_graph",
+    "mixed_phases",
+]

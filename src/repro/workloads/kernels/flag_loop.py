@@ -1,0 +1,102 @@
+"""Flag-ring loops (perl-style regex/interpreter flag polling).
+
+The distilled "perlbmk effect" (Section 5.2.3), built as an unrolled
+ring of flag words:
+
+* the loop body is unrolled over ``ring_slots`` static blocks, so each
+  block's flag load has a *constant* address — PAP-trivial after 8
+  observations;
+* every block also *rewrites* the slot ``update_lead`` blocks ahead
+  with a fresh random value, far enough ahead that the store has
+  committed by the time that slot's consumer is fetched (no in-flight
+  hazard), yet the consumer branch sees a brand-new random bit on every
+  visit — TAGE-hostile forever, and VTAGE-hostile because the value
+  never repeats (Challenge #1 at maximum intensity);
+* the flag load's address computation sits behind serial divides, so
+  in the baseline the dependent branch resolves late, while a value
+  prediction resolves it at its earliest issue — value prediction
+  amplifying branch prediction, the interaction the paper credits for
+  perlbmk's 71% outlier.
+"""
+
+from __future__ import annotations
+
+from repro.isa import OpClass
+from repro.workloads.base import WorkloadBuilder
+
+_R_X = 16
+_R_FLAG = 17
+_R_I = 18
+
+
+def flag_check_loop(
+    builder: WorkloadBuilder,
+    n_instructions: int,
+    chain_divs: int = 2,
+    chain_alus: int = 2,
+    ring_slots: int = 48,
+    update_lead: int = 32,
+    code_base: int = 0xC0000,
+    flags_base: int = 0xD00000,
+    filler_alus: int = 2,
+) -> None:
+    """Poll a ring of flag words behind a serial computation chain.
+
+    Args:
+        chain_divs/chain_alus: Serial ops the flag load's address
+            nominally depends on (latency without instruction count).
+        ring_slots: Unrolled blocks / flag words.
+        update_lead: How many blocks ahead each block's refresh store
+            lands; ``update_lead x block_length`` instructions must
+            exceed the ROB span (224) so the store commits before its
+            consumer is fetched.
+        filler_alus: Independent work per block (ILP backdrop).
+    """
+    if not 0 < update_lead < ring_slots:
+        raise ValueError("update_lead must be in (0, ring_slots)")
+    # Seed the flag words (once — phase re-entry reuses the live ring).
+    if not builder.image.is_written(flags_base, 8):
+        for w in range(ring_slots):
+            builder.store(
+                code_base, addr=flags_base + w * 64,
+                value=builder.rng.getrandbits(63), size=8,
+            )
+
+    i = 0
+    while not builder.full(n_instructions):
+        w = i % ring_slots
+        pc = code_base + 0x100 + w * 0x100
+        for c in range(chain_divs):
+            # Seed each iteration's chain from cheap per-iteration state
+            # so the chain is serial *within* an iteration but does not
+            # couple iterations (the OoO core can overlap them).
+            srcs = (_R_I,) if c == 0 else (_R_X,)
+            builder.alu(pc + 4 * c, _R_X, srcs=srcs, op=OpClass.DIV)
+        for c in range(chain_alus):
+            builder.alu(pc + 4 * (chain_divs + c), _R_X, srcs=(_R_X,))
+        flag = builder.load(
+            pc + 4 * (chain_divs + chain_alus),
+            dests=(_R_FLAG,),
+            addr=flags_base + w * 64,
+            size=8,
+            srcs=(_R_X,),
+        )[0]
+        builder.branch(
+            pc + 4 * (chain_divs + chain_alus) + 4,
+            taken=bool((flag >> 17) & 1),
+            target=pc + 0x40,
+            srcs=(_R_FLAG,),
+        )
+        for f in range(filler_alus):
+            builder.alu(pc + 0x48 + 4 * f, _R_I, srcs=(_R_I,))
+        # Refresh the slot far ahead: committed by the time its consumer
+        # block is fetched, but a brand-new random value every pass.
+        ahead = (w + update_lead) % ring_slots
+        builder.store(
+            pc + 0x60,
+            addr=flags_base + ahead * 64,
+            value=builder.rng.getrandbits(63),
+            size=8,
+        )
+        builder.branch(pc + 0x64, taken=True, target=code_base + 0x100)
+        i += 1

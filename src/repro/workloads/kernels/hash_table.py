@@ -1,0 +1,93 @@
+"""Hash-table lookup kernels (nat, gobmk, xalancbmk stand-ins).
+
+The VTAGE-favouring profile (the paper's *nat*): lookup addresses are
+data-dependent and erratic — an address predictor cannot build
+confidence — but the *loaded values* are highly repetitive (most probes
+hit empty slots or a common status word), so a context-based value
+predictor covers them well.
+"""
+
+from __future__ import annotations
+
+from repro.isa import OpClass
+from repro.workloads.base import WorkloadBuilder
+
+_R_KEY = 12
+_R_SLOT = 13
+_R_VAL = 14
+_R_BASE = 11
+_R_SEED = 10
+_EMPTY = 0
+
+
+def hash_lookup(
+    builder: WorkloadBuilder,
+    n_instructions: int,
+    buckets: int = 512,
+    occupancy: float = 0.15,
+    key_space: int = 4096,
+    code_base: int = 0x50000,
+    table_base: int = 0x600000,
+    insert_every: int = 0,
+) -> None:
+    """Probe a mostly-empty hash table with random keys.
+
+    Args:
+        occupancy: Fraction of buckets holding a (distinct) value; the
+            rest read as the common EMPTY sentinel, which is what makes
+            values predictable while addresses are not.
+        insert_every: Insert (store) into a random bucket once per this
+            many lookups (0 = read-only) — committed conflicts for the
+            value predictor.
+    """
+    # Initialize: occupied buckets get distinct values, rest get EMPTY.
+    # The init phase (2 instructions per bucket) is capped to a bounded
+    # share of the budget.
+    buckets = min(buckets, max(16, n_instructions // 6))
+    pc_init = code_base
+    if not builder.image.is_written(table_base, 8):
+        occupied = set(
+            builder.rng.sample(range(buckets), max(1, int(buckets * occupancy)))
+        )
+        for b in range(buckets):
+            value = (b * 0x9E3779B1) | 1 if b in occupied else _EMPTY
+            builder.store(pc_init, addr=table_base + b * 16, value=value, size=8)
+            builder.branch(pc_init + 4, taken=b != buckets - 1, target=pc_init)
+
+    pc = code_base + 0x100
+    lookups = 0
+    while not builder.full(n_instructions):
+        lookups += 1
+        key = builder.rng.randrange(key_space)
+        bucket = (key * 2654435761) % buckets
+        # Table descriptor loads: base pointer and hash seed literals.
+        builder.literal_load(pc - 8, _R_BASE, table_base - 0x40)
+        builder.literal_load(pc - 4, _R_SEED, table_base - 0x38)
+        # The next key mixes in the previous probe's result (chained
+        # lookups — NAT table walks, cuckoo rehash): probes are serially
+        # coupled through the loaded value, which is the chain a value
+        # predictor breaks (and an address predictor cannot, since the
+        # bucket addresses stay erratic).
+        builder.alu(pc, _R_KEY, srcs=(_R_KEY, _R_VAL), value=key)
+        # Bucket = key mod buckets: a real division on the probe's
+        # critical path, so the empty-check branch resolves late in the
+        # baseline — a value-predicted probe result (VTAGE's forte here)
+        # resolves it early.
+        builder.alu(pc + 4, _R_SLOT, srcs=(_R_KEY, _R_SEED, _R_BASE), value=bucket, op=OpClass.DIV)
+        value = builder.load(
+            pc + 8, dests=(_R_VAL,), addr=table_base + bucket * 16, size=8, srcs=(_R_SLOT,)
+        )[0]
+        builder.branch(pc + 12, taken=value == _EMPTY, target=pc + 0x40, srcs=(_R_VAL,))
+        if value != _EMPTY:
+            # Hit path: read the payload word next to the tag.
+            builder.load(pc + 16, dests=(_R_VAL,), addr=table_base + bucket * 16 + 8, size=8)
+            builder.alu(pc + 20, _R_VAL, srcs=(_R_VAL,))
+        if insert_every and lookups % insert_every == 0:
+            victim = builder.rng.randrange(buckets)
+            builder.store(
+                pc + 24,
+                addr=table_base + victim * 16,
+                value=(lookups * 0x85EBCA6B) | 1,
+                size=8,
+            )
+        builder.branch(pc + 28, taken=True, target=pc)

@@ -1,0 +1,131 @@
+"""Bytecode-interpreter kernels (perlbench, avmshell, pdfjs, JS suites).
+
+The richest behaviour in the suite:
+
+* indirect dispatch per bytecode (ITTAGE work);
+* an operand stack with push (store) / pop (load) pairs at short
+  distance — *in-flight* load-store conflicts that DLVP's LSCD must
+  filter (Figure 1's upper band);
+* handler-specific constant/global loads whose addresses are exact
+  functions of the *load path* (which handlers ran recently), the
+  showcase for PAP's global context versus CAP's per-load history.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import WorkloadBuilder
+
+_R_IP = 15
+_R_OP = 16
+_R_TOS = 17
+_R_TMP = 18
+_R_HANDLER = 14
+_STACK = 0x7E0000
+
+
+def bytecode_interpreter(
+    builder: WorkloadBuilder,
+    n_instructions: int,
+    program_length: int = 96,
+    num_handlers: int = 8,
+    code_base: int = 0x60000,
+    bytecode_base: int = 0x700000,
+    globals_base: int = 0x710000,
+    stack_conflicts: bool = True,
+) -> None:
+    """Run a fixed random bytecode program in a dispatch loop.
+
+    Args:
+        program_length: Bytecodes per pass (the program then loops).
+        num_handlers: Distinct opcode handlers.
+        stack_conflicts: Emit push/pop operand-stack traffic (in-flight
+            conflicts); disable for an LSCD ablation contrast.
+    """
+    program = [builder.rng.randrange(num_handlers) for _ in range(program_length)]
+
+    # Write the bytecode into memory with real stores (once — phase
+    # re-entry reuses the installed program).
+    pc_init = code_base
+    if not builder.image.is_written(bytecode_base, 4):
+        for i, op in enumerate(program):
+            builder.store(pc_init, addr=bytecode_base + i * 4, value=op, size=4)
+            builder.branch(pc_init + 4, taken=i != program_length - 1, target=pc_init)
+    handler_visits = [0] * num_handlers
+
+    dispatch_pc = code_base + 0x100
+    handler_pc = [code_base + 0x200 + h * 0x80 for h in range(num_handlers)]
+    sp = 0
+    ip = 0
+    while not builder.full(n_instructions):
+        op = program[ip % program_length]
+        # Dispatch: load the opcode, indirect-branch to its handler.
+        builder.load(
+            dispatch_pc,
+            dests=(_R_OP,),
+            addr=bytecode_base + (ip % program_length) * 4,
+            size=4,
+            srcs=(_R_IP,),
+        )
+        builder.alu(dispatch_pc + 4, _R_IP, srcs=(_R_IP,), value=ip + 1)
+        # Dispatch-table entry: handler address from a constant table.
+        builder.load(
+            dispatch_pc + 12,
+            dests=(_R_HANDLER,),
+            addr=globals_base - 0x400 + op * 8,
+            size=8,
+            srcs=(_R_OP,),
+        )
+        builder.indirect(dispatch_pc + 8, target=handler_pc[op], srcs=(_R_HANDLER,))
+
+        hpc = handler_pc[op]
+        # Handler-specific global load: the address depends only on
+        # which handler this is — i.e., purely on the load path.  The
+        # per-handler offset staggers bit 2 of the load PC, so the
+        # load-path history actually encodes which handlers ran (real
+        # code has loads at all alignments).
+        builder.load(hpc + 4 * (op & 1), dests=(_R_TMP,), addr=globals_base + op * 64, size=8)
+        # Second per-handler load, staggered by the next opcode bit, so
+        # the load-path history encodes which handlers ran.
+        builder.load(
+            hpc + 0x20 + 4 * ((op >> 1) & 1),
+            dests=(_R_TMP,),
+            addr=globals_base + 0x2000 + op * 32,
+            size=8,
+        )
+        # Inline-cache slot: per-handler address (PAP-trivial), value
+        # rewritten every 16th visit of that handler — the rewrite has
+        # long committed by the next visit (Figure 1 committed band),
+        # and each rewrite stales VTAGE's entry (Challenge #1).
+        handler_visits[op] += 1
+        builder.load(hpc + 0x28, dests=(_R_TMP,),
+                     addr=globals_base + 0x4000 + op * 64, size=8)
+        if handler_visits[op] % 16 == 0:
+            builder.store(hpc + 0x2C, addr=globals_base + 0x4000 + op * 64,
+                          value=builder.rng.getrandbits(63), size=8)
+        if stack_conflicts and op % 4 < 2:
+            if op % 2 == 0:
+                # Push: store the TOS, in-flight by the time a near-term
+                # pop reloads it.
+                builder.store(
+                    hpc + 8,
+                    addr=_STACK + (sp % 16) * 8,
+                    value=(ip * 2246822519) ^ op,
+                    size=8,
+                    srcs=(_R_TOS,),
+                )
+                sp += 1
+            elif sp > 0:
+                sp -= 1
+                builder.load(hpc + 8, dests=(_R_TOS,), addr=_STACK + (sp % 16) * 8, size=8)
+        builder.alu(hpc + 12, _R_TOS, srcs=(_R_TOS, _R_TMP))
+        builder.branch(hpc + 16, taken=True, target=dispatch_pc)
+        # VM housekeeping: an allocation-pointer word polled sparsely
+        # and bumped half-way between polls — the bump has committed by
+        # the next poll (Figure 1 committed conflicts).
+        if ip % 40 == 0:
+            builder.load(dispatch_pc + 16, dests=(_R_TMP,),
+                         addr=globals_base - 0x800, size=8)
+        if ip % 40 == 20:
+            builder.store(dispatch_pc + 20, addr=globals_base - 0x800,
+                          value=ip * 48, size=8)
+        ip += 1

@@ -1,0 +1,76 @@
+"""Phase-mixed kernels (large SPEC-like applications: gcc, vortex,
+omnetpp, browser/JS suites).
+
+Real applications interleave qualitatively different phases; this
+kernel dispatches the instruction budget across the other families in
+weighted, alternating slices, which also exercises every predictor's
+behaviour under context switches between phases (table pressure,
+retraining, history pollution).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import WorkloadBuilder
+from repro.workloads.kernels.hash_table import hash_lookup
+from repro.workloads.kernels.interpreter import bytecode_interpreter
+from repro.workloads.kernels.pointer_chase import pointer_chase
+from repro.workloads.kernels.stack_frames import call_tree
+from repro.workloads.kernels.state_machine import table_state_machine
+from repro.workloads.kernels.flag_loop import flag_check_loop
+from repro.workloads.kernels.object_graph import object_graph
+from repro.workloads.kernels.streaming import streaming_sum
+from repro.workloads.kernels.string_ops import string_scan
+
+_PHASES = {
+    "streaming": streaming_sum,
+    "pointer": pointer_chase,
+    "calls": call_tree,
+    "hash": hash_lookup,
+    "interp": bytecode_interpreter,
+    "state": table_state_machine,
+    "strings": string_scan,
+    "objects": object_graph,
+    "flags": flag_check_loop,
+}
+
+
+def mixed_phases(
+    builder: WorkloadBuilder,
+    n_instructions: int,
+    weights: dict[str, float] | None = None,
+    slice_instructions: int = 2000,
+    **phase_params,
+) -> None:
+    """Interleave kernel phases according to ``weights``.
+
+    Args:
+        weights: Phase name -> relative share of the budget.  Unknown
+            names raise immediately (typo protection for suite specs).
+        slice_instructions: Granularity of interleaving.
+        phase_params: ``<phase>_<param>`` entries are forwarded to that
+            phase's kernel (e.g. ``pointer_nodes=128``).
+    """
+    weights = weights or {"streaming": 1.0, "calls": 1.0, "hash": 1.0}
+    unknown = set(weights) - set(_PHASES)
+    if unknown:
+        raise ValueError(f"unknown phases in weights: {sorted(unknown)}")
+
+    per_phase_params: dict[str, dict] = {name: {} for name in _PHASES}
+    for key, value in phase_params.items():
+        phase, _, param = key.partition("_")
+        if phase not in _PHASES or not param:
+            raise ValueError(f"malformed phase parameter: {key!r}")
+        per_phase_params[phase][param] = value
+
+    total = sum(weights.values())
+    order = sorted(weights)
+    while not builder.full(n_instructions):
+        for name in order:
+            if builder.full(n_instructions):
+                return
+            share = weights[name] / total
+            budget = min(
+                n_instructions,
+                len(builder) + max(1, int(slice_instructions * share * len(order))),
+            )
+            _PHASES[name](builder, budget, **per_phase_params[name])

@@ -1,0 +1,107 @@
+"""Object-graph navigation kernels (vortex, xalancbmk, OO/managed code).
+
+The purest expression of why value prediction pays: operations
+dereference fixed chains of object fields (``root->ctx->node->leaf``),
+so each load's *address* is stable per site (PAP-perfect) and its
+*value* is a pointer that rarely changes (VTAGE-learnable) — but the
+loads are serially dependent, each feeding the next one's address.
+Breaking the chain with predicted values collapses
+``depth x load-latency`` of critical path per operation.
+
+Periodic field *updates* re-point part of the graph: the updating store
+commits long before the next navigation, so value predictors go stale
+(Challenge #1) and must retrain through their slow confidence ramp,
+while DLVP's probe reads the new pointer immediately.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import WorkloadBuilder
+
+_R_PTR = 13
+_R_LEAF = 14
+_R_ROOT = 15
+_OBJ_BYTES = 64
+
+
+def object_graph(
+    builder: WorkloadBuilder,
+    n_instructions: int,
+    chain_depth: int = 4,
+    num_roots: int = 4,
+    repoint_every: int = 0,
+    couple_every: int = 4,
+    code_base: int = 0xB0000,
+    heap_base: int = 0xC00000,
+    compute_ops: int = 2,
+) -> None:
+    """Navigate fixed field chains hanging off a few root objects.
+
+    Args:
+        chain_depth: Dependent dereferences per operation.
+        num_roots: Distinct chains, visited round-robin (each gets its
+            own static code, so the load path identifies the chain).
+        repoint_every: Re-point one mid-chain field every N operations
+            (0 = static graph) — committed conflicts for value
+            predictors, invisible to address prediction.
+        compute_ops: ALU work on the leaf value per operation.
+    """
+    # Lay out the chains: root r's object k sits at a fixed slot; each
+    # object's first field holds the address of the next object.
+    def obj_addr(root: int, k: int) -> int:
+        return heap_base + (root * (chain_depth + 1) + k) * _OBJ_BYTES
+
+    pc_init = code_base
+    if builder.image.is_written(heap_base - 0x40, 8):
+        roots_to_init = []          # phase re-entry: graph already live
+    else:
+        roots_to_init = list(range(num_roots))
+    for root in roots_to_init:
+        builder.store(pc_init + 12, addr=heap_base - 0x40 - root * 8,
+                      value=obj_addr(root, 0), size=8)
+        for k in range(chain_depth):
+            builder.store(pc_init, addr=obj_addr(root, k), value=obj_addr(root, k + 1), size=8)
+            builder.branch(pc_init + 4, taken=True, target=pc_init)
+        builder.store(
+            pc_init + 8,
+            addr=obj_addr(root, chain_depth),
+            value=(root + 1) * 0x9E3779B97F4A7C15,
+            size=8,
+        )
+
+    op = 0
+    while not builder.full(n_instructions):
+        root = op % num_roots
+        pc = code_base + 0x400 + root * 0x100
+        # Root pointer literal, then the dependent dereference chain.
+        # Every ``couple_every``-th operation's root selection consumes
+        # the previous leaf (data-dependent traversal order), partially
+        # serializing operations through their chains — the knob that
+        # sets how navigation-bound the workload is.
+        root_srcs = (_R_LEAF,) if couple_every and op % couple_every == 0 else ()
+        builder.load(
+            pc, dests=(_R_PTR,), addr=heap_base - 0x40 - root * 8, size=8, srcs=root_srcs
+        )
+        addr = obj_addr(root, 0)
+        for k in range(chain_depth):
+            values = builder.load(
+                pc + 4 + 4 * k, dests=(_R_PTR,), addr=addr, size=8, srcs=(_R_PTR,)
+            )
+            addr = values[0]
+        builder.load(pc + 4 + 4 * chain_depth, dests=(_R_LEAF,), addr=addr, size=8, srcs=(_R_PTR,))
+        for c in range(compute_ops):
+            builder.alu(pc + 8 + 4 * (chain_depth + c), _R_LEAF, srcs=(_R_LEAF,))
+        builder.branch(pc + 8 + 4 * (chain_depth + compute_ops), taken=True,
+                       target=code_base + 0x400)
+        op += 1
+
+        if repoint_every and op % repoint_every == 0:
+            # Re-point a mid-chain field to a (new) clone slot, then the
+            # clone points onward to the old target: same reachability,
+            # different intermediate address/value.
+            victim_root = builder.rng.randrange(num_roots)
+            victim_k = builder.rng.randrange(max(1, chain_depth - 1))
+            old_target = builder.image.read(obj_addr(victim_root, victim_k), 8)
+            clone = heap_base + 0x100000 + (op % 512) * _OBJ_BYTES
+            builder.store(pc + 0x40, addr=clone, value=old_target, size=8)
+            builder.store(pc + 0x44, addr=obj_addr(victim_root, victim_k), value=clone, size=8)

@@ -1,0 +1,90 @@
+"""Pointer-chasing kernels (mcf, omnetpp, astar stand-ins).
+
+A linked list is *built with real stores* during an initialization
+phase, then traversed repeatedly.  Traversal loads are serially
+dependent (load -> address of next load), so hiding them is where value
+prediction pays most.  With ``mutate_every`` set, the list is re-linked
+periodically: the re-linking stores are committed long before the next
+traversal, so a last-value/VTAGE predictor goes stale (Challenge #1)
+while DLVP reads the post-store truth straight from the cache.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import WorkloadBuilder
+
+_R_NODE = 5
+_R_PAYLOAD = 6
+_R_ACC = 7
+_R_DESC = 4
+_NODE_BYTES = 32
+
+
+def pointer_chase(
+    builder: WorkloadBuilder,
+    n_instructions: int,
+    nodes: int = 256,
+    mutate_every: int = 0,
+    code_base: int = 0x30000,
+    heap_base: int = 0x400000,
+    shuffle: bool = True,
+) -> None:
+    """Build, then repeatedly walk, a singly linked list.
+
+    Args:
+        nodes: List length.
+        mutate_every: Re-link a random node once per this many
+            traversals (0 = never), creating committed conflicts.
+        shuffle: Randomise node order in memory so traversal addresses
+            are non-strided (defeats stride prefetching, not PAP).
+    """
+    # Keep the initialization phase a bounded share of the budget.
+    nodes = min(nodes, max(8, n_instructions // 12))
+    order = list(range(nodes))
+    if shuffle:
+        builder.rng.shuffle(order)
+    node_addr = [heap_base + slot * _NODE_BYTES for slot in order]
+
+    # Initialization phase: link the list and give each node a payload
+    # (once — phase re-entry walks the existing list).
+    pc_init = code_base
+    if not builder.image.is_written(node_addr[0], 8):
+        for idx in range(nodes):
+            next_addr = node_addr[(idx + 1) % nodes]
+            builder.store(pc_init, addr=node_addr[idx], value=next_addr, size=8)
+            builder.store(pc_init + 4, addr=node_addr[idx] + 8, value=idx * 1013904223, size=8)
+            builder.branch(pc_init + 8, taken=idx != nodes - 1, target=pc_init)
+
+    pc = code_base + 0x100
+    traversal = 0
+    head_literal = heap_base - 0x100     # &list_head, a constant literal
+    while not builder.full(n_instructions):
+        builder.literal_load(pc + 0x40, _R_NODE, head_literal)
+        for idx in range(nodes):
+            if builder.full(n_instructions):
+                return
+            addr = node_addr[idx]
+            builder.load(pc, dests=(_R_NODE,), addr=addr, size=8, srcs=(_R_NODE,))
+            builder.load(pc + 4, dests=(_R_PAYLOAD,), addr=addr + 8, size=8, srcs=(_R_NODE,))
+            # Type-descriptor load: every node shares one descriptor
+            # (constant address and value, like a vtable pointer).
+            builder.literal_load(pc + 8, _R_DESC, heap_base - 0x80)
+            builder.alu(pc + 12, _R_ACC, srcs=(_R_ACC, _R_PAYLOAD, _R_DESC))
+            builder.branch(pc + 16, taken=idx != nodes - 1, target=pc)
+        traversal += 1
+        if mutate_every and traversal % mutate_every == 0:
+            # Re-link one random node: a committed conflicting store for
+            # the next traversal's next-pointer load.
+            victim = builder.rng.randrange(nodes)
+            builder.store(
+                pc + 16,
+                addr=node_addr[victim],
+                value=node_addr[(victim + 1) % nodes],
+                size=8,
+            )
+            builder.store(
+                pc + 20,
+                addr=node_addr[victim] + 8,
+                value=builder.rng.getrandbits(63),
+                size=8,
+            )

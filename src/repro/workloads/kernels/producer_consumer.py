@@ -1,0 +1,53 @@
+"""Producer-consumer kernels with short store-to-load distance.
+
+A stress test for the in-flight-conflict path: a value is stored and
+reloaded within a handful of instructions, so the reload's conflicting
+store is still in the pipeline when DLVP probes the cache (Figure 1's
+"in-flight" band).  Without LSCD, DLVP flushes constantly here; with
+it, the offending loads are filtered after a few incidents — the
+`benchmarks/test_ablation_lscd.py` bench quantifies exactly that.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import WorkloadBuilder
+
+_R_PROD = 27
+_R_CONS = 28
+_R_IDX = 29
+
+
+def producer_consumer(
+    builder: WorkloadBuilder,
+    n_instructions: int,
+    queue_slots: int = 8,
+    gap_instructions: int = 4,
+    code_base: int = 0xA0000,
+    queue_base: int = 0xB00000,
+) -> None:
+    """Cycle values through a tiny in-memory queue.
+
+    Args:
+        queue_slots: Ring size; small so the same addresses recur fast.
+        gap_instructions: Filler ALU ops between the store and the
+            reload (smaller = more reliably in-flight).
+    """
+    pc = code_base
+    i = 0
+    while not builder.full(n_instructions):
+        slot = i % queue_slots
+        addr = queue_base + slot * 8
+        builder.alu(pc, _R_PROD, srcs=(_R_PROD,), value=i * 0xC2B2AE35)
+        builder.store(pc + 4, addr=addr, value=i * 0xC2B2AE35, size=8, srcs=(_R_PROD,))
+        for k in range(gap_instructions):
+            builder.alu(pc + 8 + 4 * k, _R_IDX, srcs=(_R_IDX,))
+        # The reload: same address, conflicting store still in flight.
+        builder.load(
+            pc + 8 + 4 * gap_instructions,
+            dests=(_R_CONS,),
+            addr=addr,
+            size=8,
+        )
+        builder.alu(pc + 12 + 4 * gap_instructions, _R_CONS, srcs=(_R_CONS,))
+        builder.branch(pc + 16 + 4 * gap_instructions, taken=True, target=pc)
+        i += 1

@@ -1,0 +1,134 @@
+"""Call-tree kernels with register save/restore (perlbmk, gcc, crafty
+stand-ins).
+
+The behavioural core of the paper's Figure 1 and its biggest winner:
+
+* a callee's prologue *stores* caller registers to the stack and its
+  epilogue *reloads* them — the reload address per stack depth is
+  rock-stable (perfect for PAP) but the *values* change on nearly every
+  call, so a value predictor stays untrained or stale while DLVP reads
+  the just-committed stack slots from the data cache;
+* the reload sits behind a serial address-generation chain and feeds a
+  data-dependent branch TAGE cannot learn — with value prediction the
+  branch resolves at its own earliest issue instead of waiting for the
+  chain + load, slashing the misprediction penalty.  This is the
+  paper's "positive interaction between value prediction and branch
+  prediction" that makes perlbmk's speedup an outlier (Section 5.2.3);
+* epilogues can use LDP-style paired loads, feeding the Section 5.2.2
+  multi-destination analysis.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import WorkloadBuilder
+
+_R_A = 8
+_R_B = 9
+_R_C = 10
+_R_V = 11
+_R_ENV = 12
+_STACK_BASE = 0x7F0000
+_FRAME_BYTES = 64
+
+
+def call_tree(
+    builder: WorkloadBuilder,
+    n_instructions: int,
+    depth: int = 6,
+    body_loads: int = 2,
+    chain_length: int = 10,
+    chain_divs: int = 0,
+    data_branch_bias: float = 0.5,
+    use_ldp: bool = True,
+    code_base: int = 0x40000,
+    data_base: int = 0x500000,
+) -> None:
+    """Walk a call tree of ``depth`` levels repeatedly.
+
+    Args:
+        depth: Maximum call depth per walk (stack slots cycle).
+        body_loads: Global-table loads in each callee body.
+        chain_length: Serial ALU ops recomputing the frame pointer
+            before the epilogue reload — the longer the chain, the more
+            a value-predicted reload saves on the dependent branch.
+        data_branch_bias: Probability the reload-fed branch is taken
+            (0.5 = maximally unpredictable for TAGE).
+        use_ldp: Restore register pairs with one two-destination load.
+    """
+    call_counter = 0
+
+    def do_call(level: int) -> None:
+        nonlocal call_counter
+        if builder.full(n_instructions) or level >= depth:
+            return
+        call_counter += 1
+        my_call = call_counter
+        sp = _STACK_BASE - level * _FRAME_BYTES
+        pc = code_base + level * 0x100
+        builder.call(pc, target=pc + 0x10)
+
+        # Prologue: spill two registers whose contents are effectively
+        # random per call (live values of the caller's computation).
+        spill_a = builder.rng.getrandbits(63)
+        builder.store(pc + 0x10, addr=sp, value=spill_a, size=8, srcs=(_R_A,))
+        builder.store(pc + 0x14, addr=sp + 8, value=my_call ^ 0xDEAD, size=8, srcs=(_R_B,))
+
+        # Body: environment literal plus varying-address table loads.
+        builder.literal_load(pc + 0x18, _R_ENV, data_base - 0x40)
+        for k in range(body_loads):
+            slot = (my_call + k * 7) % 64
+            builder.load(
+                pc + 0x1C + 4 * k,
+                dests=(_R_V,),
+                addr=data_base + level * 0x1000 + slot * 8,
+                size=8,
+                srcs=(_R_ENV,),
+            )
+        builder.alu(pc + 0x30, _R_C, srcs=(_R_V, _R_C))
+
+        do_call(level + 1)
+
+        # Returning: recompute the frame pointer through a serial chain
+        # (address arithmetic the compiler spread across the epilogue).
+        # Optional serial divides model hash/modulo computations: lots
+        # of latency from few instructions.
+        from repro.isa import OpClass
+        for c in range(chain_divs):
+            builder.alu(pc + 0x38 - 4 * c, _R_C, srcs=(_R_C,), op=OpClass.DIV)
+        for c in range(chain_length):
+            builder.alu(pc + 0x40 + 4 * c, _R_C, srcs=(_R_C,))
+
+        # Epilogue: reload the spilled pair — a committed-store conflict
+        # with this call's own prologue by the time we return here.
+        if use_ldp:
+            restored = builder.load(
+                pc + 0x40 + 4 * chain_length,
+                dests=(_R_A, _R_B),
+                addr=sp,
+                size=8,
+                srcs=(_R_C,),
+            )
+        else:
+            restored = builder.load(
+                pc + 0x40 + 4 * chain_length, dests=(_R_A,), addr=sp, size=8, srcs=(_R_C,)
+            )
+            builder.load(
+                pc + 0x44 + 4 * chain_length, dests=(_R_B,), addr=sp + 8, size=8, srcs=(_R_C,)
+            )
+        # The perlbmk effect: a hard-to-predict branch fed by the reload.
+        # Bit 13 of the spilled hash is effectively random across calls,
+        # so TAGE cannot learn the direction, while the value dependence
+        # on the reload is architecturally real.
+        taken = bool((restored[0] >> 13) & 1)
+        if data_branch_bias != 0.5:
+            taken = builder.rng.random() < data_branch_bias
+        builder.branch(
+            pc + 0x48 + 4 * chain_length,
+            taken=taken,
+            target=pc + 0x60 + 4 * chain_length,
+            srcs=(_R_A,),
+        )
+        builder.ret(pc + 0x4C + 4 * chain_length, return_to=pc + 4)
+
+    while not builder.full(n_instructions):
+        do_call(0)

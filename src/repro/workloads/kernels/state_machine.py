@@ -1,0 +1,92 @@
+"""Table-driven state-machine kernels (EEMBC tblook/canrdr/ttsprk,
+sjeng stand-ins).
+
+The discriminating PAP-versus-CAP case: several branch paths converge
+on one *shared* static load (a common lookup routine), and the address
+that load will use is an exact function of which path led to it.
+PAP's load-path history separates those contexts cleanly; CAP, keyed by
+the shared load's own address history, sees an irregular interleaving
+it cannot learn (Section 5.1's coverage/accuracy gap).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import WorkloadBuilder
+
+_R_STATE = 19
+_R_IN = 20
+_R_OUT = 21
+
+
+def table_state_machine(
+    builder: WorkloadBuilder,
+    n_instructions: int,
+    num_states: int = 6,
+    input_period: int = 17,
+    code_base: int = 0x70000,
+    table_base: int = 0x800000,
+    path_loads: int = 2,
+    random_states: bool = False,
+) -> None:
+    """Drive a finite state machine from a periodic input sequence.
+
+    Each state has its own prelude block containing ``path_loads``
+    loads (with state-distinct PCs — the path signature), then jumps to
+    the shared lookup, whose address is ``table + state * 8``.  The
+    input sequence is periodic, so the state sequence — and therefore
+    the path — is learnable, while the shared load's raw address
+    sequence interleaves all states.
+    """
+    state = 0
+    step = 0
+    shared_pc = code_base + 0x800
+    while not builder.full(n_instructions):
+        # Periodic input with a twist so the state sequence is long-periodic.
+        # The input computation *consumes the previous step's table read*
+        # (srcs includes _R_STATE), so steps are serially coupled through
+        # memory — the chain an address-predicted lookup breaks.
+        value = (step * step // input_period + step) % input_period
+        builder.alu(code_base, _R_IN, srcs=(_R_STATE,), value=value)
+        builder.alu(code_base + 4, _R_IN, srcs=(_R_IN,), value=value)
+
+        # State-specific prelude: distinct load PCs mark the path.  Each
+        # load's PC is staggered by one bit of the state number, so the
+        # bit-2 stream entering the load-path history register literally
+        # spells out which state ran — the paper's observation that
+        # load-path history is "less compact but allows the predictor to
+        # distinguish" contexts depends on exactly this PC diversity,
+        # which compiled code gets for free from varied layouts.
+        prelude_pc = code_base + 0x100 + state * 0x80
+        for k in range(path_loads):
+            builder.load(
+                prelude_pc + 8 * k + 4 * ((state >> k) & 1),
+                dests=(_R_OUT,),
+                addr=table_base + 0x4000 + state * 0x100 + k * 8,
+                size=8,
+            )
+        builder.branch(prelude_pc + 8 * path_loads, taken=True, target=shared_pc)
+
+        # Shared lookup: one static load, path-determined address.
+        builder.load(
+            shared_pc,
+            dests=(_R_STATE,),
+            addr=table_base + state * 8,
+            size=8,
+            srcs=(_R_STATE, _R_IN),
+        )
+        builder.alu(shared_pc + 4, _R_OUT, srcs=(_R_STATE, _R_IN))
+        builder.branch(shared_pc + 8, taken=True, target=code_base)
+
+        if random_states:
+            # Data-dependent transitions: the state sequence is
+            # aperiodic, so a per-load address history (CAP) sees an
+            # unlearnable interleaving at the shared lookup — while the
+            # *current* path, spelled into the load-path history by the
+            # prelude loads, still pins the address down (PAP's edge,
+            # Section 5.1).  ``path_loads`` should be fat enough that
+            # the 16-bit history window holds at most the last couple
+            # of states.
+            state = builder.rng.randrange(num_states)
+        else:
+            state = (state + 1 + value) % num_states
+        step += 1

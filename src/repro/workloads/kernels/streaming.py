@@ -1,0 +1,125 @@
+"""Streaming/array kernels (EEMBC filters, linpack, lbm, milc stand-ins).
+
+Behavioural signature: strided load addresses that repeat across array
+re-traversals (high address repeatability — Figure 2's left series),
+values that are stable per address (no stores to the arrays), and
+highly predictable loop branches.  Both address and value predictors do
+well here; DLVP's edge is its faster confidence ramp.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import WorkloadBuilder
+
+_R_ACC = 1
+_R_DATA = 2
+_R_DATA2 = 3
+_R_IDX = 4
+_R_SCALE = 5
+_R_STAT = 6
+
+
+def streaming_sum(
+    builder: WorkloadBuilder,
+    n_instructions: int,
+    array_bytes: int = 16 * 1024,
+    stride: int = 8,
+    code_base: int = 0x10000,
+    data_base: int = 0x100000,
+    use_pairs: bool = False,
+    update_period: int = 64,
+) -> None:
+    """Repeatedly traverse an array accumulating its elements.
+
+    Args:
+        use_pairs: Emit LDP-style two-destination loads, exercising the
+            multi-destination path (Figure 7's VTAGE pressure).
+        update_period: Iterations between updates of the mutable global
+            statistic (committed store-load conflicts).
+    """
+    elements = array_bytes // stride
+    literal_addr = data_base - 0x1000        # scale-factor literal
+    global_addr = data_base - 0x2000         # running statistic (mutable)
+    pc = code_base
+    i = 0
+    while not builder.full(n_instructions):
+        addr = data_base + (i % elements) * stride
+        # Literal + mutable-global loads: the stable-address population
+        # every compiled binary has (and Figure 2 depends on).  The
+        # statistic is *polled sparsely* — the gap between consecutive
+        # polls exceeds the ROB span, so the intervening update store
+        # has committed by the next poll: a Figure 1 committed conflict.
+        if i % update_period == 0:
+            # The poll sits at its own fetch-group-aligned PC *ahead* of
+            # the loop body (emitted first), so its presence never
+            # re-slots the body loads within their fetch groups.
+            builder.load(pc - 16, dests=(_R_STAT,), addr=global_addr, size=8)
+        builder.literal_load(pc, _R_SCALE, literal_addr)
+        # Read-only config word (never stored to): conflict-free and
+        # trivially predictable — the stable-load mass of real binaries.
+        builder.literal_load(pc + 4, _R_STAT, literal_addr + 0x40)
+        if use_pairs:
+            builder.load(pc + 8, dests=(_R_DATA, _R_DATA2), addr=addr, size=8, srcs=(_R_IDX,))
+            builder.alu(pc + 12, _R_ACC, srcs=(_R_ACC, _R_DATA, _R_SCALE))
+            builder.alu(pc + 16, _R_ACC, srcs=(_R_ACC, _R_DATA2))
+            builder.alu(pc + 20, _R_IDX, srcs=(_R_IDX,))
+        else:
+            builder.load(pc + 8, dests=(_R_DATA,), addr=addr, size=8, srcs=(_R_IDX,))
+            builder.alu(pc + 12, _R_ACC, srcs=(_R_ACC, _R_DATA, _R_SCALE))
+            builder.alu(pc + 16, _R_IDX, srcs=(_R_IDX,))
+        if i % update_period == update_period // 2:
+            # Update the statistic mid-period: committed long before the
+            # next poll reads it.
+            builder.store(pc + 24, addr=global_addr, value=i, size=8, srcs=(_R_STAT,))
+        builder.branch(pc + 28, taken=(i % elements) != elements - 1, target=pc)
+        i += 1
+
+
+def matrix_multiply(
+    builder: WorkloadBuilder,
+    n_instructions: int,
+    dim: int = 24,
+    code_base: int = 0x20000,
+    a_base: int = 0x200000,
+    b_base: int = 0x240000,
+    c_base: int = 0x280000,
+) -> None:
+    """Dense matrix multiply: nested loops, two read streams, one write.
+
+    The C-matrix writes then get re-read on the next full pass —
+    *committed* load-store conflicts (Figure 1's shaded region), which
+    DLVP survives and a last-value predictor does not.
+    """
+    pc = code_base
+    mask = (1 << 64) - 1
+    ik = 0
+    # ikj loop order: every load's address changes on every visit, so an
+    # address predictor (correctly) never gains confidence on the array
+    # streams — only the descriptor literals are covered.  The C-row
+    # update stream still produces genuine store->load conflicts when a
+    # row is revisited on the next k step (Figure 1 material).
+    while not builder.full(n_instructions):
+        i = (ik // dim) % dim
+        k = ik % dim
+        # Descriptor literal + the hoisted A element.  Their PC bit-2
+        # pattern (0, 1) continues the inner loop's (0, 1) alternation,
+        # so the load-path history register stays uniform across the
+        # loop nest — matching compiled FP kernels, whose tight loads
+        # fall into regular layouts, and keeping the address predictor
+        # from latching onto loop-boundary artifacts.
+        builder.literal_load(pc + 32, _R_SCALE, a_base - 0x100)
+        a_addr = a_base + (i * dim + k) * 8
+        va = builder.load(pc + 36, dests=(_R_DATA,), addr=a_addr, size=8, srcs=(_R_SCALE,))[0]
+        for j in range(dim):
+            if builder.full(n_instructions):
+                return
+            b_addr = b_base + (k * dim + j) * 8
+            c_addr = c_base + (i * dim + j) * 8
+            vb = builder.load(pc, dests=(_R_DATA2,), addr=b_addr, size=8)[0]
+            vc = builder.load(pc + 4, dests=(_R_ACC,), addr=c_addr, size=8)[0]
+            acc = (vc + va * vb) & mask
+            builder.alu(pc + 8, _R_ACC, srcs=(_R_DATA, _R_DATA2, _R_ACC), value=acc)
+            builder.store(pc + 12, addr=c_addr, value=acc, size=8, srcs=(_R_ACC,))
+            builder.branch(pc + 16, taken=j != dim - 1, target=pc)
+        builder.branch(pc + 20, taken=True, target=pc + 28)
+        ik += 1

@@ -1,0 +1,76 @@
+"""String/byte-processing kernels (gzip, bzip2, parser, text codecs).
+
+Word-granular scans with data-dependent early exits: branch behaviour
+is the bottleneck (hard-to-predict compare branches on loaded data),
+and strided scan loads give the stride prefetcher and both predictor
+families plenty to chew on.  The output buffer is written and then
+rescanned — committed conflicts at scale (bzip2's profile in Figure 9).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import WorkloadBuilder
+
+_R_CH = 24
+_R_PTR = 25
+_R_CNT = 26
+_R_NEEDLE = 23
+
+
+def string_scan(
+    builder: WorkloadBuilder,
+    n_instructions: int,
+    buffer_bytes: int = 32 * 1024,
+    match_rate: float = 0.1,
+    rewrite_fraction: float = 0.05,
+    code_base: int = 0x90000,
+    src_base: int = 0xA00000,
+    dst_base: int = 0xA80000,
+) -> None:
+    """Scan a buffer for matches, copying matched runs to an output
+    buffer that later passes re-read.
+
+    Args:
+        match_rate: Probability a scanned word "matches" (taken branch);
+            low rates make the match branch hard for TAGE.
+        rewrite_fraction: Fraction of scanned words whose copy is
+            re-read on the next pass (committed store-load conflicts).
+    """
+    words = buffer_bytes // 8
+    pc = code_base
+    i = 0
+    copied = 0
+    needle_literal = src_base - 0x200    # the pattern being searched for
+    count_global = src_base - 0x100      # bytes-processed statistic
+    while not builder.full(n_instructions):
+        offset = (i % words) * 8
+        builder.literal_load(pc - 8, _R_NEEDLE, needle_literal)
+        builder.literal_load(pc - 12, _R_CNT, needle_literal + 0x20)
+        # Sparse progress poll: the byte counter is read every 48
+        # iterations and updated half-way between polls, so the update
+        # store has committed by the next poll (Figure 1's committed
+        # conflicts).
+        if i % 48 == 0:
+            builder.load(pc - 4, dests=(_R_CNT,), addr=count_global, size=8)
+        if i % 48 == 24:
+            builder.store(pc + 0x30, addr=count_global, value=i * 8, size=8, srcs=(_R_CNT,))
+        value = builder.load(pc, dests=(_R_CH,), addr=src_base + offset, size=8, srcs=(_R_PTR,))[0]
+        matched = builder.rng.random() < match_rate
+        builder.branch(pc + 4, taken=matched, target=pc + 0x20, srcs=(_R_CH,))
+        if matched:
+            builder.store(
+                pc + 0x20,
+                addr=dst_base + (copied % words) * 8,
+                value=value,
+                size=8,
+                srcs=(_R_CH,),
+            )
+            copied += 1
+            if builder.rng.random() < rewrite_fraction:
+                # Verification pass: re-read a recent copy (committed
+                # conflict with the store above once it retires).
+                back = max(0, copied - 64)
+                builder.load(pc + 0x24, dests=(_R_CNT,), addr=dst_base + (back % words) * 8, size=8)
+        builder.alu(pc + 8, _R_PTR, srcs=(_R_PTR,))
+        builder.branch(pc + 12, taken=(i % words) != words - 1, target=pc)
+        i += 1

@@ -1,0 +1,110 @@
+"""Vector/multi-destination kernels (h264ref, namd, EEMBC idctrn/fft
+stand-ins).
+
+Heavy in VLD (128-bit vector loads) and LDM (load-multiple) — the
+instruction types the paper found poison vanilla VTAGE: each vector
+value burns two 64-bit predictor entries, an LDM up to sixteen, and a
+single wrong slot flushes the pipe.  DLVP predicts one base address per
+instruction regardless (Section 2.1, "Storage efficiency").
+"""
+
+from __future__ import annotations
+
+from repro.isa import vector_reg
+from repro.workloads.base import WorkloadBuilder
+
+_R_ACC = 22
+_R_IDX = 23
+
+
+def vector_filter(
+    builder: WorkloadBuilder,
+    n_instructions: int,
+    taps: int = 8,
+    frame_bytes: int = 8 * 1024,
+    code_base: int = 0x80000,
+    data_base: int = 0x900000,
+    coeff_base: int = 0x910000,
+    ref_base: int = 0xA40000,
+    ldm_regs: int = 4,
+    write_back: bool = True,
+    ref_blocks: int = 0,
+    ref_spread_bytes: int = 512 * 1024,
+    header_pairs: int = 8,
+    version_period: int = 200,
+) -> None:
+    """A FIR-like filter over frames of vector data.
+
+    Per output sample: one VLD of input data, one LDM of ``ldm_regs``
+    coefficients, FP multiply-accumulate, and an (optional) write-back
+    that later frames re-read — committed conflicts on vector data.
+
+    ``ref_blocks > 0`` adds an unrolled reference-block pass: each of
+    the blocks has its own static load with a fixed address, but the
+    addresses are spread over ``ref_spread_bytes`` so the streaming
+    traffic evicts them from L1 between visits.  The address predicts
+    perfectly, the probe misses, and DLVP turns the miss into a
+    prefetch — the Figure 5 behaviour the paper reports for h264ref.
+    """
+    samples = frame_bytes // 16
+    pc = code_base
+    i = 0
+    from repro.isa import OpClass
+
+    ref_stride = max(64, (ref_spread_bytes // max(1, ref_blocks)) & ~63)
+    hdr_base = coeff_base + 0x8000
+    while not builder.full(n_instructions):
+        sample = i % samples
+        if header_pairs:
+            # Frame-header LDP: {buffer pointer, frame version} loaded as
+            # a pair.  The pointer never changes; the version word is
+            # bumped every ``version_period`` samples.  This is the
+            # Section 5.2.2 trap for vanilla VTAGE: both slots gain
+            # confidence, then every version bump turns into a confident
+            # wrong prediction on slot 2 — and mispredicting *any* slot
+            # of a multi-destination load flushes the pipeline.  The
+            # static opcode filter simply never predicts LDPs.
+            site = i % header_pairs
+            builder.load(
+                code_base + 0x2000 + site * 0x40,
+                dests=(_R_IDX, _R_ACC),
+                addr=hdr_base + site * 16,
+                size=8,
+            )
+            if i % version_period == version_period - 1:
+                bump_site = (i // version_period) % header_pairs
+                builder.store(code_base + 0x2800, addr=hdr_base + bump_site * 16 + 8,
+                              value=i // version_period, size=8)
+        if ref_blocks and i % max(1, samples // ref_blocks) == 0:
+            block = (i // max(1, samples // ref_blocks)) % ref_blocks
+            ref_pc = code_base + 0x1000 + block * 0x40
+            builder.load(ref_pc, dests=(_R_ACC,), addr=ref_base + block * ref_stride, size=8)
+            builder.branch(ref_pc + 4, taken=True, target=pc)
+        in_addr = data_base + sample * 16
+        builder.load(
+            pc,
+            dests=(vector_reg(0),),
+            addr=in_addr,
+            size=16,
+            is_vector=True,
+            srcs=(_R_IDX,),
+        )
+        coeff_addr = coeff_base + (i % taps) * 8 * ldm_regs
+        builder.load(
+            pc + 4,
+            dests=tuple(range(0, ldm_regs)),
+            addr=coeff_addr,
+            size=8,
+        )
+        builder.alu(pc + 8, _R_ACC, srcs=(vector_reg(0), 0), op=OpClass.FP)
+        builder.alu(pc + 12, _R_IDX, srcs=(_R_IDX,))
+        if write_back and sample % 4 == 0:
+            builder.store(
+                pc + 16,
+                addr=data_base + sample * 16,
+                value=builder.regs.read(_R_ACC),
+                size=8,
+                srcs=(_R_ACC,),
+            )
+        builder.branch(pc + 20, taken=sample != samples - 1, target=pc)
+        i += 1

@@ -1,0 +1,216 @@
+"""Tests for history folding, TAGE, ITTAGE, RAS and the branch unit."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.branch import (
+    BranchUnit,
+    GlobalHistory,
+    Ittage,
+    ReturnAddressStack,
+    Tage,
+    fold_history,
+)
+from repro.isa import Instruction, OpClass
+
+
+class TestGlobalHistory:
+    def test_push_shifts(self):
+        h = GlobalHistory(4)
+        for bit in (1, 0, 1, 1):
+            h.push(bit)
+        assert h.value == 0b1011
+
+    def test_bounded_length(self):
+        h = GlobalHistory(4)
+        for _ in range(10):
+            h.push(1)
+        assert h.value == 0b1111
+
+    def test_snapshot_restore(self):
+        h = GlobalHistory(8)
+        h.push(1)
+        snap = h.snapshot()
+        h.push(0)
+        h.restore(snap)
+        assert h.value == snap
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            GlobalHistory(0)
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1),
+           st.integers(min_value=1, max_value=16))
+    def test_fold_fits_target(self, history, bits):
+        assert 0 <= fold_history(history, 32, bits) < (1 << bits)
+
+    def test_fold_zero_target(self):
+        assert fold_history(0xFFFF, 16, 0) == 0
+
+    def test_fold_differs_for_different_history(self):
+        a = fold_history(0xFF00, 16, 8)     # folds to 0xFF
+        b = fold_history(0x1100, 16, 8)     # folds to 0x11
+        assert a != b
+
+    def test_fold_xors_chunks(self):
+        assert fold_history(0xAB00 | 0x00CD, 16, 8) == 0xAB ^ 0xCD
+
+
+class TestTage:
+    def test_learns_always_taken(self):
+        t = Tage()
+        for _ in range(100):
+            t.update(0x1000, True)
+            t.update_history(True)
+        assert t.predict(0x1000)
+
+    def test_learns_alternating_pattern(self):
+        t = Tage()
+        misses = 0
+        for i in range(600):
+            taken = bool(i % 2)
+            if t.update(0x1000, taken):
+                misses += 1
+            t.update_history(taken)
+        # Late mispredictions should be rare once learned.
+        late = 0
+        for i in range(600, 700):
+            taken = bool(i % 2)
+            if t.update(0x1000, taken):
+                late += 1
+            t.update_history(taken)
+        assert late <= 5
+
+    def test_cannot_learn_random(self):
+        import random
+        rng = random.Random(42)
+        t = Tage()
+        wrong = 0
+        outcomes = [rng.random() < 0.5 for _ in range(2000)]
+        for taken in outcomes:
+            if t.update(0x1000, taken):
+                wrong += 1
+            t.update_history(taken)
+        assert wrong > 600       # ~50% is unlearnable
+
+    def test_accuracy_property(self):
+        t = Tage()
+        for i in range(50):
+            t.update(0x1000 + 4 * (i % 3), True)
+            t.update_history(True)
+        assert 0.0 <= t.accuracy <= 1.0
+
+    def test_storage_bits_positive(self):
+        assert Tage().storage_bits() > 10_000
+
+    def test_distinct_branches_do_not_destroy_each_other(self):
+        t = Tage()
+        for _ in range(200):
+            t.update(0x1000, True)
+            t.update_history(True)
+            t.update(0x2000, False)
+            t.update_history(False)
+        assert t.predict(0x1000)
+        assert not t.predict(0x2000)
+
+
+class TestIttage:
+    def test_learns_stable_target(self):
+        it = Ittage()
+        for _ in range(20):
+            it.update(0x1000, 0x5000)
+            it.update_history(0x5000)
+        assert it.predict(0x1000) == 0x5000
+
+    def test_history_correlated_targets(self):
+        it = Ittage()
+        # Target alternates with history pattern; the targets differ in
+        # the low bits ITTAGE shifts into its history.
+        for i in range(800):
+            target = 0x5004 if i % 2 else 0x6008
+            it.update(0x1000, target)
+            it.update_history(target)
+        wrong = 0
+        for i in range(800, 900):
+            target = 0x5004 if i % 2 else 0x6008
+            if it.predict(0x1000) != target:
+                wrong += 1
+            it.update(0x1000, target)
+            it.update_history(target)
+        assert wrong < 30
+
+    def test_unknown_pc_predicts_none(self):
+        assert Ittage().predict(0x1234) is None
+
+
+class TestRas:
+    def test_lifo(self):
+        ras = ReturnAddressStack()
+        ras.push(0x100)
+        ras.push(0x200)
+        assert ras.pop() == 0x200
+        assert ras.pop() == 0x100
+
+    def test_underflow_returns_none(self):
+        ras = ReturnAddressStack()
+        assert ras.pop() is None
+        assert ras.underflows == 1
+
+    def test_overflow_drops_oldest(self):
+        ras = ReturnAddressStack(depth=2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.pop() is None
+
+    def test_peek_does_not_pop(self):
+        ras = ReturnAddressStack()
+        ras.push(7)
+        assert ras.peek() == 7
+        assert len(ras) == 1
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            ReturnAddressStack(depth=0)
+
+
+class TestBranchUnit:
+    def test_call_return_pairs_predict_correctly(self):
+        bu = BranchUnit()
+        for _ in range(10):
+            call = Instruction(pc=0x1000, op=OpClass.CALL, taken=True, target=0x2000)
+            ret = Instruction(pc=0x2010, op=OpClass.RETURN, taken=True, target=0x1004)
+            assert not bu.resolve(call)
+            assert not bu.resolve(ret)
+        assert bu.stats.returns_mispredicted == 0
+
+    def test_mismatched_return_mispredicts(self):
+        bu = BranchUnit()
+        ret = Instruction(pc=0x2010, op=OpClass.RETURN, taken=True, target=0x9999C)
+        assert bu.resolve(ret)      # empty RAS
+
+    def test_jump_never_mispredicts(self):
+        bu = BranchUnit()
+        jump = Instruction(pc=0x1000, op=OpClass.JUMP, taken=True, target=0x4000)
+        assert not bu.resolve(jump)
+
+    def test_conditional_counted(self):
+        bu = BranchUnit()
+        br = Instruction(pc=0x1000, op=OpClass.BRANCH, taken=True, target=0x800)
+        bu.resolve(br)
+        assert bu.stats.conditional == 1
+
+    def test_non_branch_rejected(self):
+        bu = BranchUnit()
+        alu = Instruction(pc=0, op=OpClass.ALU, dests=(1,), values=(0,))
+        with pytest.raises(ValueError):
+            bu.resolve(alu)
+
+    def test_indirect_trains_ittage(self):
+        bu = BranchUnit()
+        ind = Instruction(pc=0x3000, op=OpClass.INDIRECT, taken=True, target=0x7000)
+        for _ in range(12):
+            bu.resolve(ind)
+        assert not bu.resolve(ind)

@@ -1,0 +1,61 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "not-a-workload"])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "gzip"])
+        assert args.scheme == "dlvp"
+        assert args.recovery == "flush"
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "perlbmk" in out and "78 workloads" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "aifirf", "--instructions", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "aifirf" in out
+
+    def test_run_unknown_scheme(self, capsys):
+        assert main(["run", "gzip", "--scheme", "bogus",
+                     "--instructions", "1000"]) == 2
+
+    def test_run_with_replay(self, capsys):
+        assert main(["run", "gzip", "--recovery", "oracle_replay",
+                     "--instructions", "2000"]) == 0
+
+    def test_run_dvtage(self, capsys):
+        assert main(["run", "nat", "--scheme", "dvtage",
+                     "--instructions", "2000"]) == 0
+
+    def test_profile(self, capsys):
+        assert main(["profile", "perlbmk", "--instructions", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "conflicting loads" in out
+
+    def test_figure_table(self, capsys):
+        assert main(["figure", "table1"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_figure_unknown(self, capsys):
+        assert main(["figure", "99"]) == 2
+
+    def test_figure_with_subset(self, capsys):
+        assert main(["figure", "1", "--instructions", "2000",
+                     "--workloads", "gzip", "nat"]) == 0
+        assert "Figure 1" in capsys.readouterr().out

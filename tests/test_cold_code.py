@@ -1,0 +1,60 @@
+"""Tests for the cold-code sprinkling infrastructure."""
+
+import dataclasses
+
+from repro.isa import OpClass
+from repro.memory import MemoryImage
+from repro.workloads.base import (
+    _COLD_CODE_BASE,
+    WorkloadBuilder,
+    WorkloadSpec,
+)
+from repro.workloads.kernels import streaming_sum
+
+
+def spec(cold_fraction):
+    return WorkloadSpec(name="t", group="x", kernel=streaming_sum,
+                        params={}, seed=5, cold_fraction=cold_fraction)
+
+
+class TestColdCode:
+    def test_zero_fraction_means_no_cold(self):
+        trace = spec(0.0).build(4000)
+        assert all(i.pc < _COLD_CODE_BASE for i in trace)
+
+    def test_fraction_roughly_respected(self):
+        trace = spec(0.15).build(8000)
+        cold = sum(1 for i in trace if i.pc >= _COLD_CODE_BASE)
+        assert 0.05 < cold / len(trace) < 0.30
+
+    def test_cold_blocks_are_bursty(self):
+        trace = spec(0.10).build(10_000)
+        flags = [i.pc >= _COLD_CODE_BASE for i in trace]
+        transitions = sum(1 for a, b in zip(flags, flags[1:]) if a != b)
+        cold_total = sum(flags)
+        # Bursts mean few hot/cold transitions relative to cold mass.
+        assert transitions < cold_total / 4
+
+    def test_cold_loads_do_not_break_replay(self):
+        trace = spec(0.12).build(6000)
+        image = MemoryImage()
+        for inst in trace:
+            if inst.op == OpClass.STORE:
+                image.write(inst.mem_addr, inst.mem_size, inst.values[0])
+            elif inst.op == OpClass.LOAD:
+                for k, v in enumerate(inst.values):
+                    assert image.read(inst.mem_addr + k * inst.mem_size,
+                                      inst.mem_size) == v
+
+    def test_cold_branches_not_taken(self):
+        trace = spec(0.10).build(6000)
+        cold_branches = [i for i in trace
+                         if i.is_branch and i.pc >= _COLD_CODE_BASE]
+        assert cold_branches
+        assert all(i.taken is False for i in cold_branches)
+
+    def test_cold_static_pcs_are_diverse(self):
+        trace = spec(0.10).build(12_000)
+        cold_load_pcs = {i.pc for i in trace
+                         if i.is_load and i.pc >= _COLD_CODE_BASE}
+        assert len(cold_load_pcs) > 40

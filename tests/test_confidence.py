@@ -1,0 +1,106 @@
+"""Tests for the forward probabilistic counters."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.predictors import ForwardProbabilisticCounter, SaturatingCounter
+from repro.predictors.confidence import PAP_FPC_VECTOR, VTAGE_FPC_VECTOR
+
+
+class TestFpc:
+    def test_starts_unsaturated(self):
+        assert not ForwardProbabilisticCounter().saturated
+
+    def test_certain_first_transition(self):
+        fpc = ForwardProbabilisticCounter((1.0, 0.5))
+        assert fpc.increment()
+        assert fpc.value == 1
+
+    def test_saturates_eventually(self):
+        fpc = ForwardProbabilisticCounter(PAP_FPC_VECTOR, rng=random.Random(1))
+        steps = 0
+        while not fpc.saturated:
+            fpc.increment()
+            steps += 1
+            assert steps < 1000
+        assert fpc.value == fpc.max_value
+
+    def test_no_increment_past_saturation(self):
+        fpc = ForwardProbabilisticCounter((1.0,))
+        fpc.increment()
+        assert not fpc.increment()
+        assert fpc.value == 1
+
+    def test_reset(self):
+        fpc = ForwardProbabilisticCounter((1.0,))
+        fpc.increment()
+        fpc.reset()
+        assert fpc.value == 0
+
+    def test_pap_expected_observations_near_8(self):
+        # The paper: an address must be observed only ~8 times (vs 64-128
+        # for VTAGE) — {1, 1/2, 1/4} gives E = 7.
+        fpc = ForwardProbabilisticCounter(PAP_FPC_VECTOR)
+        assert fpc.expected_observations() == pytest.approx(7.0)
+
+    def test_vtage_expected_observations_near_127(self):
+        fpc = ForwardProbabilisticCounter(VTAGE_FPC_VECTOR)
+        assert fpc.expected_observations() == pytest.approx(127.0)
+
+    def test_empirical_saturation_cost(self):
+        rng = random.Random(7)
+        total = 0
+        for _ in range(300):
+            fpc = ForwardProbabilisticCounter(PAP_FPC_VECTOR, rng=rng)
+            while not fpc.saturated:
+                fpc.increment()
+                total += 1
+        assert 5.0 < total / 300 < 10.0
+
+    def test_storage_bits(self):
+        assert ForwardProbabilisticCounter(PAP_FPC_VECTOR).storage_bits == 2
+        assert ForwardProbabilisticCounter(VTAGE_FPC_VECTOR).storage_bits == 3
+
+    def test_invalid_vectors(self):
+        with pytest.raises(ValueError):
+            ForwardProbabilisticCounter(())
+        with pytest.raises(ValueError):
+            ForwardProbabilisticCounter((1.0, 0.0))
+        with pytest.raises(ValueError):
+            ForwardProbabilisticCounter((1.5,))
+
+
+class TestSaturatingCounter:
+    def test_increment_to_max(self):
+        c = SaturatingCounter(2)
+        c.increment()
+        c.increment()
+        c.increment()
+        assert c.value == 2
+        assert c.saturated
+
+    def test_decrement_to_zero(self):
+        c = SaturatingCounter(2, value=1)
+        c.decrement()
+        c.decrement()
+        assert c.value == 0
+
+    def test_reset(self):
+        c = SaturatingCounter(3, value=3)
+        c.reset()
+        assert c.value == 0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(0)
+        with pytest.raises(ValueError):
+            SaturatingCounter(2, value=3)
+
+    @given(st.lists(st.booleans(), max_size=50))
+    def test_value_always_in_range(self, moves):
+        c = SaturatingCounter(4)
+        for up in moves:
+            c.increment() if up else c.decrement()
+            assert 0 <= c.value <= 4

@@ -1,0 +1,188 @@
+"""Tests for PAQ, LSCD and the PVT/VPE."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    LoadStoreConflictDetector,
+    PaqEntry,
+    PredictedAddressQueue,
+    PredictedValuesTable,
+    ValuePredictionEngine,
+)
+
+
+def entry(addr=0x1000, cycle=0):
+    return PaqEntry(addr=addr, size=8, way=0, allocated_cycle=cycle)
+
+
+class TestPaq:
+    def test_fifo_order(self):
+        paq = PredictedAddressQueue()
+        paq.push(entry(addr=0x1000))
+        paq.push(entry(addr=0x2000))
+        assert paq.service(0).addr == 0x1000
+        assert paq.service(0).addr == 0x2000
+
+    def test_capacity_rejection(self):
+        paq = PredictedAddressQueue(entries=2)
+        assert paq.push(entry())
+        assert paq.push(entry())
+        assert not paq.push(entry())
+        assert paq.rejected_full == 1
+
+    def test_age_based_drop(self):
+        paq = PredictedAddressQueue(drop_cycles=4)
+        paq.push(entry(cycle=0))
+        assert paq.service(10) is None
+        assert paq.dropped == 1
+
+    def test_entry_within_window_survives(self):
+        paq = PredictedAddressQueue(drop_cycles=4)
+        paq.push(entry(cycle=0))
+        assert paq.service(4) is not None
+
+    def test_drop_rate(self):
+        paq = PredictedAddressQueue(drop_cycles=1)
+        paq.push(entry(cycle=0))
+        paq.push(entry(cycle=0))
+        paq.service(0)
+        paq.service(100)
+        assert paq.drop_rate == 0.5
+
+    def test_bypass_counted_when_empty(self):
+        paq = PredictedAddressQueue()
+        paq.push(entry())
+        assert paq.bypassed == 1
+
+    def test_flush_empties(self):
+        paq = PredictedAddressQueue()
+        paq.push(entry())
+        paq.flush()
+        assert paq.service(0) is None
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            PredictedAddressQueue(entries=0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=30), max_size=60))
+    def test_occupancy_bounded(self, cycles):
+        paq = PredictedAddressQueue(entries=8)
+        for c in cycles:
+            paq.push(entry(cycle=c))
+            assert len(paq) <= 8
+
+
+class TestLscd:
+    def test_blocks_after_insert(self):
+        lscd = LoadStoreConflictDetector()
+        lscd.insert(0x1000)
+        assert lscd.blocks(0x1000)
+        assert 0x1000 in lscd
+
+    def test_unknown_pc_not_blocked(self):
+        assert not LoadStoreConflictDetector().blocks(0x1234)
+
+    def test_fifo_eviction(self):
+        lscd = LoadStoreConflictDetector(entries=2)
+        lscd.insert(0x1)
+        lscd.insert(0x2)
+        lscd.insert(0x3)
+        assert not lscd.blocks(0x1)
+        assert lscd.blocks(0x2)
+        assert lscd.blocks(0x3)
+
+    def test_reinsert_refreshes(self):
+        lscd = LoadStoreConflictDetector(entries=2)
+        lscd.insert(0x1)
+        lscd.insert(0x2)
+        lscd.insert(0x1)        # refresh: 0x1 is now youngest
+        lscd.insert(0x3)        # evicts 0x2
+        assert lscd.blocks(0x1)
+        assert not lscd.blocks(0x2)
+
+    def test_filtered_counter(self):
+        lscd = LoadStoreConflictDetector()
+        lscd.insert(0x1)
+        lscd.blocks(0x1)
+        lscd.blocks(0x1)
+        assert lscd.filtered == 2
+
+    def test_paper_capacity_default(self):
+        assert LoadStoreConflictDetector().capacity == 4
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            LoadStoreConflictDetector(entries=0)
+
+
+class TestPvt:
+    def test_allocate_and_reclaim(self):
+        pvt = PredictedValuesTable(entries=4)
+        assert pvt.try_allocate(2, cycle=0, free_cycle=10)
+        assert pvt.occupancy(5) == 2
+        assert pvt.occupancy(10) == 0
+
+    def test_capacity_enforced(self):
+        pvt = PredictedValuesTable(entries=4)
+        assert pvt.try_allocate(3, 0, 100)
+        assert not pvt.try_allocate(2, 1, 100)
+        assert pvt.allocation_failures == 1
+
+    def test_reclaim_frees_capacity(self):
+        pvt = PredictedValuesTable(entries=4)
+        pvt.try_allocate(4, 0, 5)
+        assert pvt.try_allocate(4, 6, 20)
+
+    def test_flush_clears(self):
+        pvt = PredictedValuesTable(entries=4)
+        pvt.try_allocate(4, 0, 1000)
+        pvt.flush()
+        assert pvt.occupancy(1) == 0
+
+    def test_peak_occupancy_tracked(self):
+        pvt = PredictedValuesTable(entries=8)
+        pvt.try_allocate(3, 0, 100)
+        pvt.try_allocate(4, 1, 100)
+        assert pvt.peak_occupancy == 7
+
+    def test_write_read_counters(self):
+        pvt = PredictedValuesTable()
+        pvt.try_allocate(2, 0, 10)
+        pvt.note_consumer_read(2)
+        assert pvt.writes == 2
+        assert pvt.reads == 2
+
+    def test_invalid_allocation(self):
+        with pytest.raises(ValueError):
+            PredictedValuesTable().try_allocate(0, 0, 1)
+
+    def test_paper_dimensions(self):
+        pvt = PredictedValuesTable()
+        assert pvt.capacity == 32
+        assert pvt.read_ports == 2
+        assert pvt.write_ports == 2
+
+
+class TestVpe:
+    def test_admit_and_validate(self):
+        vpe = ValuePredictionEngine()
+        assert vpe.admit(1, cycle=0, free_cycle=10)
+        vpe.record_validation(True)
+        vpe.record_validation(False)
+        assert vpe.stats.value_predictions == 2
+        assert vpe.stats.value_correct == 1
+        assert vpe.stats.value_mispredictions == 1
+        assert vpe.stats.value_accuracy == 0.5
+
+    def test_full_pvt_rejects(self):
+        vpe = ValuePredictionEngine(pvt_entries=1)
+        assert vpe.admit(1, 0, 1000)
+        assert not vpe.admit(1, 1, 1000)
+        assert vpe.stats.pvt_rejections == 1
+
+    def test_flush_clears_pvt(self):
+        vpe = ValuePredictionEngine(pvt_entries=1)
+        vpe.admit(1, 0, 1000)
+        vpe.flush()
+        assert vpe.admit(1, 1, 1000)

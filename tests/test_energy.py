@@ -1,0 +1,117 @@
+"""Tests for the SRAM/area/energy models (Table 2, Figures 6c/6d)."""
+
+import pytest
+
+from repro.energy import (
+    EnergyWeights,
+    SramModel,
+    SramPort,
+    core_energy,
+    normalized_core_energy,
+    predictor_cost_table,
+    pvt_design_table,
+)
+from repro.pipeline import DlvpScheme, simulate
+from repro.workloads import build_workload
+
+
+class TestSramModel:
+    def test_more_bits_more_area(self):
+        small = SramModel(1024, SramPort(1, 1))
+        big = SramModel(65536, SramPort(1, 1))
+        assert big.area() > small.area()
+
+    def test_more_ports_more_area(self):
+        narrow = SramModel(4096, SramPort(1, 1))
+        wide = SramModel(4096, SramPort(8, 8))
+        assert wide.area() > narrow.area()
+
+    def test_write_energy_exceeds_read(self):
+        m = SramModel(4096, SramPort(2, 2))
+        assert m.write_energy() > m.read_energy()
+
+    def test_leakage_scales_with_area(self):
+        small = SramModel(1024, SramPort(1, 1))
+        big = SramModel(65536, SramPort(1, 1))
+        assert big.leakage() > small.leakage()
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            SramModel(0, SramPort(1, 1))
+        with pytest.raises(ValueError):
+            SramModel(1024, SramPort(0, 0))
+
+
+class TestTable2:
+    def test_orderings_match_paper(self):
+        t = pvt_design_table()
+        # Area: PVT << d1 < d3 < d2.
+        assert t["pvt"].area < 0.2
+        assert 1.0 == t["design1"].area
+        assert t["design1"].area < t["design3"].area < t["design2"].area
+        # Read energy: design3 < design1 <= design2.
+        assert t["design3"].read_energy < 1.0 <= t["design2"].read_energy
+        # Write energy: design1 < design3 < design2.
+        assert 1.0 < t["design3"].write_energy < t["design2"].write_energy
+
+    def test_rough_magnitudes(self):
+        t = pvt_design_table()
+        assert t["design2"].area == pytest.approx(1.16, abs=0.08)
+        assert t["design3"].area == pytest.approx(1.06, abs=0.06)
+        assert t["design3"].read_energy == pytest.approx(0.80, abs=0.10)
+        assert t["design3"].write_energy == pytest.approx(1.07, abs=0.10)
+
+    def test_predicted_fraction_scaling(self):
+        none = pvt_design_table(predicted_fraction=0.0)
+        lots = pvt_design_table(predicted_fraction=0.6)
+        assert none["design3"].read_energy == pytest.approx(1.0)
+        assert lots["design3"].read_energy < none["design3"].read_energy
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            pvt_design_table(predicted_fraction=1.5)
+
+
+class TestFig6d:
+    def test_normalized_to_pap(self):
+        t = predictor_cost_table()
+        assert t["pap"].area == pytest.approx(1.0)
+        assert t["pap"].read_energy == pytest.approx(1.0)
+        assert t["pap"].write_energy == pytest.approx(1.0)
+
+    def test_cap_larger_than_pap(self):
+        t = predictor_cost_table()
+        assert t["cap"].area > 1.0                  # 95k vs 67k bits
+        assert t["cap"].read_energy > 1.0           # two serial tables
+        assert t["cap"].storage_bits > t["pap"].storage_bits
+
+    def test_vtage_reads_three_tables(self):
+        t = predictor_cost_table()
+        assert t["vtage"].read_energy > 1.0
+
+
+class TestCoreEnergy:
+    def test_dlvp_energy_near_baseline(self):
+        trace = build_workload("vortex", 6000)
+        base = simulate(trace)
+        dlvp = simulate(trace, scheme=DlvpScheme())
+        ratio = normalized_core_energy(dlvp, base)
+        assert 0.85 < ratio < 1.15      # paper: "without increasing core energy"
+
+    def test_energy_positive(self):
+        trace = build_workload("gzip", 2000)
+        assert core_energy(simulate(trace)) > 0
+
+    def test_normalization_requires_same_trace(self):
+        a = simulate(build_workload("gzip", 1000))
+        b = simulate(build_workload("parser", 1000))
+        with pytest.raises(ValueError):
+            normalized_core_energy(a, b)
+
+    def test_static_share_reasonable(self):
+        trace = build_workload("gzip", 3000)
+        r = simulate(trace)
+        w = EnergyWeights()
+        static = w.static_per_cycle * r.cycles
+        total = core_energy(r, w)
+        assert 0.15 < static / total < 0.75

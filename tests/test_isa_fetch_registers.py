@@ -1,0 +1,92 @@
+"""Tests for fetch-group arithmetic and the register model."""
+
+import pytest
+
+from repro.isa import (
+    FETCH_GROUP_BYTES,
+    FETCH_GROUP_INSTRUCTIONS,
+    INSTRUCTION_BYTES,
+    NUM_GENERAL_REGS,
+    REG_LR,
+    REG_SP,
+    RegisterFile,
+    fetch_group_address,
+    fetch_group_slot,
+    general_reg,
+    vector_reg,
+)
+from repro.isa.fetch import path_history_bit
+from repro.isa.registers import is_vector_reg
+
+
+class TestFetchGroups:
+    def test_group_size(self):
+        assert FETCH_GROUP_BYTES == FETCH_GROUP_INSTRUCTIONS * INSTRUCTION_BYTES
+
+    def test_aligned_pc_is_its_own_group(self):
+        assert fetch_group_address(0x1000) == 0x1000
+
+    def test_group_members_share_address(self):
+        base = fetch_group_address(0x1234)
+        for slot in range(FETCH_GROUP_INSTRUCTIONS):
+            assert fetch_group_address(base + 4 * slot) == base
+
+    def test_slots_enumerate(self):
+        base = 0x2000
+        slots = [fetch_group_slot(base + 4 * i) for i in range(4)]
+        assert slots == [0, 1, 2, 3]
+
+    def test_next_group_starts_at_slot_zero(self):
+        assert fetch_group_slot(0x2000 + FETCH_GROUP_BYTES) == 0
+
+    def test_path_history_bit_is_bit_two(self):
+        assert path_history_bit(0x1000) == 0
+        assert path_history_bit(0x1004) == 1
+        assert path_history_bit(0x1008) == 0
+        assert path_history_bit(0x100C) == 1
+
+
+class TestRegisters:
+    def test_general_reg_identity(self):
+        assert general_reg(5) == 5
+
+    def test_general_reg_bounds(self):
+        with pytest.raises(ValueError):
+            general_reg(NUM_GENERAL_REGS)
+        with pytest.raises(ValueError):
+            general_reg(-1)
+
+    def test_vector_regs_disjoint_from_general(self):
+        general = {general_reg(i) for i in range(NUM_GENERAL_REGS)}
+        vectors = {vector_reg(i) for i in range(8)}
+        assert not general & vectors
+
+    def test_is_vector_reg(self):
+        assert is_vector_reg(vector_reg(0))
+        assert not is_vector_reg(general_reg(0))
+
+    def test_special_registers_in_range(self):
+        assert 0 <= REG_SP < NUM_GENERAL_REGS
+        assert 0 <= REG_LR < NUM_GENERAL_REGS
+
+
+class TestRegisterFile:
+    def test_unwritten_reads_zero(self):
+        assert RegisterFile().read(3) == 0
+
+    def test_write_read_roundtrip(self):
+        rf = RegisterFile()
+        rf.write(7, 12345)
+        assert rf.read(7) == 12345
+
+    def test_values_truncated_to_64_bits(self):
+        rf = RegisterFile()
+        rf.write(1, 1 << 80)
+        assert rf.read(1) == 0
+
+    def test_snapshot_is_a_copy(self):
+        rf = RegisterFile()
+        rf.write(2, 9)
+        snap = rf.snapshot()
+        rf.write(2, 10)
+        assert snap[2] == 9

@@ -1,0 +1,112 @@
+"""Unit tests for the instruction model."""
+
+import pytest
+
+from repro.isa import (
+    EXECUTION_LATENCY,
+    Instruction,
+    OpClass,
+    is_branch_op,
+    is_memory_op,
+)
+
+
+def make_load(**kwargs):
+    defaults = dict(pc=0x1000, op=OpClass.LOAD, dests=(1,), mem_addr=0x2000,
+                    mem_size=8, values=(42,))
+    defaults.update(kwargs)
+    return Instruction(**defaults)
+
+
+class TestOpClassification:
+    def test_memory_ops(self):
+        assert is_memory_op(OpClass.LOAD)
+        assert is_memory_op(OpClass.STORE)
+        assert is_memory_op(OpClass.ATOMIC)
+
+    def test_non_memory_ops(self):
+        assert not is_memory_op(OpClass.ALU)
+        assert not is_memory_op(OpClass.BRANCH)
+        assert not is_memory_op(OpClass.NOP)
+
+    def test_branch_ops(self):
+        for op in (OpClass.BRANCH, OpClass.JUMP, OpClass.CALL, OpClass.RETURN,
+                   OpClass.INDIRECT):
+            assert is_branch_op(op)
+
+    def test_non_branch_ops(self):
+        for op in (OpClass.ALU, OpClass.LOAD, OpClass.STORE, OpClass.BARRIER):
+            assert not is_branch_op(op)
+
+    def test_every_op_has_latency(self):
+        for op in OpClass:
+            assert EXECUTION_LATENCY[op] >= 1
+
+    def test_div_slower_than_alu(self):
+        assert EXECUTION_LATENCY[OpClass.DIV] > EXECUTION_LATENCY[OpClass.MUL] > \
+            EXECUTION_LATENCY[OpClass.ALU]
+
+
+class TestInstructionValidation:
+    def test_load_requires_address(self):
+        with pytest.raises(ValueError, match="memory address"):
+            Instruction(pc=0, op=OpClass.LOAD, dests=(1,), values=(1,))
+
+    def test_store_requires_address(self):
+        with pytest.raises(ValueError, match="memory address"):
+            Instruction(pc=0, op=OpClass.STORE, values=(1,))
+
+    def test_load_values_match_dests(self):
+        with pytest.raises(ValueError, match="one value per destination"):
+            Instruction(pc=0, op=OpClass.LOAD, dests=(1, 2), mem_addr=0x100,
+                        values=(5,))
+
+    def test_valid_load(self):
+        inst = make_load()
+        assert inst.is_load
+        assert not inst.is_store
+        assert not inst.is_branch
+
+    def test_valid_store(self):
+        inst = Instruction(pc=0, op=OpClass.STORE, mem_addr=0x100, values=(7,))
+        assert inst.is_store
+
+    def test_branch_properties(self):
+        inst = Instruction(pc=0, op=OpClass.BRANCH, taken=True, target=0x40)
+        assert inst.is_branch
+        assert inst.taken
+
+
+class TestMultiDestination:
+    def test_ldp_has_two_dests(self):
+        inst = make_load(dests=(1, 2), values=(10, 20))
+        assert inst.num_dests == 2
+        assert inst.value_prediction_slots() == 2
+
+    def test_ldm_slots(self):
+        inst = make_load(dests=(1, 2, 3, 4), values=(1, 2, 3, 4))
+        assert inst.value_prediction_slots() == 4
+
+    def test_vector_load_doubles_slots(self):
+        inst = make_load(dests=(1,), values=(1 << 100,), mem_size=16,
+                         is_vector=True)
+        assert inst.value_prediction_slots() == 2
+
+    def test_loaded_addresses_consecutive(self):
+        inst = make_load(dests=(1, 2, 3), values=(0, 0, 0), mem_addr=0x100,
+                         mem_size=8)
+        assert inst.loaded_addresses() == (0x100, 0x108, 0x110)
+
+    def test_footprint_scales_with_dests(self):
+        single = make_load()
+        pair = make_load(dests=(1, 2), values=(0, 0))
+        assert pair.footprint_bytes == 2 * single.footprint_bytes
+
+    def test_store_footprint_is_size(self):
+        inst = Instruction(pc=0, op=OpClass.STORE, mem_addr=0x100,
+                           mem_size=16, values=(7,))
+        assert inst.footprint_bytes == 16
+
+    def test_non_memory_footprint_zero(self):
+        inst = Instruction(pc=0, op=OpClass.ALU, dests=(1,), values=(3,))
+        assert inst.footprint_bytes == 0

@@ -1,0 +1,184 @@
+"""Behavioural invariants of the individual kernel generators."""
+
+import pytest
+
+from repro.isa import OpClass
+from repro.memory import MemoryImage
+from repro.trace import Trace, load_store_conflicts, repeatability
+from repro.workloads.base import WorkloadBuilder
+from repro.workloads.kernels import (
+    bytecode_interpreter,
+    call_tree,
+    flag_check_loop,
+    hash_lookup,
+    matrix_multiply,
+    object_graph,
+    pointer_chase,
+    producer_consumer,
+    streaming_sum,
+    string_scan,
+    table_state_machine,
+    vector_filter,
+)
+
+
+def build(kernel, n=6000, seed=3, **params):
+    builder = WorkloadBuilder("k", seed=seed)
+    kernel(builder, n, **params)
+    return builder.build()
+
+
+def replay_consistent(trace: Trace) -> bool:
+    image = MemoryImage()
+    for inst in trace:
+        if inst.op == OpClass.STORE:
+            image.write(inst.mem_addr, inst.mem_size, inst.values[0])
+        elif inst.op == OpClass.LOAD:
+            for k, value in enumerate(inst.values):
+                if image.read(inst.mem_addr + k * inst.mem_size, inst.mem_size) != value:
+                    return False
+    return True
+
+
+ALL_KERNELS = [
+    (streaming_sum, {}),
+    (matrix_multiply, {"dim": 12}),
+    (pointer_chase, {"nodes": 64}),
+    (call_tree, {}),
+    (hash_lookup, {"buckets": 64}),
+    (bytecode_interpreter, {}),
+    (table_state_machine, {}),
+    (vector_filter, {}),
+    (string_scan, {}),
+    (producer_consumer, {}),
+    (object_graph, {}),
+    (flag_check_loop, {}),
+]
+
+
+class TestAllKernels:
+    @pytest.mark.parametrize("kernel,params", ALL_KERNELS,
+                             ids=lambda k: getattr(k, "__name__", str(k)))
+    def test_replay_consistency(self, kernel, params):
+        assert replay_consistent(build(kernel, **params))
+
+    @pytest.mark.parametrize("kernel,params", ALL_KERNELS,
+                             ids=lambda k: getattr(k, "__name__", str(k)))
+    def test_budget_respected(self, kernel, params):
+        trace = build(kernel, n=3000, **params)
+        assert 2500 <= len(trace) <= 3800
+
+    @pytest.mark.parametrize("kernel,params", ALL_KERNELS,
+                             ids=lambda k: getattr(k, "__name__", str(k)))
+    def test_deterministic(self, kernel, params):
+        assert build(kernel, **params).instructions == \
+            build(kernel, **params).instructions
+
+
+class TestFlagLoop:
+    def test_invalid_lead_rejected(self):
+        with pytest.raises(ValueError, match="update_lead"):
+            build(flag_check_loop, ring_slots=8, update_lead=8)
+
+    def test_conflicts_are_committed(self):
+        trace = build(flag_check_loop, n=12000, ring_slots=32, update_lead=24)
+        profile = load_store_conflicts(trace, window=64)
+        assert profile.committed_share > 0.9
+        assert profile.conflict_committed > 100
+
+    def test_reentry_skips_reseeding(self):
+        builder = WorkloadBuilder("k", seed=3)
+        flag_check_loop(builder, 2000)
+        first_len = len(builder)
+        flag_check_loop(builder, 4000)
+        # Second entry adds loop body only, no seed stores at code_base.
+        seeds = sum(1 for inst in builder.build().instructions[first_len:]
+                    if inst.op == OpClass.STORE and inst.pc == 0xC0000)
+        assert seeds == 0
+
+
+class TestObjectGraph:
+    def test_chain_is_serially_dependent(self):
+        trace = build(object_graph, chain_depth=4, num_roots=2)
+        # Consecutive chain loads feed each other through _R_PTR.
+        loads = [i for i in trace if i.is_load and i.srcs == (13,)]
+        assert len(loads) > 50
+
+    def test_repoint_preserves_reachability(self):
+        """After a repoint the chain still reaches the same leaf value."""
+        trace = build(object_graph, n=8000, chain_depth=3, num_roots=4,
+                      repoint_every=20)
+        assert replay_consistent(trace)
+
+    def test_coupling_knob(self):
+        coupled = build(object_graph, couple_every=1)
+        uncoupled = build(object_graph, couple_every=0)
+        n_coupled = sum(1 for i in coupled if i.is_load and 14 in i.srcs)
+        n_uncoupled = sum(1 for i in uncoupled if i.is_load and 14 in i.srcs)
+        assert n_coupled > n_uncoupled
+
+
+class TestProducerConsumer:
+    def test_inflight_conflicts_by_design(self):
+        trace = build(producer_consumer)
+        profile = load_store_conflicts(trace, window=64)
+        assert profile.fraction_inflight > 0.05
+
+
+class TestVectorFilter:
+    def test_vector_and_ldm_loads_present(self):
+        trace = build(vector_filter, ldm_regs=4)
+        summary = trace.summary()
+        assert summary.vector_loads > 0
+        assert summary.multi_dest_loads > 0      # one LDM per VLD here
+
+    def test_ref_blocks_emit_extra_loads(self):
+        plain = build(vector_filter, ref_blocks=0)
+        with_refs = build(vector_filter, ref_blocks=16)
+        plain_pcs = {i.pc for i in plain if i.is_load}
+        ref_pcs = {i.pc for i in with_refs if i.is_load}
+        assert len(ref_pcs) > len(plain_pcs)
+
+
+class TestStateMachine:
+    def test_random_states_are_aperiodic(self):
+        trace = build(table_state_machine, n=8000, num_states=4,
+                      random_states=True)
+        shared = [i.mem_addr for i in trace
+                  if i.is_load and i.pc == 0x70800]
+        # The shared-lookup address sequence should not be short-periodic.
+        for period in (2, 3, 4, 6):
+            assert any(shared[k] != shared[k + period]
+                       for k in range(len(shared) - period))
+
+    def test_prelude_pcs_encode_state(self):
+        trace = build(table_state_machine, num_states=4, path_loads=2)
+        prelude_pcs = {i.pc for i in trace
+                       if i.is_load and 0x70100 <= i.pc < 0x70800}
+        # Two loads per state, PC-staggered by state bits.
+        assert len(prelude_pcs) >= 6
+
+
+class TestHashLookup:
+    def test_low_occupancy_values_repeat(self):
+        trace = build(hash_lookup, n=8000, buckets=256, occupancy=0.02)
+        profile = repeatability(trace)
+        assert profile.fraction_repeating("value", 8) > 0.3
+
+    def test_bucket_addresses_erratic(self):
+        trace = build(hash_lookup, n=8000, buckets=256, occupancy=0.02)
+        bucket_loads = [i.mem_addr for i in trace
+                        if i.is_load and i.pc == 0x50108]
+        assert len(set(bucket_loads)) > 50
+
+
+class TestCallTree:
+    def test_spill_reload_pairs_match(self):
+        """Every epilogue reload returns exactly what the prologue spilled."""
+        assert replay_consistent(build(call_tree, depth=4))
+
+    def test_ldp_knob(self):
+        with_ldp = build(call_tree, use_ldp=True)
+        without = build(call_tree, use_ldp=False)
+        assert with_ldp.summary().multi_dest_loads > 0
+        assert without.summary().multi_dest_loads == 0

@@ -1,0 +1,64 @@
+"""Tests for the store-sets memory dependence predictor."""
+
+from repro.mdp import StoreSetsConfig, StoreSetsPredictor
+
+
+class TestStoreSets:
+    def test_no_prediction_before_violation(self):
+        mdp = StoreSetsPredictor()
+        assert mdp.load_dependence(0x1000) is None
+
+    def test_violation_creates_dependence(self):
+        mdp = StoreSetsPredictor()
+        mdp.report_violation(load_pc=0x1000, store_pc=0x2000)
+        mdp.store_fetched(0x2000, seq=5)
+        assert mdp.load_dependence(0x1000) == 5
+
+    def test_store_executed_clears(self):
+        mdp = StoreSetsPredictor()
+        mdp.report_violation(0x1000, 0x2000)
+        mdp.store_fetched(0x2000, seq=5)
+        mdp.store_executed(0x2000)
+        assert mdp.load_dependence(0x1000) is None
+
+    def test_latest_store_wins(self):
+        mdp = StoreSetsPredictor()
+        mdp.report_violation(0x1000, 0x2000)
+        mdp.store_fetched(0x2000, seq=5)
+        mdp.store_fetched(0x2000, seq=9)
+        assert mdp.load_dependence(0x1000) == 9
+
+    def test_merging_sets(self):
+        mdp = StoreSetsPredictor()
+        mdp.report_violation(0x1000, 0x2000)
+        mdp.report_violation(0x1000, 0x3000)    # merge 0x3000 into the set
+        mdp.store_fetched(0x3000, seq=7)
+        assert mdp.load_dependence(0x1000) == 7
+
+    def test_merge_existing_sets_picks_smaller_id(self):
+        mdp = StoreSetsPredictor()
+        mdp.report_violation(0x1000, 0x2000)      # set 0
+        mdp.report_violation(0x3000, 0x4000)      # set 1
+        mdp.report_violation(0x1000, 0x4000)      # merge
+        mdp.store_fetched(0x4000, seq=3)
+        assert mdp.load_dependence(0x1000) == 3
+
+    def test_periodic_clear(self):
+        mdp = StoreSetsPredictor(StoreSetsConfig(clear_interval=4))
+        mdp.report_violation(0x1000, 0x2000)
+        for i in range(6):
+            mdp.store_fetched(0x2000, seq=i)
+        # After the clear the SSIT is empty again.
+        assert mdp.load_dependence(0x1000) is None
+
+    def test_violation_counter(self):
+        mdp = StoreSetsPredictor()
+        mdp.report_violation(0x1000, 0x2000)
+        mdp.report_violation(0x1000, 0x2000)
+        assert mdp.violations == 2
+
+    def test_unrelated_load_unaffected(self):
+        mdp = StoreSetsPredictor()
+        mdp.report_violation(0x1000, 0x2000)
+        mdp.store_fetched(0x2000, seq=5)
+        assert mdp.load_dependence(0x5550) is None

@@ -1,0 +1,201 @@
+"""Tests for the Path-based Address Predictor (the paper's core)."""
+
+import pytest
+
+from repro.predictors import AptEntryLayout, LoadPathHistory, PapConfig, PapPredictor
+
+
+def train_to_confidence(pap, index, tag, addr, size=8, way=0, rounds=64):
+    """Train one entry until it predicts (FPC is probabilistic)."""
+    for _ in range(rounds):
+        pap.train(index, tag, addr, size, way)
+        if pap.predict(index, tag) is not None:
+            return True
+    return False
+
+
+class TestKeys:
+    def test_key_depends_on_history(self):
+        pap = PapPredictor()
+        k1 = pap.compute_key(0x1000)
+        pap.history.push_load(0x1004)
+        k2 = pap.compute_key(0x1000)
+        assert k1 != k2
+
+    def test_key_stable_for_same_history(self):
+        pap = PapPredictor()
+        assert pap.compute_key(0x1000) == pap.compute_key(0x1000)
+
+    def test_explicit_history_value(self):
+        pap = PapPredictor()
+        assert pap.compute_key(0x1000, history_value=5) == pap.compute_key(0x1000, 5)
+
+    def test_strided_pcs_do_not_alias(self):
+        # Regularly strided static code (0x100 apart) must spread over
+        # the APT; systematic aliasing was a real bug once.
+        pap = PapPredictor()
+        indices = {pap.compute_key(0x40000 + i * 0x100)[0] for i in range(48)}
+        assert len(indices) >= 44
+
+    def test_index_and_tag_in_range(self):
+        pap = PapPredictor()
+        for pc in range(0x1000, 0x3000, 4):
+            index, tag = pap.compute_key(pc)
+            assert 0 <= index < pap.config.entries
+            assert 0 <= tag < (1 << pap.config.tag_bits)
+
+
+class TestTraining:
+    def test_no_prediction_untrained(self):
+        pap = PapPredictor()
+        index, tag = pap.compute_key(0x1000)
+        assert pap.predict(index, tag) is None
+
+    def test_confidence_gates_prediction(self):
+        pap = PapPredictor()
+        index, tag = pap.compute_key(0x1000)
+        pap.train(index, tag, 0x5000, 8, 0)     # allocate, conf 0
+        assert pap.predict(index, tag) is None
+
+    def test_stable_address_becomes_predictable(self):
+        pap = PapPredictor()
+        index, tag = pap.compute_key(0x1000)
+        assert train_to_confidence(pap, index, tag, 0x5000)
+        pred = pap.predict(index, tag)
+        assert pred.addr == 0x5000
+        assert pred.size == 8
+
+    def test_address_change_resets_confidence(self):
+        pap = PapPredictor()
+        index, tag = pap.compute_key(0x1000)
+        train_to_confidence(pap, index, tag, 0x5000)
+        pap.train(index, tag, 0x6000, 8, 0)
+        assert pap.predict(index, tag) is None
+        assert pap.confidence_resets == 1
+
+    def test_reallocated_entry_learns_new_address(self):
+        pap = PapPredictor()
+        index, tag = pap.compute_key(0x1000)
+        train_to_confidence(pap, index, tag, 0x5000)
+        assert train_to_confidence(pap, index, tag, 0x6000)
+        assert pap.predict(index, tag).addr == 0x6000
+
+    def test_way_and_size_follow_training(self):
+        pap = PapPredictor()
+        index, tag = pap.compute_key(0x1000)
+        train_to_confidence(pap, index, tag, 0x5000, size=8, way=1)
+        pap.train(index, tag, 0x5000, 16, 3)
+        pred = pap.predict(index, tag)
+        assert pred.size == 16
+        assert pred.way == 3
+
+    def test_way_prediction_disabled(self):
+        pap = PapPredictor(PapConfig(way_prediction=False))
+        index, tag = pap.compute_key(0x1000)
+        train_to_confidence(pap, index, tag, 0x5000, way=2)
+        assert pap.predict(index, tag).way is None
+
+
+class TestAllocationPolicy:
+    def test_policy2_confident_entry_survives_one_miss(self):
+        pap = PapPredictor()
+        index, tag = pap.compute_key(0x1000)
+        train_to_confidence(pap, index, tag, 0x5000)
+        allocations_before = pap.allocations
+        # A different tag probing the same entry decrements, not replaces.
+        other_tag = (tag + 1) % (1 << pap.config.tag_bits)
+        pap.train(index, other_tag, 0x9000, 8, 0)
+        assert pap.allocations == allocations_before     # survived
+        # Retraining quickly restores the (still-resident) entry.
+        assert train_to_confidence(pap, index, tag, 0x5000, rounds=16)
+        assert pap.predict(index, tag).addr == 0x5000
+
+    def test_policy2_unconfident_entry_replaced(self):
+        pap = PapPredictor()
+        index, tag = pap.compute_key(0x1000)
+        pap.train(index, tag, 0x5000, 8, 0)      # conf 0
+        other_tag = (tag + 1) % (1 << pap.config.tag_bits)
+        pap.train(index, other_tag, 0x9000, 8, 0)
+        assert pap.predict(index, tag) is None
+        assert pap.allocations == 2
+
+    def test_policy1_always_replaces(self):
+        pap = PapPredictor(PapConfig(allocation_policy=1))
+        index, tag = pap.compute_key(0x1000)
+        train_to_confidence(pap, index, tag, 0x5000)
+        other_tag = (tag + 1) % (1 << pap.config.tag_bits)
+        pap.train(index, other_tag, 0x9000, 8, 0)
+        # The original entry is gone immediately under Policy-1.
+        assert pap.predict(index, tag) is None
+
+    def test_policy2_beats_policy1_under_interleaving(self):
+        """The paper's stated reason for Policy-2: confident entries
+        survive interference from colliding loads."""
+        def run(policy):
+            pap = PapPredictor(PapConfig(allocation_policy=policy, seed=3))
+            index, tag = pap.compute_key(0x1000)
+            rare_tag = (tag + 7) % (1 << pap.config.tag_bits)
+            predictions = 0
+            for i in range(400):
+                pred = pap.predict(index, tag)
+                if pred is not None:
+                    predictions += 1
+                pap.train(index, tag, 0x5000, 8, 0)
+                if i % 5 == 4:      # occasional colliding rare load
+                    pap.train(index, rare_tag, 0x8000, 8, 0)
+            return predictions
+        assert run(2) > run(1)
+
+
+class TestStatsAndLayout:
+    def test_record_outcome_counts(self):
+        pap = PapPredictor()
+        index, tag = pap.compute_key(0x1000)
+        train_to_confidence(pap, index, tag, 0x5000)
+        pred = pap.predict(index, tag)
+        assert pap.record_outcome(pred, 0x5000)
+        assert not pap.record_outcome(pred, 0x6000)
+        assert pap.record_outcome(None, 0x5000) is False
+        assert pap.stats.loads_seen == 3
+        assert pap.stats.predictions == 2
+        assert pap.stats.correct == 1
+        assert pap.stats.accuracy == 0.5
+
+    def test_table1_entry_widths(self):
+        layout = AptEntryLayout()
+        assert layout.bits() == 67                      # ARMv8 (Table 4)
+        assert AptEntryLayout(address_bits=32).bits() == 50   # ARMv7
+
+    def test_storage_budget_matches_table4(self):
+        pap = PapPredictor()
+        assert pap.storage_bits() == 1024 * 67
+        v7 = PapPredictor(PapConfig(address_bits=32))
+        assert v7.storage_bits() == 1024 * 50
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            PapConfig(entries=1000)
+        with pytest.raises(ValueError):
+            PapConfig(allocation_policy=3)
+
+
+class TestLoadPathHistory:
+    def test_push_load_uses_bit2(self):
+        h = LoadPathHistory(4)
+        h.push_load(0x1004)     # bit 2 set
+        h.push_load(0x1008)     # bit 2 clear
+        assert h.value == 0b10
+
+    def test_snapshot_restore(self):
+        h = LoadPathHistory(8)
+        h.push_load(0x1004)
+        snap = h.snapshot()
+        h.push_load(0x1004)
+        h.restore(snap)
+        assert h.value == snap
+
+    def test_folding_in_range(self):
+        h = LoadPathHistory(16)
+        for pc in range(0x1000, 0x1100, 4):
+            h.push_load(pc)
+        assert 0 <= h.folded(10) < 1024

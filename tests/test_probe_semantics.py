@@ -1,0 +1,118 @@
+"""End-to-end semantics of DLVP's committed-state probing.
+
+These tests construct hand-built traces and check the paper's central
+mechanism inside the full pipeline: a probe sees committed stores (and
+predicts correctly where a value table would be stale), but races
+in-flight stores (and the LSCD then retires the load from the scheme).
+"""
+
+from repro.core.dlvp import DlvpStats
+from repro.isa import OpClass
+from repro.pipeline import DlvpScheme, simulate
+from repro.workloads import WorkloadBuilder
+
+
+def committed_conflict_trace(repeats=120, gap=240):
+    """store X -> (long gap) -> load X, repeated with changing values."""
+    b = WorkloadBuilder("committed", seed=1)
+    for i in range(repeats):
+        b.store(0x1000, addr=0x8000, value=i * 7919, size=8)
+        for k in range(gap):
+            b.alu(0x1100 + 4 * (k % 16), 2, srcs=(2,))
+        b.load(0x2000, dests=(1,), addr=0x8000, size=8)
+        for k in range(gap):
+            b.alu(0x2100 + 4 * (k % 16), 3, srcs=(3,))
+    return b.build()
+
+
+def inflight_conflict_trace(repeats=120):
+    """store X immediately followed by load X, repeated."""
+    b = WorkloadBuilder("inflight", seed=1)
+    for i in range(repeats):
+        b.store(0x1000, addr=0x8000, value=i * 104729, size=8)
+        b.alu(0x1004, 2, srcs=(2,))
+        b.load(0x1008, dests=(1,), addr=0x8000, size=8)
+        for k in range(12):
+            b.alu(0x1100 + 4 * (k % 8), 3, srcs=(3,))
+    return b.build()
+
+
+class TestCommittedConflicts:
+    def test_dlvp_predicts_through_committed_stores(self):
+        """The headline mechanism: the value changes on every visit, but
+        the changing store is long committed, so the probe returns the
+        fresh value and predictions are correct."""
+        result = simulate(committed_conflict_trace(), scheme=DlvpScheme())
+        stats = result.scheme_stats
+        assert isinstance(stats, DlvpStats)
+        assert stats.value_predictions > 40
+        assert stats.value_accuracy > 0.97
+        assert result.flushes.value <= 2
+
+    def test_lvp_would_mispredict_every_visit(self):
+        """Contrast: a last-value predictor goes stale on every visit."""
+        from repro.predictors import LastValuePredictor
+        lvp = LastValuePredictor()
+        for inst in committed_conflict_trace():
+            if inst.op == OpClass.LOAD:
+                lvp.train(inst)
+        assert lvp.stats.accuracy < 0.1 or lvp.stats.predictions == 0
+
+
+class TestInFlightConflicts:
+    def test_probe_races_inflight_store(self):
+        """With the store immediately preceding the load, the probe sees
+        the *previous* committed value: the first consumed prediction is
+        wrong, flushes, and the LSCD retires the load from the scheme."""
+        result = simulate(inflight_conflict_trace(), scheme=DlvpScheme())
+        stats = result.scheme_stats
+        assert isinstance(stats, DlvpStats)
+        assert stats.inflight_conflicts >= 1
+        assert stats.lscd_blocked > 10
+        # After LSCD capture, flushes stop: far fewer flushes than loads.
+        assert result.flushes.value <= 3
+
+    def test_without_lscd_flushes_repeat(self):
+        from repro.core import DlvpConfig
+        with_ = simulate(inflight_conflict_trace(),
+                         scheme=DlvpScheme(DlvpConfig(lscd_entries=4)))
+        without = simulate(inflight_conflict_trace(),
+                           scheme=DlvpScheme(DlvpConfig(lscd_entries=0)))
+        assert without.flushes.value > with_.flushes.value
+        assert without.cycles >= with_.cycles
+
+
+class TestWindowInteractions:
+    def test_ldq_pressure_slows_fetch(self):
+        """A load-only stream must respect LDQ occupancy."""
+        from repro.pipeline import CoreConfig
+        b = WorkloadBuilder("loads", seed=1)
+        for i in range(1200):
+            b.load(0x1000 + 4 * (i % 4), dests=(1,),
+                   addr=0x10000 + (i % 128) * 8, size=8)
+        trace = b.build()
+        big = simulate(trace, core_config=CoreConfig(ldq_entries=72))
+        tiny = simulate(trace, core_config=CoreConfig(ldq_entries=4))
+        assert tiny.cycles >= big.cycles
+
+    def test_rob_pressure_slows_fetch(self):
+        from repro.pipeline import CoreConfig
+        b = WorkloadBuilder("divs", seed=1)
+        for i in range(800):
+            b.alu(0x1000, 1, srcs=(1,), op=OpClass.DIV)
+            for k in range(7):
+                b.alu(0x1004 + 4 * k, 2 + (k % 4), srcs=())
+        trace = b.build()
+        big = simulate(trace, core_config=CoreConfig(rob_entries=224))
+        tiny = simulate(trace, core_config=CoreConfig(rob_entries=16))
+        assert tiny.cycles > big.cycles
+
+    def test_pvt_capacity_limits_predictions(self):
+        """With a 1-entry PVT, overlapping predictions get rejected."""
+        trace = committed_conflict_trace(repeats=60, gap=240)
+        rich = DlvpScheme()
+        poor = DlvpScheme()
+        poor.vpe.pvt.capacity = 1
+        r_rich = simulate(trace, scheme=rich)
+        r_poor = simulate(trace, scheme=poor)
+        assert r_poor.value_predictions <= r_rich.value_predictions

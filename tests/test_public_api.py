@@ -1,0 +1,36 @@
+"""Public API surface tests."""
+
+import importlib
+
+import repro
+
+
+class TestApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_snippet(self):
+        from repro import build_workload, simulate, DlvpScheme
+        trace = build_workload("perlbmk", n_instructions=2000)
+        baseline = simulate(trace)
+        dlvp = simulate(trace, scheme=DlvpScheme())
+        assert isinstance(dlvp.speedup_over(baseline), float)
+
+    def test_subpackages_importable(self):
+        for mod in ("repro.isa", "repro.trace", "repro.workloads",
+                    "repro.memory", "repro.branch", "repro.mdp",
+                    "repro.predictors", "repro.core", "repro.pipeline",
+                    "repro.energy", "repro.experiments"):
+            importlib.import_module(mod)
+
+    def test_experiment_modules_importable(self):
+        for mod in ("fig1_conflicts", "fig2_repeatability",
+                    "fig4_address_prediction", "fig5_prefetch",
+                    "fig6_value_prediction", "fig7_vtage_flavors",
+                    "fig8_tournament", "fig9_selected", "fig10_recovery",
+                    "tables", "runner"):
+            importlib.import_module(f"repro.experiments.{mod}")
