@@ -6,31 +6,73 @@ Commands:
 * ``run <workload> [...]``         — simulate workloads under a scheme
 * ``figure <id>``                  — regenerate one paper figure/table
 * ``profile <workload> [...]``     — Figure 1/2 trace profiles
+* ``sweep``                        — run a scheme x workload grid
+
+``run``, ``figure`` and ``sweep`` go through :mod:`repro.runtime`:
+``--jobs N`` fans simulation out over N worker processes, results are
+cached content-addressed under ``--cache-dir`` (default
+``$REPRO_CACHE_DIR`` or ``~/.cache/repro``; disable with
+``--no-cache``), and a JSONL run journal is written (``--journal``,
+default ``<cache-dir>/last-run.jsonl``).  Tables go to stdout, the
+run summary to stderr, so output stays pipe- and diff-friendly.
 
 Examples::
 
     python -m repro run perlbmk nat --scheme dlvp --instructions 20000
-    python -m repro figure 6 --instructions 8000
+    python -m repro figure 6 --instructions 8000 --jobs 4
     python -m repro figure table2
     python -m repro profile gzip
+    python -m repro sweep --schemes dlvp vtage --workloads gzip nat crc
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
-from repro.experiments import SuiteRunner
-from repro.experiments.runner import default_scheme_factories, format_table
-from repro.pipeline import DvtageScheme, RecoveryMode, simulate
+from repro.experiments import SuiteRunner, arithmetic_mean, geometric_mean
+from repro.experiments.runner import format_table
+from repro.pipeline import RecoveryMode
+from repro.runtime import Runtime, default_cache_dir, scheme_ids
 from repro.trace import load_store_conflicts, repeatability
 from repro.workloads import SUITE, build_workload, workload_names
 
+_RUN_SCHEMES = ("dlvp", "cap", "vtage", "dvtage", "tournament")
 
-def _scheme_factories():
-    factories = default_scheme_factories()
-    factories["dvtage"] = DvtageScheme
-    return factories
+
+def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("runtime")
+    group.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes (1 = serial, the default)")
+    group.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="result/trace cache root "
+                            "(default: $REPRO_CACHE_DIR or ~/.cache/repro)")
+    group.add_argument("--no-cache", action="store_true",
+                       help="always simulate; do not read or write the cache")
+    group.add_argument("--journal", default=None, metavar="FILE",
+                       help="JSONL run journal path "
+                            "(default: <cache-dir>/last-run.jsonl)")
+    group.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                       help="per-job wall-clock limit")
+
+
+def _runtime_from_args(args: argparse.Namespace) -> Runtime:
+    cache_dir = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+    journal_path = args.journal
+    if journal_path is None and not args.no_cache:
+        journal_path = cache_dir / "last-run.jsonl"
+    return Runtime(
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+        use_cache=not args.no_cache,
+        journal_path=journal_path,
+        timeout=args.timeout,
+    )
+
+
+def _print_summary(runtime: Runtime) -> None:
+    print(runtime.journal.format_summary(), file=sys.stderr)
 
 
 def cmd_list(args: argparse.Namespace) -> int:
@@ -44,18 +86,25 @@ def cmd_list(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    factories = _scheme_factories()
-    if args.scheme not in factories:
-        print(f"unknown scheme {args.scheme!r}; have {sorted(factories)}",
+    if args.scheme not in scheme_ids():
+        print(f"unknown scheme {args.scheme!r}; have {sorted(_RUN_SCHEMES)}",
               file=sys.stderr)
         return 2
     recovery = RecoveryMode(args.recovery)
+    runtime = _runtime_from_args(args)
+    grid = runtime.run_grid(
+        ["baseline", args.scheme], args.workloads, args.instructions,
+        recovery=recovery,
+    )
+    if grid.failures():
+        for outcome in grid.failures():
+            print(f"FAILED {outcome.job.workload}/{outcome.job.scheme_id}: "
+                  f"{outcome.error}", file=sys.stderr)
+        return 1
     rows = []
     for name in args.workloads:
-        trace = build_workload(name, args.instructions)
-        baseline = simulate(trace)
-        result = simulate(trace, scheme=factories[args.scheme](),
-                          recovery=recovery)
+        baseline = grid.result("baseline", name)
+        result = grid.result(args.scheme, name)
         rows.append([
             name,
             f"{baseline.ipc:5.2f}",
@@ -70,6 +119,7 @@ def cmd_run(args: argparse.Namespace) -> int:
          "value flushes"],
         rows,
     ))
+    _print_summary(runtime)
     return 0
 
 
@@ -101,9 +151,48 @@ def cmd_figure(args: argparse.Namespace) -> int:
     module_name, func = _FIGURES[target]
     module = importlib.import_module(f"repro.experiments.{module_name}")
     names = args.workloads or None
-    runner = SuiteRunner(n_instructions=args.instructions, names=names)
+    runtime = _runtime_from_args(args)
+    runner = SuiteRunner(
+        n_instructions=args.instructions, names=names, runtime=runtime
+    )
     print(getattr(module, func)(runner).render())
+    _print_summary(runtime)
     return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    known = scheme_ids()
+    unknown = [s for s in args.schemes if s not in known]
+    if unknown:
+        print(f"unknown scheme(s) {unknown}; registered: {known}",
+              file=sys.stderr)
+        return 2
+    workloads = args.workloads or workload_names()
+    recovery = RecoveryMode(args.recovery)
+    runtime = _runtime_from_args(args)
+    schemes = [s for s in args.schemes if s != "baseline"]
+    grid = runtime.run_grid(
+        ["baseline"] + schemes, workloads, args.instructions, recovery=recovery
+    )
+    rows = []
+    speedups = {scheme: grid.speedups(scheme) for scheme in schemes}
+    for name in workloads:
+        rows.append([name] + [f"{speedups[s][name]:+8.2%}" for s in schemes])
+    rows.append(["(arith mean)"]
+                + [f"{arithmetic_mean(speedups[s].values()):+8.2%}"
+                   for s in schemes])
+    rows.append(["(geo mean)"]
+                + [f"{geometric_mean(speedups[s].values()):+8.2%}"
+                   for s in schemes])
+    print(f"sweep — {len(schemes)} scheme(s) x {len(workloads)} workload(s), "
+          f"{args.instructions} instructions, recovery={recovery.value}")
+    print(format_table(["workload"] + schemes, rows))
+    if grid.failures():
+        for outcome in grid.failures():
+            print(f"FAILED {outcome.job.workload}/{outcome.job.scheme_id}: "
+                  f"{outcome.error}", file=sys.stderr)
+    _print_summary(runtime)
+    return 1 if grid.failures() else 0
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
@@ -140,12 +229,29 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--recovery", default="flush",
                      choices=[m.value for m in RecoveryMode])
     run.add_argument("--instructions", type=int, default=16_000)
+    _add_runtime_flags(run)
 
     fig = sub.add_parser("figure", help="regenerate one figure or table")
     fig.add_argument("id", help="1,2,4..10 or table1..table4")
     fig.add_argument("--instructions", type=int, default=8_000)
     fig.add_argument("--workloads", nargs="*", default=None,
                      help="optional workload subset")
+    _add_runtime_flags(fig)
+
+    sweep = sub.add_parser(
+        "sweep", help="run a scheme x workload grid and print speedups"
+    )
+    sweep.add_argument("--schemes", nargs="+", required=True,
+                       metavar="scheme",
+                       help="registered scheme ids (see also: figure modules "
+                            "register their sweep points on import)")
+    sweep.add_argument("--workloads", nargs="*", default=None,
+                       choices=workload_names(), metavar="workload",
+                       help="workload subset (default: whole suite)")
+    sweep.add_argument("--recovery", default="flush",
+                       choices=[m.value for m in RecoveryMode])
+    sweep.add_argument("--instructions", type=int, default=8_000)
+    _add_runtime_flags(sweep)
 
     prof = sub.add_parser("profile", help="Figure 1/2 trace profiles")
     prof.add_argument("workloads", nargs="+", choices=workload_names(),
@@ -161,6 +267,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": cmd_run,
         "figure": cmd_figure,
         "profile": cmd_profile,
+        "sweep": cmd_sweep,
     }
     return handlers[args.command](args)
 

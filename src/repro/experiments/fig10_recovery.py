@@ -12,7 +12,6 @@ from dataclasses import dataclass
 from repro.experiments.runner import (
     SuiteRunner,
     arithmetic_mean,
-    default_scheme_factories,
     format_table,
 )
 from repro.pipeline import RecoveryMode
@@ -47,14 +46,11 @@ class Fig10Result:
 
 def run(runner: SuiteRunner) -> Fig10Result:
     """Run the three schemes under flush and oracle-replay recovery."""
-    factories = default_scheme_factories()
     flush = {}
     replay = {}
     for scheme in _SCHEMES:
-        flush_runs = runner.run_scheme(factories[scheme], recovery=RecoveryMode.FLUSH)
-        replay_runs = runner.run_scheme(
-            factories[scheme], recovery=RecoveryMode.ORACLE_REPLAY
-        )
+        flush_runs = runner.run_scheme(scheme, recovery=RecoveryMode.FLUSH)
+        replay_runs = runner.run_scheme(scheme, recovery=RecoveryMode.ORACLE_REPLAY)
         flush[scheme] = arithmetic_mean(runner.speedups(flush_runs).values())
         replay[scheme] = arithmetic_mean(runner.speedups(replay_runs).values())
     return Fig10Result(flush=flush, replay=replay)

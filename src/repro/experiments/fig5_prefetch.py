@@ -14,6 +14,17 @@ from repro.core import DlvpConfig
 from repro.core.dlvp import DlvpStats
 from repro.experiments.runner import SuiteRunner, arithmetic_mean, format_table
 from repro.pipeline import DlvpScheme
+from repro.runtime import register_scheme
+
+_PREFETCH_ON = DlvpConfig(prefetch_on_miss=True)
+_PREFETCH_OFF = DlvpConfig(prefetch_on_miss=False)
+
+register_scheme(
+    "dlvp/prefetch", lambda: DlvpScheme(_PREFETCH_ON), config=_PREFETCH_ON
+)
+register_scheme(
+    "dlvp/no-prefetch", lambda: DlvpScheme(_PREFETCH_OFF), config=_PREFETCH_OFF
+)
 
 
 @dataclass(frozen=True)
@@ -65,10 +76,8 @@ class Fig5Result:
 
 def run(runner: SuiteRunner) -> Fig5Result:
     """Run DLVP with prefetching enabled and disabled."""
-    with_pf = runner.run_scheme(lambda: DlvpScheme(DlvpConfig(prefetch_on_miss=True)))
-    without_pf = runner.run_scheme(
-        lambda: DlvpScheme(DlvpConfig(prefetch_on_miss=False))
-    )
+    with_pf = runner.run_scheme("dlvp/prefetch")
+    without_pf = runner.run_scheme("dlvp/no-prefetch")
     fractions = {}
     for name, result in with_pf.items():
         stats = result.scheme_stats

@@ -17,7 +17,6 @@ from repro.energy.predictor_costs import PredictorCost
 from repro.experiments.runner import (
     SuiteRunner,
     arithmetic_mean,
-    default_scheme_factories,
     format_table,
 )
 from repro.pipeline import SimResult
@@ -92,14 +91,18 @@ class Fig6Result:
 
 
 def run(runner: SuiteRunner, energy_weights: EnergyWeights | None = None) -> Fig6Result:
-    """Run CAP, VTAGE and DLVP over the suite (Figures 6a-6d)."""
-    factories = default_scheme_factories()
+    """Run CAP, VTAGE and DLVP over the suite (Figures 6a-6d).
+
+    The schemes are submitted through the runner's runtime by their
+    registered ids, so cells hit the result cache and fan out across
+    workers when the runtime allows it.
+    """
     baselines = runner.baselines()
     results: dict[str, dict[str, SimResult]] = {}
     speedups: dict[str, dict[str, float]] = {}
     energy: dict[str, dict[str, float]] = {}
     for scheme in _SCHEMES:
-        runs = runner.run_scheme(factories[scheme])
+        runs = runner.run_scheme(scheme)
         results[scheme] = runs
         speedups[scheme] = runner.speedups(runs)
         energy[scheme] = {

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from repro.experiments.runner import SuiteRunner, arithmetic_mean, format_table
 from repro.pipeline import SimResult, VtageScheme
 from repro.predictors import OpcodeFilterMode, VtageConfig
+from repro.runtime import register_scheme
 
 CONFIGS: dict[str, VtageConfig] = {
     "vanilla/loads": VtageConfig(filter_mode=OpcodeFilterMode.NONE, loads_only=True),
@@ -27,6 +28,18 @@ CONFIGS: dict[str, VtageConfig] = {
     "dynamic/all": VtageConfig(filter_mode=OpcodeFilterMode.DYNAMIC, loads_only=False),
     "static/all": VtageConfig(filter_mode=OpcodeFilterMode.STATIC, loads_only=False),
 }
+
+# Each flavour is a registered scheme id so suite runs are cacheable
+# grid jobs; the config is folded into every job's content hash.
+_SCHEME_IDS: dict[str, str] = {
+    name: f"vtage/{name}" for name in CONFIGS
+}
+for _name, _config in CONFIGS.items():
+    register_scheme(
+        _SCHEME_IDS[_name],
+        lambda config=_config: VtageScheme(config),
+        config=_config,
+    )
 
 
 @dataclass(frozen=True)
@@ -68,8 +81,8 @@ def run(runner: SuiteRunner) -> Fig7Result:
     """Run all six VTAGE filter/eligibility configurations."""
     results = {}
     speedups = {}
-    for name, config in CONFIGS.items():
-        runs = runner.run_scheme(lambda config=config: VtageScheme(config))
+    for name in CONFIGS:
+        runs = runner.run_scheme(_SCHEME_IDS[name])
         results[name] = runs
         speedups[name] = runner.speedups(runs)
     return Fig7Result(results=results, speedups=speedups)

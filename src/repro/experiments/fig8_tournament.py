@@ -12,7 +12,6 @@ from dataclasses import dataclass
 from repro.experiments.runner import (
     SuiteRunner,
     arithmetic_mean,
-    default_scheme_factories,
     format_table,
 )
 from repro.pipeline import SimResult
@@ -67,10 +66,9 @@ class Fig8Result:
 
 def run(runner: SuiteRunner) -> Fig8Result:
     """Run DLVP, VTAGE and their tournament over the suite."""
-    factories = default_scheme_factories()
-    dlvp = runner.run_scheme(factories["dlvp"])
-    vtage = runner.run_scheme(factories["vtage"])
-    tournament = runner.run_scheme(factories["tournament"])
+    dlvp = runner.run_scheme("dlvp")
+    vtage = runner.run_scheme("vtage")
+    tournament = runner.run_scheme("tournament")
     speedups = {
         "dlvp": runner.speedups(dlvp),
         "vtage": runner.speedups(vtage),

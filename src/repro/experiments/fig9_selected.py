@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.runner import SuiteRunner, default_scheme_factories, format_table
+from repro.experiments.runner import SuiteRunner, format_table
 from repro.pipeline import SimResult
 
 SELECTED = ("bzip2", "pdfjs", "gcc", "soplex", "avmshell")
@@ -60,11 +60,12 @@ class Fig9Result:
 def run(runner: SuiteRunner) -> Fig9Result:
     """Run DLVP and VTAGE on the paper's five selected benchmarks."""
     selected_runner = SuiteRunner(
-        n_instructions=runner.n_instructions, names=list(SELECTED)
+        n_instructions=runner.n_instructions,
+        names=list(SELECTED),
+        runtime=runner.runtime,
     )
-    factories = default_scheme_factories()
-    dlvp = selected_runner.run_scheme(factories["dlvp"])
-    vtage = selected_runner.run_scheme(factories["vtage"])
+    dlvp = selected_runner.run_scheme("dlvp")
+    vtage = selected_runner.run_scheme("vtage")
     return Fig9Result(
         dlvp=dlvp,
         vtage=vtage,

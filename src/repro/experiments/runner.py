@@ -1,14 +1,19 @@
 """Shared experiment machinery.
 
-:class:`SuiteRunner` builds the workload suite once, caches the traces
-and the baseline runs, and executes value-prediction schemes over the
-suite.  Scheme objects are stateful, so a fresh instance is constructed
-per (scheme, trace) pair via factory callables.
+:class:`SuiteRunner` is the experiments' front door to the
+:mod:`repro.runtime` subsystem: every scheme run over the suite becomes
+a grid of content-hashed jobs submitted through a
+:class:`~repro.runtime.Runtime`, which supplies result caching,
+parallel fan-out and the run journal.  Schemes are addressed by
+registered id (``"dlvp"``, ``"vtage"``, ...); passing a factory
+callable is still supported for ad-hoc schemes, and runs in-process
+without caching (a closure has no content hash).
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from collections.abc import Callable, Iterable
 
 from repro.pipeline import (
@@ -22,6 +27,7 @@ from repro.pipeline import (
 )
 from repro.predictors.cap import CapConfig
 from repro.predictors.vtage import VtageConfig
+from repro.runtime import Runtime
 from repro.trace import Trace
 from repro.workloads import build_suite, workload_names
 
@@ -33,11 +39,24 @@ def arithmetic_mean(values: Iterable[float]) -> float:
 
 
 def geometric_mean(speedups: Iterable[float]) -> float:
-    """Geometric mean of (1 + speedup) factors, returned as a speedup."""
+    """Geometric mean of (1 + speedup) factors, returned as a speedup.
+
+    A speedup of -100% or worse makes its factor non-positive, for
+    which the geometric mean is undefined; such entries are skipped
+    with a warning rather than poisoning the whole aggregate.
+    """
     factors = [1.0 + s for s in speedups]
-    if not factors:
+    positive = [f for f in factors if f > 0.0]
+    if len(positive) != len(factors):
+        warnings.warn(
+            f"geometric_mean: skipped {len(factors) - len(positive)} "
+            "non-positive speedup factor(s) (speedup <= -100%)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    if not positive:
         return 0.0
-    return math.exp(sum(math.log(f) for f in factors) / len(factors)) - 1.0
+    return math.exp(sum(math.log(f) for f in positive) / len(positive)) - 1.0
 
 
 def default_scheme_factories() -> dict[str, Callable[[], Scheme]]:
@@ -47,6 +66,10 @@ def default_scheme_factories() -> dict[str, Callable[[], Scheme]]:
     the best point found by the paper's sweep (Section 5.2.3);
     ``vtage`` uses the static opcode filter on loads only, the winning
     Figure 7 configuration.
+
+    These factories mirror the scheme ids registered with
+    :mod:`repro.runtime.registry`; experiments that want caching and
+    parallelism should pass the *id* to :meth:`SuiteRunner.run_scheme`.
     """
     return {
         "dlvp": DlvpScheme,
@@ -59,15 +82,27 @@ def default_scheme_factories() -> dict[str, Callable[[], Scheme]]:
 
 
 class SuiteRunner:
-    """Build-once, simulate-many experiment driver."""
+    """Build-once, simulate-many experiment driver.
+
+    Args:
+        n_instructions: Trace length per workload.
+        names: Workload subset (default: the whole suite).
+        runtime: The scheduling runtime.  The default is serial and
+            uncached, which keeps library/test usage free of disk
+            side effects; the CLI passes a cached, parallel runtime.
+    """
 
     def __init__(
         self,
         n_instructions: int = 12_000,
         names: list[str] | None = None,
+        runtime: Runtime | None = None,
     ) -> None:
         self.names = names if names is not None else workload_names()
         self.n_instructions = n_instructions
+        self.runtime = runtime if runtime is not None else Runtime(
+            jobs=1, use_cache=False
+        )
         self._traces: dict[str, Trace] | None = None
         self._baselines: dict[str, SimResult] | None = None
 
@@ -80,21 +115,32 @@ class SuiteRunner:
     def baselines(self) -> dict[str, SimResult]:
         """Baseline (no value prediction) run per workload, cached."""
         if self._baselines is None:
-            self._baselines = {
-                name: simulate(trace) for name, trace in self.traces.items()
-            }
+            grid = self.runtime.run_grid(
+                ["baseline"], self.names, self.n_instructions
+            )
+            self._baselines = grid.scheme_results("baseline")
         return self._baselines
 
     def run_scheme(
         self,
-        scheme_factory: Callable[[], Scheme] | None,
+        scheme: str | Callable[[], Scheme] | None,
         recovery: RecoveryMode = RecoveryMode.FLUSH,
     ) -> dict[str, SimResult]:
-        """Run one scheme (or the baseline for None) over the suite."""
-        if scheme_factory is None:
+        """Run one scheme over the suite.
+
+        ``scheme`` is a registered scheme id (cached, parallelizable),
+        a factory callable (in-process, uncached), or None for the
+        baseline.
+        """
+        if scheme is None:
             return self.baselines()
+        if isinstance(scheme, str):
+            grid = self.runtime.run_grid(
+                [scheme], self.names, self.n_instructions, recovery=recovery
+            )
+            return grid.scheme_results(scheme)
         return {
-            name: simulate(trace, scheme=scheme_factory(), recovery=recovery)
+            name: simulate(trace, scheme=scheme(), recovery=recovery)
             for name, trace in self.traces.items()
         }
 

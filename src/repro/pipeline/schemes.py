@@ -20,10 +20,15 @@ from repro.core.dlvp import DlvpFetchHandle
 from repro.isa import Instruction, OpClass
 from repro.memory import AccessResult, MemoryHierarchy, MemoryImage
 from repro.predictors.cap import CapConfig, CapPredictor
-from repro.predictors.tournament import TournamentChooser
+from repro.pipeline.stats import register_stats_type
+from repro.predictors.tournament import ChooserStats, TournamentChooser
 from repro.predictors.vtage import VtageConfig, VtageHandle, VtagePredictor
 
 _MASK64 = (1 << 64) - 1
+
+# ChooserStats lives in repro.predictors (import-order-safe to register here;
+# predictors cannot depend on the pipeline package).
+register_stats_type(ChooserStats)
 
 
 @dataclass
@@ -303,6 +308,7 @@ class DvtageScheme(Scheme):
         return tables * loads, loads
 
 
+@register_stats_type
 @dataclass
 class TournamentStats:
     """Figure 8 material."""

@@ -1,0 +1,194 @@
+"""The runtime facade: grid orchestration over cache + executor + journal.
+
+:class:`Runtime` is what the experiments layer and the CLI talk to::
+
+    runtime = Runtime(jobs=4)                 # cached, 4-way parallel
+    grid = runtime.run_grid(
+        schemes=["baseline", "dlvp", "vtage"],
+        workloads=["gzip", "perlbmk"],
+        n_instructions=8_000,
+    )
+    grid.speedups("dlvp")                     # {workload: speedup}
+
+Result caching is transparent: each job's content hash is looked up
+before anything is scheduled, so unchanged cells of a sweep return
+instantly and only the misses ever reach an executor.  Every step is
+recorded in the run journal.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.pipeline import RecoveryMode, SimResult
+from repro.runtime.cache import ResultCache, default_cache_dir
+from repro.runtime.executor import (
+    JobOutcome,
+    ParallelExecutor,
+    SerialExecutor,
+)
+from repro.runtime.jobs import Job, make_job
+from repro.runtime.journal import RunJournal
+from repro.workloads import workload_names
+
+
+class Runtime:
+    """Schedule simulation jobs with caching, fan-out and journaling.
+
+    Args:
+        jobs: Worker processes; 1 selects the in-process
+            :class:`SerialExecutor` (also the Windows-safe path).
+        cache_dir: Cache root; None means the default
+            (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``).
+        use_cache: Disable to force every job to execute (``--no-cache``).
+        journal: An existing journal to append to, or None to create one.
+        journal_path: Where the created journal writes its JSONL file;
+            None keeps events in memory only.
+        timeout: Per-job wall-clock budget in seconds (None: unbounded).
+        retries: Extra attempts for a job whose worker raised or died.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: str | Path | None = None,
+        use_cache: bool = True,
+        journal: RunJournal | None = None,
+        journal_path: str | Path | None = None,
+        timeout: float | None = None,
+        retries: int = 1,
+    ) -> None:
+        self.jobs = max(1, jobs)
+        self.cache = (
+            ResultCache(cache_dir if cache_dir is not None else default_cache_dir())
+            if use_cache
+            else None
+        )
+        self.journal = journal if journal is not None else RunJournal(journal_path)
+        self.timeout = timeout
+        if self.jobs > 1:
+            self.executor: SerialExecutor | ParallelExecutor = ParallelExecutor(
+                self.jobs, retries=retries
+            )
+        else:
+            self.executor = SerialExecutor(retries=retries)
+
+    # -- scheduling ------------------------------------------------------
+
+    def run_jobs(self, jobs: Sequence[Job]) -> dict[str, JobOutcome]:
+        """Run jobs (deduplicated by key), returning outcomes by key."""
+        unique: dict[str, Job] = {}
+        for job in jobs:
+            unique.setdefault(job.key, job)
+        self.journal.event(
+            "run_started", jobs=len(unique), workers=self.jobs,
+            cached=self.cache is not None,
+        )
+        outcomes: dict[str, JobOutcome] = {}
+        to_run: list[Job] = []
+        for key, job in unique.items():
+            self.journal.event("job_submitted", **job.identity())
+            cached = self.cache.get(key) if self.cache is not None else None
+            if cached is not None:
+                outcomes[key] = JobOutcome(job, "ok", result=cached, cache_hit=True)
+                self.journal.event("cache_hit", key=key, workload=job.workload,
+                                   scheme=job.scheme_id)
+            else:
+                if self.cache is not None:
+                    self.journal.event("cache_miss", key=key, workload=job.workload,
+                                       scheme=job.scheme_id)
+                to_run.append(job)
+        if to_run:
+            executed = self.executor.run(
+                to_run,
+                cache_dir=str(self.cache.root) if self.cache is not None else None,
+                events=self._executor_event,
+            )
+            for outcome in executed:
+                self.journal.event(
+                    "job_finished",
+                    key=outcome.job.key,
+                    workload=outcome.job.workload,
+                    scheme=outcome.job.scheme_id,
+                    status=outcome.status,
+                    duration=round(outcome.duration, 6),
+                    attempts=outcome.attempts,
+                    error=outcome.error,
+                )
+                outcomes[outcome.job.key] = outcome
+                if outcome.ok and self.cache is not None:
+                    assert outcome.result is not None
+                    self.cache.put(outcome.job.key, outcome.result,
+                                   outcome.job.identity())
+        self.journal.event("run_finished", **self.journal.summary())
+        return outcomes
+
+    def _executor_event(self, kind: str, job: Job, fields: dict) -> None:
+        self.journal.event(kind, key=job.key, workload=job.workload,
+                           scheme=job.scheme_id, **fields)
+
+    def run_grid(
+        self,
+        schemes: Sequence[str],
+        workloads: Sequence[str] | None = None,
+        n_instructions: int = 8_000,
+        recovery: RecoveryMode = RecoveryMode.FLUSH,
+    ) -> "GridResult":
+        """Run a (scheme x workload) grid of registered scheme ids."""
+        workloads = list(workloads) if workloads is not None else workload_names()
+        jobs = {
+            (scheme, workload): make_job(
+                workload, n_instructions, scheme, recovery=recovery,
+                timeout=self.timeout,
+            )
+            for scheme in schemes
+            for workload in workloads
+        }
+        outcomes = self.run_jobs(list(jobs.values()))
+        return GridResult(
+            schemes=list(schemes),
+            workloads=workloads,
+            n_instructions=n_instructions,
+            recovery=recovery,
+            cells={cell: outcomes[job.key] for cell, job in jobs.items()},
+        )
+
+
+@dataclass
+class GridResult:
+    """Outcomes of one grid run, addressable by (scheme, workload)."""
+
+    schemes: list[str]
+    workloads: list[str]
+    n_instructions: int
+    recovery: RecoveryMode
+    cells: dict[tuple[str, str], JobOutcome]
+
+    def outcome(self, scheme: str, workload: str) -> JobOutcome:
+        return self.cells[(scheme, workload)]
+
+    def result(self, scheme: str, workload: str) -> SimResult:
+        """The cell's result; raises for failed/timed-out cells."""
+        outcome = self.outcome(scheme, workload)
+        if not outcome.ok:
+            raise RuntimeError(
+                f"job ({scheme}, {workload}) {outcome.status}: {outcome.error}"
+            )
+        assert outcome.result is not None
+        return outcome.result
+
+    def scheme_results(self, scheme: str) -> dict[str, SimResult]:
+        """All of one scheme's results keyed by workload (all must be ok)."""
+        return {w: self.result(scheme, w) for w in self.workloads}
+
+    def failures(self) -> list[JobOutcome]:
+        return [o for o in self.cells.values() if not o.ok]
+
+    def speedups(self, scheme: str, baseline: str = "baseline") -> dict[str, float]:
+        """Per-workload speedup of ``scheme`` over ``baseline`` cells."""
+        return {
+            w: self.result(scheme, w).speedup_over(self.result(baseline, w))
+            for w in self.workloads
+        }

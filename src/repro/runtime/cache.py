@@ -1,0 +1,123 @@
+"""Content-addressed on-disk cache for simulation results and traces.
+
+Layout under the cache root (``~/.cache/repro`` by default, overridden
+by ``$REPRO_CACHE_DIR`` or ``--cache-dir``)::
+
+    results/<k0k1>/<key>.json   # schema-versioned SimResult payloads
+    traces/<key>.trace          # repro.trace.serialization v1 format
+
+Result entries are JSON (never pickles): the payload embeds the job's
+identity fields next to :meth:`SimResult.to_dict`, so an entry is
+self-describing and auditable with standard tools.  All writes are
+atomic (temp file + ``os.replace``) so concurrent workers and runs can
+share one cache directory; any unreadable or schema-mismatched entry is
+treated as a miss and overwritten, never trusted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.pipeline.stats import RESULT_SCHEMA_VERSION, SimResult
+from repro.trace.serialization import load_trace, save_trace
+from repro.trace.trace import Trace
+
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+CACHE_SCHEMA_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class ResultCache:
+    """Content-addressed store for :class:`SimResult` and trace files."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    # -- results ---------------------------------------------------------
+
+    def result_path(self, key: str) -> Path:
+        return self.root / "results" / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> SimResult | None:
+        """The cached result for ``key``, or None on miss/corruption."""
+        path = self.result_path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if payload.get("cache_schema") != CACHE_SCHEMA_VERSION:
+            return None
+        try:
+            return SimResult.from_dict(payload["result"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def put(self, key: str, result: SimResult, job_fields: dict | None = None) -> None:
+        """Store ``result`` under ``key`` atomically."""
+        payload = {
+            "cache_schema": CACHE_SCHEMA_VERSION,
+            "result_schema": RESULT_SCHEMA_VERSION,
+            "key": key,
+            "job": job_fields or {},
+            "result": result.to_dict(),
+        }
+        _atomic_write_text(self.result_path(key), json.dumps(payload))
+
+    def contains(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    # -- traces ----------------------------------------------------------
+
+    def trace_path(self, key: str) -> Path:
+        return self.root / "traces" / f"{key}.trace"
+
+    def get_trace(self, key: str) -> Trace | None:
+        """The cached trace for ``key``, or None on miss/corruption."""
+        path = self.trace_path(key)
+        if not path.is_file():
+            return None
+        try:
+            return load_trace(path)
+        except (OSError, ValueError):
+            return None
+
+    def put_trace(self, key: str, trace: Trace) -> None:
+        """Store ``trace`` under ``key`` atomically."""
+        path = self.trace_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        os.close(fd)
+        try:
+            save_trace(trace, tmp)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

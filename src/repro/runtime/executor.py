@@ -1,0 +1,320 @@
+"""Executors — run jobs serially or across a process pool.
+
+Two interchangeable drivers with identical semantics and results:
+
+* :class:`SerialExecutor` — in-process, one job at a time.  No worker
+  processes, so it is the ``--jobs 1`` default and the safe choice on
+  platforms where ``fork`` is unavailable (Windows) or undesirable.
+* :class:`ParallelExecutor` — a ``concurrent.futures``
+  ``ProcessPoolExecutor`` fan-out with per-job timeouts, bounded
+  retries, and crash isolation: a worker dying (segfault, ``os._exit``,
+  OOM kill) breaks only its own cell, not the run — the pool is rebuilt
+  and the surviving jobs resubmitted, while a job that repeatedly kills
+  its worker exhausts its attempts and is reported as failed.
+
+Timeouts are enforced *inside* the worker via ``SIGALRM`` (each pool
+worker runs jobs on its main thread), so a timed-out job ends cleanly
+without tearing down the pool.  Where ``SIGALRM`` does not exist the
+timeout degrades to best-effort (the job runs to completion).
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+import traceback
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+
+from repro.pipeline import SimResult
+from repro.runtime.jobs import Job, execute_job, result_from_payload
+
+# events callback: (kind, job, extra-fields) -> None
+EventFn = Callable[[str, Job, dict], None]
+
+
+class JobTimeoutError(RuntimeError):
+    """A job exceeded its per-job timeout."""
+
+
+@dataclass
+class JobOutcome:
+    """What happened to one job."""
+
+    job: Job
+    status: str                       # "ok" | "error" | "timeout"
+    result: SimResult | None = None
+    error: str | None = None
+    duration: float = 0.0
+    attempts: int = 1
+    cache_hit: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def _call_with_timeout(fn: Callable[[], object], timeout: float | None) -> object:
+    """Run ``fn``, raising :class:`JobTimeoutError` after ``timeout`` s.
+
+    Uses ``SIGALRM``/``setitimer``, which only works on the main thread
+    of a process with POSIX signals — exactly where executor workers
+    (and the serial driver) run.  Anywhere else the call is unbounded.
+    """
+    usable = (
+        timeout is not None
+        and timeout > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        return fn()
+
+    def _on_alarm(signum, frame):
+        raise JobTimeoutError(f"job exceeded timeout of {timeout:.3f}s")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return fn()
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _worker_run(job: Job, cache_dir: str | None) -> dict:
+    """Pool-worker entry point: execute one job under its timeout.
+
+    Returns an envelope ``{"result": payload, "duration": seconds}`` —
+    the duration is measured here, in the worker, so it reflects actual
+    execution time rather than time spent queued in the pool.
+    """
+    started = time.monotonic()
+    payload = _call_with_timeout(lambda: execute_job(job, cache_dir), job.timeout)
+    return {"result": payload, "duration": time.monotonic() - started}
+
+
+def _no_events(kind: str, job: Job, fields: dict) -> None:
+    pass
+
+
+@dataclass
+class _Attempt:
+    job: Job
+    attempts: int = 0
+
+
+class SerialExecutor:
+    """Run jobs one at a time in the calling process."""
+
+    def __init__(self, retries: int = 1) -> None:
+        self.retries = max(0, retries)
+
+    def run(
+        self,
+        jobs: Sequence[Job],
+        cache_dir: str | None = None,
+        events: EventFn | None = None,
+    ) -> list[JobOutcome]:
+        events = events or _no_events
+        outcomes = []
+        for job in jobs:
+            attempts = 0
+            while True:
+                attempts += 1
+                events("job_started", job, {"attempt": attempts})
+                started = time.monotonic()
+                try:
+                    envelope = _worker_run(job, cache_dir)
+                except JobTimeoutError as exc:
+                    outcome = JobOutcome(
+                        job, "timeout", error=str(exc),
+                        duration=time.monotonic() - started, attempts=attempts,
+                    )
+                except Exception as exc:
+                    if attempts <= self.retries:
+                        continue
+                    outcome = JobOutcome(
+                        job, "error", error=_format_error(exc),
+                        duration=time.monotonic() - started, attempts=attempts,
+                    )
+                else:
+                    outcome = JobOutcome(
+                        job, "ok",
+                        result=result_from_payload(envelope["result"]),
+                        duration=envelope["duration"], attempts=attempts,
+                    )
+                break
+            outcomes.append(outcome)
+        return outcomes
+
+
+class ParallelExecutor:
+    """Fan jobs out over a ``ProcessPoolExecutor``.
+
+    Crash isolation: when a worker dies, ``ProcessPoolExecutor`` breaks
+    the whole pool and every in-flight future fails with
+    ``BrokenProcessPool`` — the parent cannot tell culprit from victim.
+    So a broken shared pool costs nobody an attempt; the survivors are
+    re-run in *isolation mode*, one single-worker pool per job, where a
+    dying worker indicts exactly one job.  A job that repeatedly kills
+    its worker exhausts its bounded attempts and becomes one failed
+    cell; everything else completes normally.
+    """
+
+    def __init__(self, max_workers: int, retries: int = 1) -> None:
+        self.max_workers = max(1, max_workers)
+        self.retries = max(0, retries)
+
+    def run(
+        self,
+        jobs: Sequence[Job],
+        cache_dir: str | None = None,
+        events: EventFn | None = None,
+    ) -> list[JobOutcome]:
+        events = events or _no_events
+        order = [job.key for job in jobs]
+        pending = {job.key: _Attempt(job) for job in jobs}
+        done: dict[str, JobOutcome] = {}
+        # At most one shared round can break (isolation latches on), and
+        # isolation rounds charge an attempt to every job they submit,
+        # so the loop terminates within retries + 2 rounds.
+        isolate = False
+        while pending:
+            if isolate:
+                self._isolated_round(pending, done, cache_dir, events)
+            else:
+                isolate = self._shared_round(pending, done, cache_dir, events)
+        return [done[key] for key in order]
+
+    def _shared_round(
+        self,
+        pending: dict[str, _Attempt],
+        done: dict[str, JobOutcome],
+        cache_dir: str | None,
+        events: EventFn,
+    ) -> bool:
+        """One pass through a shared pool; True if the pool broke."""
+        pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        futures = {}
+        broke = False
+        try:
+            for state in list(pending.values()):
+                state.attempts += 1
+                events("job_started", state.job, {"attempt": state.attempts})
+                try:
+                    future = pool.submit(_worker_run, state.job, cache_dir)
+                except BrokenProcessPool:
+                    # died mid-submission; uncharge and leave the rest
+                    # of the batch for the isolation rounds
+                    state.attempts -= 1
+                    broke = True
+                    break
+                futures[future] = (state, time.monotonic())
+            for future in as_completed(futures):
+                state, started = futures[future]
+                duration = time.monotonic() - started
+                try:
+                    payload = future.result()
+                except BrokenProcessPool:
+                    # culprit unknown — uncharge the attempt and let the
+                    # isolation rounds assign blame
+                    state.attempts -= 1
+                    broke = True
+                except Exception as exc:
+                    self._settle(state, None, exc, pending, done, duration)
+                else:
+                    self._settle(state, payload, None, pending, done, duration)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return broke
+
+    def _isolated_round(
+        self,
+        pending: dict[str, _Attempt],
+        done: dict[str, JobOutcome],
+        cache_dir: str | None,
+        events: EventFn,
+    ) -> None:
+        """Run each pending job in its own single-worker pool."""
+        states = list(pending.values())
+        for start in range(0, len(states), self.max_workers):
+            batch = states[start : start + self.max_workers]
+            pools: list[ProcessPoolExecutor] = []
+            futures = {}
+            try:
+                for state in batch:
+                    state.attempts += 1
+                    events("job_started", state.job, {"attempt": state.attempts})
+                    pool = ProcessPoolExecutor(max_workers=1)
+                    pools.append(pool)
+                    futures[pool.submit(_worker_run, state.job, cache_dir)] = (
+                        state,
+                        time.monotonic(),
+                    )
+                for future in as_completed(futures):
+                    state, started = futures[future]
+                    duration = time.monotonic() - started
+                    try:
+                        payload = future.result()
+                    except BrokenProcessPool:
+                        # single-worker pool: this job *is* the culprit
+                        if state.attempts > self.retries:
+                            done[state.job.key] = JobOutcome(
+                                state.job, "error",
+                                error="worker process died (crash or kill)",
+                                duration=duration, attempts=state.attempts,
+                            )
+                            del pending[state.job.key]
+                    except Exception as exc:
+                        self._settle(state, None, exc, pending, done, duration)
+                    else:
+                        self._settle(state, payload, None, pending, done, duration)
+            finally:
+                for pool in pools:
+                    pool.shutdown(wait=False, cancel_futures=True)
+
+    def _settle(
+        self,
+        state: _Attempt,
+        envelope: dict | None,
+        exc: BaseException | None,
+        pending: dict[str, _Attempt],
+        done: dict[str, JobOutcome],
+        duration: float,
+    ) -> None:
+        """Resolve one attempt's (worker envelope, exception) pair.
+
+        ``duration`` is parent-measured from submit time and only used
+        for failures; successful jobs carry their worker-measured
+        duration in the envelope, which excludes pool queue wait.
+        """
+        job = state.job
+        if exc is None:
+            assert envelope is not None
+            done[job.key] = JobOutcome(
+                job, "ok", result=result_from_payload(envelope["result"]),
+                duration=envelope["duration"], attempts=state.attempts,
+            )
+            del pending[job.key]
+        elif isinstance(exc, JobTimeoutError):
+            done[job.key] = JobOutcome(
+                job, "timeout", error=str(exc),
+                duration=duration, attempts=state.attempts,
+            )
+            del pending[job.key]
+        elif state.attempts > self.retries:
+            done[job.key] = JobOutcome(
+                job, "error", error=_format_error(exc),
+                duration=duration, attempts=state.attempts,
+            )
+            del pending[job.key]
+        # else: stays pending, retried next round
+
+
+def _format_error(exc: BaseException) -> str:
+    head = "".join(traceback.format_exception_only(type(exc), exc)).strip()
+    return head

@@ -1,0 +1,165 @@
+"""Jobs — the schedulable unit of simulation.
+
+A :class:`Job` names one cell of a sweep grid: (workload,
+n_instructions, scheme, recovery).  Its identity is a deterministic
+content hash over those fields plus a *code version salt* (a digest of
+every ``repro`` source file), so results cached on disk are invalidated
+automatically whenever the simulator's code changes, and two processes
+— or two machines — computing the key for the same cell agree exactly.
+
+Jobs are plain frozen dataclasses of primitives: picklable for
+:class:`~repro.runtime.executor.ParallelExecutor` workers, and JSON-safe
+for the run journal and cache payloads.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import importlib
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.pipeline import RecoveryMode, SimResult, simulate
+from repro.runtime.cache import ResultCache
+from repro.runtime.registry import BASELINE_ID, get_scheme
+from repro.workloads import build_workload
+
+CODE_SALT_ENV = "REPRO_CODE_SALT"
+
+
+@functools.lru_cache(maxsize=1)
+def code_version_salt() -> str:
+    """Digest of the ``repro`` package sources (or ``$REPRO_CODE_SALT``).
+
+    Hashing the source tree rather than a version string means *any*
+    code change — predictors, pipeline, workload generators — retires
+    every cached result produced by the old code.  The environment
+    override exists for tests and for deployments that prefer an
+    explicit release tag.
+    """
+    env = os.environ.get(CODE_SALT_ENV)
+    if env:
+        return env
+    package_root = Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+def trace_cache_key(workload: str, n_instructions: int, salt: str | None = None) -> str:
+    """Content key for a generated trace (workload generators are seeded)."""
+    salt = salt if salt is not None else code_version_salt()
+    blob = json.dumps(
+        {"kind": "trace", "workload": workload, "n": n_instructions, "salt": salt},
+        sort_keys=True,
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class Job:
+    """One simulation cell, identified by content.
+
+    ``timeout`` (seconds) bounds execution but is deliberately *not*
+    part of the key — the same cell simulated with a different timeout
+    is still the same result.
+    """
+
+    workload: str
+    n_instructions: int
+    scheme_id: str
+    scheme_config: str
+    scheme_module: str
+    recovery: str
+    salt: str
+    timeout: float | None = None
+
+    @property
+    def key(self) -> str:
+        """Deterministic content hash naming this job's result."""
+        blob = json.dumps(
+            {
+                "kind": "simulate",
+                "workload": self.workload,
+                "n_instructions": self.n_instructions,
+                "scheme_id": self.scheme_id,
+                "scheme_config": self.scheme_config,
+                "recovery": self.recovery,
+                "salt": self.salt,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def identity(self) -> dict:
+        """JSON-safe job fields for journal lines and cache payloads."""
+        fields = asdict(self)
+        fields["key"] = self.key
+        return fields
+
+
+def make_job(
+    workload: str,
+    n_instructions: int,
+    scheme_id: str = BASELINE_ID,
+    recovery: RecoveryMode = RecoveryMode.FLUSH,
+    timeout: float | None = None,
+) -> Job:
+    """Build a job for a registered scheme id, filling hash metadata."""
+    spec = get_scheme(scheme_id)
+    return Job(
+        workload=workload,
+        n_instructions=n_instructions,
+        scheme_id=spec.scheme_id,
+        scheme_config=spec.config_key,
+        scheme_module=spec.module,
+        recovery=recovery.value if isinstance(recovery, RecoveryMode) else str(recovery),
+        salt=code_version_salt(),
+        timeout=timeout,
+    )
+
+
+def _trace_for(job: Job, cache: ResultCache | None):
+    if cache is None:
+        return build_workload(job.workload, job.n_instructions)
+    key = trace_cache_key(job.workload, job.n_instructions, job.salt)
+    trace = cache.get_trace(key)
+    if trace is None:
+        trace = build_workload(job.workload, job.n_instructions)
+        cache.put_trace(key, trace)
+    return trace
+
+
+def execute_job(job: Job, cache_dir: str | None = None) -> dict:
+    """Run one job to completion; returns ``SimResult.to_dict()``.
+
+    This is the worker-side entry point.  The scheme's defining module
+    is imported first so spawned workers (which do not inherit the
+    parent's registry) see the same registrations; under ``fork`` the
+    import is a cached no-op.  ``cache_dir`` enables the shared trace
+    cache only — result caching is the parent's responsibility, so a
+    cache hit never even reaches a worker.
+    """
+    if job.scheme_module:
+        try:
+            importlib.import_module(job.scheme_module)
+        except ImportError:
+            pass  # fall through: under fork the registry is inherited
+    spec = get_scheme(job.scheme_id)
+    cache = ResultCache(cache_dir) if cache_dir else None
+    trace = _trace_for(job, cache)
+    scheme = spec.build()
+    result = simulate(trace, scheme=scheme, recovery=RecoveryMode(job.recovery))
+    return result.to_dict()
+
+
+def result_from_payload(payload: dict) -> SimResult:
+    """Parent-side decode of a worker's :func:`execute_job` payload."""
+    return SimResult.from_dict(payload)

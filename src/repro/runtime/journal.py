@@ -1,0 +1,84 @@
+"""Structured JSONL run journal.
+
+Every orchestration step emits one flat JSON object per line:
+``run_started``, ``job_submitted``, ``cache_hit`` / ``cache_miss``,
+``job_started`` (per attempt), ``job_finished`` (status, duration,
+error) and ``run_finished`` (aggregate summary).  The journal is the
+ground truth for questions like "did the warm-cache rerun execute any
+simulations?" — grep the file, or load it with :func:`read_journal`.
+
+Events are always kept in memory; passing ``path`` additionally appends
+each line to a file as it happens, so a crashed run still leaves a
+readable prefix.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+
+class RunJournal:
+    """Collect and (optionally) persist structured run events."""
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self.events: list[dict] = []
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self.path.write_text("")  # one journal per run: truncate
+
+    def event(self, kind: str, **fields: object) -> dict:
+        """Record one event; returns the event dict."""
+        entry: dict = {"event": kind, "ts": round(time.time(), 6)}
+        entry.update(fields)
+        self.events.append(entry)
+        if self.path is not None:
+            with self.path.open("a") as handle:
+                handle.write(json.dumps(entry) + "\n")
+        return entry
+
+    def count(self, kind: str, **match: object) -> int:
+        """Number of recorded events of ``kind`` matching ``match``."""
+        return sum(
+            1
+            for e in self.events
+            if e["event"] == kind and all(e.get(k) == v for k, v in match.items())
+        )
+
+    def summary(self) -> dict:
+        """Aggregate counters over everything recorded so far."""
+        finished = [e for e in self.events if e["event"] == "job_finished"]
+        return {
+            "jobs": self.count("job_submitted"),
+            "cache_hits": self.count("cache_hit"),
+            "executed": len(finished),
+            "succeeded": sum(1 for e in finished if e.get("status") == "ok"),
+            "failed": sum(1 for e in finished if e.get("status") == "error"),
+            "timed_out": sum(1 for e in finished if e.get("status") == "timeout"),
+            "retries": max(0, self.count("job_started") - len(finished)),
+            "sim_seconds": round(
+                sum(e.get("duration", 0.0) for e in finished), 3
+            ),
+        }
+
+    def format_summary(self) -> str:
+        """One-line terminal summary of the run."""
+        s = self.summary()
+        parts = [
+            f"{s['jobs']} jobs",
+            f"{s['cache_hits']} cache hits",
+            f"{s['executed']} executed ({s['sim_seconds']:.1f}s simulated)",
+        ]
+        if s["failed"]:
+            parts.append(f"{s['failed']} FAILED")
+        if s["timed_out"]:
+            parts.append(f"{s['timed_out']} TIMED OUT")
+        return "[repro.runtime] " + ", ".join(parts)
+
+
+def read_journal(path: str | Path) -> list[dict]:
+    """Parse a JSONL journal file back into event dicts."""
+    lines = Path(path).read_text().splitlines()
+    return [json.loads(line) for line in lines if line.strip()]

@@ -1,0 +1,150 @@
+"""Scheme registry — stable identifiers for simulation jobs.
+
+A :class:`~repro.runtime.jobs.Job` cannot carry a factory callable (it
+must be hashable and picklable), so schemes are addressed by a string
+id resolved through this registry.  Each registration records:
+
+* ``build`` — a zero-argument factory producing a fresh scheme
+  instance (or ``None`` for the baseline);
+* ``config_key`` — a canonical description of the scheme's
+  configuration, folded into the job content hash so that two
+  registrations of the same id with different parameters never share
+  cache entries;
+* ``module`` — the import path that performs the registration, stored
+  on jobs so worker processes can import it before resolving the id
+  (required when the pool start method is ``spawn``; with ``fork`` the
+  registry is inherited and the import is a no-op).
+
+The paper's schemes (baseline, DLVP, CAP, VTAGE, D-VTAGE, tournament)
+are registered at import time; experiment modules register their
+parameter sweeps (e.g. the Figure 7 VTAGE flavours) the same way.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.pipeline import (
+    DlvpScheme,
+    DvtageScheme,
+    Scheme,
+    TournamentScheme,
+    VtageScheme,
+)
+from repro.predictors.cap import CapConfig
+from repro.predictors.vtage import VtageConfig
+
+BASELINE_ID = "baseline"
+
+
+def config_key_of(config: object | None) -> str:
+    """Canonical, deterministic string form of a scheme configuration."""
+    return json.dumps(_canonical(config), sort_keys=True)
+
+
+def _canonical(value: object) -> object:
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {
+            f.name: _canonical(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        fields["__config__"] = type(value).__name__
+        return fields
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in value.items()}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"cannot canonicalize scheme config value: {value!r}")
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """One registered scheme: id, factory, and hashing metadata."""
+
+    scheme_id: str
+    build: Callable[[], Scheme | None]
+    config_key: str
+    module: str
+
+
+_REGISTRY: dict[str, SchemeSpec] = {}
+
+
+def register_scheme(
+    scheme_id: str,
+    build: Callable[[], Scheme | None],
+    *,
+    config: object | None = None,
+    module: str | None = None,
+    replace: bool = False,
+) -> SchemeSpec:
+    """Register (or idempotently re-register) a scheme factory.
+
+    Re-registering an id with the same ``config`` is a no-op, so module
+    reloads and repeated imports are safe; a conflicting ``config``
+    raises unless ``replace=True``.
+    """
+    key = config_key_of(config)
+    existing = _REGISTRY.get(scheme_id)
+    if existing is not None and not replace:
+        if existing.config_key == key:
+            return existing
+        raise ValueError(
+            f"scheme id {scheme_id!r} already registered with a different "
+            f"config; pass replace=True to override"
+        )
+    spec = SchemeSpec(
+        scheme_id=scheme_id,
+        build=build,
+        config_key=key,
+        module=module if module is not None else build.__module__,
+    )
+    _REGISTRY[scheme_id] = spec
+    return spec
+
+
+def get_scheme(scheme_id: str) -> SchemeSpec:
+    """Resolve a registered scheme id."""
+    try:
+        return _REGISTRY[scheme_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheme id {scheme_id!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def scheme_ids() -> list[str]:
+    """All registered scheme ids, sorted."""
+    return sorted(_REGISTRY)
+
+
+def _register_builtins() -> None:
+    mod = __name__
+    register_scheme(BASELINE_ID, lambda: None, module=mod)
+    register_scheme("dlvp", DlvpScheme, module=mod)
+    cap_config = CapConfig(confidence_threshold=24)
+    register_scheme(
+        "cap",
+        lambda: DlvpScheme(use_cap=True, cap_config=cap_config),
+        config=cap_config,
+        module=mod,
+    )
+    register_scheme(
+        "vtage",
+        lambda: VtageScheme(VtageConfig()),
+        config=VtageConfig(),
+        module=mod,
+    )
+    register_scheme("dvtage", DvtageScheme, module=mod)
+    register_scheme("tournament", TournamentScheme, module=mod)
+
+
+_register_builtins()

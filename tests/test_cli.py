@@ -5,6 +5,12 @@ import pytest
 from repro.__main__ import build_parser, main
 
 
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Keep CLI invocations from touching the real ~/.cache/repro."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -59,3 +65,70 @@ class TestCommands:
         assert main(["figure", "1", "--instructions", "2000",
                      "--workloads", "gzip", "nat"]) == 0
         assert "Figure 1" in capsys.readouterr().out
+
+
+class TestRuntimeFlags:
+    def test_run_with_jobs_and_no_cache(self, capsys):
+        assert main(["run", "gzip", "--instructions", "1500",
+                     "--jobs", "2", "--no-cache"]) == 0
+        out, err = capsys.readouterr()
+        assert "speedup" in out and "gzip" in out
+        assert "2 jobs" in err and "0 cache hits" in err
+
+    def test_figure_parallel_matches_serial(self, capsys, tmp_path):
+        args = ["figure", "6", "--instructions", "1500",
+                "--workloads", "gzip", "nat"]
+        assert main(args + ["--jobs", "2",
+                            "--cache-dir", str(tmp_path / "a")]) == 0
+        parallel_out = capsys.readouterr().out
+        assert main(args + ["--jobs", "1", "--no-cache"]) == 0
+        serial_out = capsys.readouterr().out
+        assert parallel_out == serial_out
+
+    def test_figure_warm_cache_executes_nothing(self, capsys, tmp_path):
+        args = ["figure", "6", "--instructions", "1500",
+                "--workloads", "gzip", "nat",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        _, err = capsys.readouterr()
+        assert "0 executed" in err
+        from repro.runtime import read_journal
+        events = read_journal(tmp_path / "cache" / "last-run.jsonl")
+        assert all(e["event"] != "job_started" for e in events)
+        assert any(e["event"] == "cache_hit" for e in events)
+
+
+class TestSweep:
+    def test_sweep_smoke(self, capsys):
+        assert main(["sweep", "--schemes", "dlvp", "vtage",
+                     "--workloads", "gzip", "nat",
+                     "--instructions", "1500", "--jobs", "2",
+                     "--no-cache"]) == 0
+        out, err = capsys.readouterr()
+        assert "dlvp" in out and "vtage" in out
+        assert "gzip" in out and "nat" in out
+        assert "(geo mean)" in out
+        assert "6 jobs" in err  # 2 schemes x 2 workloads + 2 baselines
+
+    def test_sweep_cache_round_trip(self, capsys, tmp_path):
+        args = ["sweep", "--schemes", "dlvp", "--workloads", "gzip",
+                "--instructions", "1500",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(args) == 0
+        cold = capsys.readouterr()
+        assert main(args) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out
+        assert "2 cache hits" in warm.err
+
+    def test_sweep_unknown_scheme(self, capsys):
+        assert main(["sweep", "--schemes", "not-a-scheme",
+                     "--workloads", "gzip", "--no-cache"]) == 2
+
+    def test_sweep_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sweep", "--schemes", "dlvp", "--workloads", "nope"]
+            )

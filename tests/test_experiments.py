@@ -43,6 +43,31 @@ class TestRunnerMachinery:
         assert geometric_mean([]) == 0.0
         assert arithmetic_mean([]) == 0.0
 
+    def test_geometric_mean_skips_nonpositive_factors(self):
+        # a speedup of -100% (or worse) has a factor <= 0, for which the
+        # geometric mean is undefined; it must warn and skip, not raise
+        with pytest.warns(RuntimeWarning, match="non-positive"):
+            assert geometric_mean([-1.0]) == 0.0
+        with pytest.warns(RuntimeWarning, match="non-positive"):
+            assert geometric_mean([-1.5]) == 0.0
+        with pytest.warns(RuntimeWarning, match="non-positive"):
+            assert geometric_mean([-2.0, 0.1]) == pytest.approx(0.1)
+
+    def test_geometric_mean_no_warning_for_valid_factors(self):
+        import warnings
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert geometric_mean([0.1, -0.5]) == pytest.approx(
+                ((1.1 * 0.5) ** 0.5) - 1.0
+            )
+
+    def test_scheme_id_matches_legacy_factory(self, runner):
+        """The runtime job path and the in-process factory path agree."""
+        from repro.pipeline import DlvpScheme
+        by_id = runner.run_scheme("dlvp")
+        by_factory = runner.run_scheme(DlvpScheme)
+        assert by_id == by_factory
+
 
 class TestFig1(object):
     def test_runs_and_renders(self, runner):
