@@ -5,7 +5,7 @@ stores keep getting value-predicted from stale cache contents and flush
 the pipe; the in-flight-conflict-heavy workloads quantify the damage.
 """
 
-from conftest import BENCH_INSTRUCTIONS, emit
+from conftest import BENCH_INSTRUCTIONS
 
 from repro.core import DlvpConfig
 from repro.experiments import SuiteRunner

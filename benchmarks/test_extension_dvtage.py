@@ -8,7 +8,7 @@ window (we model the idealised variant, so these numbers are an upper
 bound for D-VTAGE).
 """
 
-from conftest import emit, subset_runner  # noqa: F401
+from conftest import subset_runner  # noqa: F401  (pytest fixture)
 
 from repro.experiments.runner import arithmetic_mean, format_table
 from repro.pipeline import DlvpScheme, DvtageScheme, VtageScheme

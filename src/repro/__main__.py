@@ -7,14 +7,25 @@ Commands:
 * ``figure <id>``                  — regenerate one paper figure/table
 * ``profile <workload> [...]``     — Figure 1/2 trace profiles
 * ``sweep``                        — run a scheme x workload grid
+* ``chaos``                        — sweep under deterministic fault injection
+* ``cache verify|gc``              — audit / prune the result cache
 
-``run``, ``figure`` and ``sweep`` go through :mod:`repro.runtime`:
-``--jobs N`` fans simulation out over N worker processes, results are
-cached content-addressed under ``--cache-dir`` (default
-``$REPRO_CACHE_DIR`` or ``~/.cache/repro``; disable with
+``run``, ``figure``, ``sweep`` and ``chaos`` go through
+:mod:`repro.runtime`: ``--jobs N`` fans simulation out over N worker
+processes, results are cached content-addressed under ``--cache-dir``
+(default ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``; disable with
 ``--no-cache``), and a JSONL run journal is written (``--journal``,
 default ``<cache-dir>/last-run.jsonl``).  Tables go to stdout, the
 run summary to stderr, so output stays pipe- and diff-friendly.
+
+Fault tolerance: Ctrl-C (or SIGTERM) prints a partial-grid report —
+completed cells stay cached and journaled — and exits 130; relaunching
+with ``--resume <journal>`` skips everything the journal already shows
+finished, even under ``--no-cache``.  ``--retries``, ``--backoff`` and
+``--timeout-escalation`` tune the retry policy; ``chaos --fault SPEC``
+(or ``$REPRO_FAULT_SPEC``) injects deterministic worker crashes,
+hangs, raises, slowdowns and cache corruption to prove the recovery
+paths on demand.
 
 Examples::
 
@@ -23,6 +34,10 @@ Examples::
     python -m repro figure table2
     python -m repro profile gzip
     python -m repro sweep --schemes dlvp vtage --workloads gzip nat crc
+    python -m repro sweep --schemes dlvp --resume ~/.cache/repro/last-run.jsonl
+    python -m repro chaos --fault 'crash@gzip/dlvp:1' --jobs 4
+    python -m repro cache verify
+    python -m repro cache gc --max-age-days 30 --max-size-mb 512
 """
 
 from __future__ import annotations
@@ -33,8 +48,15 @@ from pathlib import Path
 
 from repro.experiments import SuiteRunner, arithmetic_mean, geometric_mean
 from repro.experiments.runner import format_table
+from repro.faults import FAULT_SPEC_ENV, FaultPlan, active_plan
 from repro.pipeline import RecoveryMode
-from repro.runtime import Runtime, default_cache_dir, scheme_ids
+from repro.runtime import (
+    ResultCache,
+    RunInterrupted,
+    Runtime,
+    default_cache_dir,
+    scheme_ids,
+)
 from repro.trace import load_store_conflicts, repeatability
 from repro.workloads import SUITE, build_workload, workload_names
 
@@ -55,9 +77,24 @@ def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
                             "(default: <cache-dir>/last-run.jsonl)")
     group.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                        help="per-job wall-clock limit")
+    group.add_argument("--retries", type=int, default=1, metavar="N",
+                       help="extra attempts for a job whose worker raised "
+                            "or died (default: 1)")
+    group.add_argument("--backoff", type=float, default=0.0, metavar="SECONDS",
+                       help="deterministic exponential retry delay base "
+                            "(attempt n waits backoff * 2**(n-2))")
+    group.add_argument("--timeout-escalation", type=float, default=None,
+                       metavar="FACTOR",
+                       help="retry timed-out jobs with their timeout "
+                            "multiplied by FACTOR (default: no retry)")
+    group.add_argument("--resume", default=None, metavar="JOURNAL",
+                       help="skip jobs a previous run's journal already "
+                            "shows finished (works with --no-cache)")
 
 
-def _runtime_from_args(args: argparse.Namespace) -> Runtime:
+def _runtime_from_args(
+    args: argparse.Namespace, faults: FaultPlan | None = None
+) -> Runtime:
     cache_dir = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
     journal_path = args.journal
     if journal_path is None and not args.no_cache:
@@ -68,7 +105,23 @@ def _runtime_from_args(args: argparse.Namespace) -> Runtime:
         use_cache=not args.no_cache,
         journal_path=journal_path,
         timeout=args.timeout,
+        retries=args.retries,
+        backoff=args.backoff,
+        timeout_factor=args.timeout_escalation,
+        faults=faults,
+        resume_from=args.resume,
     )
+
+
+def _interrupted(grid_or_exc) -> int:
+    """Print an interrupted run's partial-grid report; exit code 130."""
+    report = (
+        grid_or_exc.grid.partial_report()
+        if isinstance(grid_or_exc, RunInterrupted)
+        else grid_or_exc.partial_report()
+    )
+    print(report, file=sys.stderr)
+    return 130
 
 
 def _print_summary(runtime: Runtime) -> None:
@@ -96,6 +149,9 @@ def cmd_run(args: argparse.Namespace) -> int:
         ["baseline", args.scheme], args.workloads, args.instructions,
         recovery=recovery,
     )
+    if not grid.complete:
+        _print_summary(runtime)
+        return _interrupted(grid)
     if grid.failures():
         for outcome in grid.failures():
             print(f"FAILED {outcome.job.workload}/{outcome.job.scheme_id}: "
@@ -155,7 +211,11 @@ def cmd_figure(args: argparse.Namespace) -> int:
     runner = SuiteRunner(
         n_instructions=args.instructions, names=names, runtime=runtime
     )
-    print(getattr(module, func)(runner).render())
+    try:
+        print(getattr(module, func)(runner).render())
+    except RunInterrupted as exc:
+        _print_summary(runtime)
+        return _interrupted(exc)
     _print_summary(runtime)
     return 0
 
@@ -174,16 +234,37 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     grid = runtime.run_grid(
         ["baseline"] + schemes, workloads, args.instructions, recovery=recovery
     )
+    if not grid.complete:
+        _print_summary(runtime)
+        return _interrupted(grid)
+    # failed/timed-out cells render as their status; means cover the
+    # cells whose scheme AND baseline runs both succeeded
+    speedups = {
+        s: {
+            w: grid.result(s, w).speedup_over(grid.result("baseline", w))
+            for w in workloads
+            if grid.outcome(s, w).ok and grid.outcome("baseline", w).ok
+        }
+        for s in schemes
+    }
     rows = []
-    speedups = {scheme: grid.speedups(scheme) for scheme in schemes}
     for name in workloads:
-        rows.append([name] + [f"{speedups[s][name]:+8.2%}" for s in schemes])
-    rows.append(["(arith mean)"]
-                + [f"{arithmetic_mean(speedups[s].values()):+8.2%}"
-                   for s in schemes])
-    rows.append(["(geo mean)"]
-                + [f"{geometric_mean(speedups[s].values()):+8.2%}"
-                   for s in schemes])
+        row = [name]
+        for s in schemes:
+            if name in speedups[s]:
+                row.append(f"{speedups[s][name]:+8.2%}")
+            else:
+                bad = grid.outcome(s, name)
+                if bad.ok:
+                    bad = grid.outcome("baseline", name)
+                row.append(bad.status.upper())
+        rows.append(row)
+    for label, mean in (("(arith mean)", arithmetic_mean),
+                        ("(geo mean)", geometric_mean)):
+        rows.append([label] + [
+            f"{mean(speedups[s].values()):+8.2%}" if speedups[s] else "n/a"
+            for s in schemes
+        ])
     print(f"sweep — {len(schemes)} scheme(s) x {len(workloads)} workload(s), "
           f"{args.instructions} instructions, recovery={recovery.value}")
     print(format_table(["workload"] + schemes, rows))
@@ -193,6 +274,71 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                   f"{outcome.error}", file=sys.stderr)
     _print_summary(runtime)
     return 1 if grid.failures() else 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run a sweep under an explicit fault plan and report per-cell fates."""
+    spec = args.fault if args.fault is not None else None
+    plan = FaultPlan.parse(spec) if spec else active_plan()
+    if plan is None or not plan.rules:
+        print(f"chaos: no fault plan; pass --fault SPEC or set "
+              f"${FAULT_SPEC_ENV}", file=sys.stderr)
+        return 2
+    known = scheme_ids()
+    unknown = [s for s in args.schemes if s not in known]
+    if unknown:
+        print(f"unknown scheme(s) {unknown}; registered: {known}",
+              file=sys.stderr)
+        return 2
+    workloads = args.workloads or workload_names()
+    runtime = _runtime_from_args(args, faults=plan)
+    print(f"chaos — plan '{plan.spec()}', {len(args.schemes)} scheme(s) x "
+          f"{len(workloads)} workload(s), {args.instructions} instructions")
+    grid = runtime.run_grid(args.schemes, workloads, args.instructions)
+    rows = []
+    for workload in workloads:
+        for scheme in args.schemes:
+            outcome = grid.outcome(scheme, workload)
+            rows.append([
+                workload, scheme, outcome.status, str(outcome.attempts),
+                (outcome.error or "")[:60],
+            ])
+    print(format_table(["workload", "scheme", "status", "attempts", "error"],
+                       rows))
+    statuses = [o.status for o in grid.cells.values()]
+    print(f"chaos: {statuses.count('ok')} ok, "
+          f"{statuses.count('error')} error, "
+          f"{statuses.count('timeout')} timeout, "
+          f"{statuses.count('interrupted')} interrupted", file=sys.stderr)
+    _print_summary(runtime)
+    if not grid.complete:
+        return _interrupted(grid)
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """``cache verify``: audit + quarantine; ``cache gc``: age/size prune."""
+    root = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+    cache = ResultCache(
+        root,
+        on_corrupt=lambda key, reason, dest: print(
+            f"quarantined {key[:12]}…: {reason} -> {dest}", file=sys.stderr
+        ),
+    )
+    if args.action == "verify":
+        report = cache.verify()
+        print(f"cache {root}: {report['results']} results "
+              f"({report['ok']} ok, {report['stale']} stale, "
+              f"{report['corrupt']} quarantined), "
+              f"{report['traces']} traces "
+              f"({report['trace_corrupt']} quarantined)")
+        return 1 if report["corrupt"] or report["trace_corrupt"] else 0
+    report = cache.gc(max_age_days=args.max_age_days,
+                      max_size_mb=args.max_size_mb)
+    print(f"cache {root}: removed {report['removed']} entries "
+          f"({report['bytes_freed']} bytes), kept {report['kept']} "
+          f"({report['bytes_kept']} bytes)")
+    return 0
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
@@ -253,6 +399,33 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--instructions", type=int, default=8_000)
     _add_runtime_flags(sweep)
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a sweep under deterministic fault injection and report "
+             "how the runtime recovered",
+    )
+    chaos.add_argument("--fault", default=None, metavar="SPEC",
+                       help="fault spec, e.g. 'crash@gzip/dlvp:1' "
+                            f"(default: ${FAULT_SPEC_ENV})")
+    chaos.add_argument("--schemes", nargs="+", default=["baseline", "dlvp"],
+                       metavar="scheme")
+    chaos.add_argument("--workloads", nargs="*", default=None,
+                       choices=workload_names(), metavar="workload")
+    chaos.add_argument("--instructions", type=int, default=2_000)
+    _add_runtime_flags(chaos)
+
+    cache = sub.add_parser(
+        "cache", help="audit (verify) or prune (gc) the result cache"
+    )
+    cache.add_argument("action", choices=["verify", "gc"])
+    cache.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="cache root (default: $REPRO_CACHE_DIR or "
+                            "~/.cache/repro)")
+    cache.add_argument("--max-age-days", type=float, default=None,
+                       help="gc: drop entries older than this")
+    cache.add_argument("--max-size-mb", type=float, default=None,
+                       help="gc: prune oldest entries until under this size")
+
     prof = sub.add_parser("profile", help="Figure 1/2 trace profiles")
     prof.add_argument("workloads", nargs="+", choices=workload_names(),
                       metavar="workload")
@@ -268,8 +441,16 @@ def main(argv: list[str] | None = None) -> int:
         "figure": cmd_figure,
         "profile": cmd_profile,
         "sweep": cmd_sweep,
+        "chaos": cmd_chaos,
+        "cache": cmd_cache,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except KeyboardInterrupt:
+        # backstop: the runtime normally absorbs the signal and returns
+        # partial results, but a Ctrl-C outside run_jobs lands here
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

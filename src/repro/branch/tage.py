@@ -11,7 +11,7 @@ mispredictions.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.branch.history import GlobalHistory, fold_history
 

@@ -8,7 +8,7 @@ path (a flush-and-refill event).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.isa import Instruction, OpClass, INSTRUCTION_BYTES
 from repro.branch.tage import Tage, TageConfig

@@ -16,7 +16,7 @@ still yield a wrong value; that outcome trains the LSCD.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.isa import Instruction, fetch_group_address
 from repro.memory import MemoryHierarchy, MemoryImage

@@ -11,7 +11,7 @@ a no-prediction, which the paper reports "is almost never encountered".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.runner import SuiteRunner, arithmetic_mean, format_table
+from repro.experiments.runner import SuiteRunner, format_table
 from repro.isa import OpClass, fetch_group_address
 from repro.predictors import CapConfig, CapPredictor, PapConfig, PapPredictor
 from repro.predictors.base import PredictorStats

@@ -10,7 +10,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.energy import EnergyWeights, normalized_core_energy, predictor_cost_table
 from repro.energy.predictor_costs import PredictorCost

@@ -27,7 +27,7 @@ from repro.pipeline import (
 )
 from repro.predictors.cap import CapConfig
 from repro.predictors.vtage import VtageConfig
-from repro.runtime import Runtime
+from repro.runtime import GridResult, RunInterrupted, Runtime
 from repro.trace import Trace
 from repro.workloads import build_suite, workload_names
 
@@ -118,8 +118,21 @@ class SuiteRunner:
             grid = self.runtime.run_grid(
                 ["baseline"], self.names, self.n_instructions
             )
-            self._baselines = grid.scheme_results("baseline")
+            self._baselines = self._complete(grid).scheme_results("baseline")
         return self._baselines
+
+    @staticmethod
+    def _complete(grid: GridResult) -> GridResult:
+        """Pass the grid through, unless Ctrl-C/SIGTERM cut it short.
+
+        An interrupted grid raises :class:`RunInterrupted` carrying the
+        partial results, so figure code never renders a half-grid as if
+        it were the real thing and the CLI can print a partial report
+        (with a ``--resume`` hint) instead of a stack trace.
+        """
+        if not grid.complete:
+            raise RunInterrupted(grid)
+        return grid
 
     def run_scheme(
         self,
@@ -138,7 +151,7 @@ class SuiteRunner:
             grid = self.runtime.run_grid(
                 [scheme], self.names, self.n_instructions, recovery=recovery
             )
-            return grid.scheme_results(scheme)
+            return self._complete(grid).scheme_results(scheme)
         return {
             name: simulate(trace, scheme=scheme(), recovery=recovery)
             for name, trace in self.traces.items()

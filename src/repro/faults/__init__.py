@@ -1,0 +1,44 @@
+"""repro.faults — deterministic fault injection for chaos testing.
+
+Lets tests and the ``repro chaos`` CLI make chosen jobs crash their
+worker, hang past their timeout, raise, run slow, or have their cache
+entry corrupted — deterministically, so every runtime recovery path
+(pool break -> isolation round -> bounded retries, timeout kill, cache
+quarantine) is exercisable on demand and reproducible run to run.
+
+Typical use::
+
+    from repro.faults import FaultPlan
+    from repro.runtime import Runtime
+
+    plan = FaultPlan.parse("crash@gzip/dlvp:1")   # first attempt dies
+    runtime = Runtime(jobs=4, faults=plan)
+    grid = runtime.run_grid(["baseline", "dlvp"], ["gzip", "nat"], 4_000)
+
+or, with zero plumbing, ``REPRO_FAULT_SPEC=crash@gzip/dlvp`` in the
+environment of any ``python -m repro`` invocation.
+"""
+
+from repro.faults.plan import (
+    CRASH_EXIT_CODE,
+    FAULT_KINDS,
+    FAULT_SPEC_ENV,
+    FaultInjected,
+    FaultPlan,
+    FaultRule,
+    active_plan,
+    corrupt_file,
+    inject,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultRule",
+    "FaultInjected",
+    "active_plan",
+    "inject",
+    "corrupt_file",
+    "FAULT_KINDS",
+    "FAULT_SPEC_ENV",
+    "CRASH_EXIT_CODE",
+]

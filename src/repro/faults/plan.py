@@ -1,0 +1,216 @@
+"""Deterministic, seeded fault plans for chaos-testing the runtime.
+
+A :class:`FaultPlan` names which jobs misbehave and how, so every
+recovery path in :mod:`repro.runtime` — shared-pool break, isolation
+rounds, bounded retries, timeout enforcement, cache quarantine — can be
+exercised on demand from tests and from the ``repro chaos`` CLI.
+Plans are pure data: the same spec against the same grid always faults
+the same cells on the same attempts, which is what makes chaos runs
+reproducible and their journals comparable.
+
+Spec grammar (``;``-separated clauses)::
+
+    spec    := clause (";" clause)*
+    clause  := "seed=" int | "rate=" float | rule
+    rule    := kind "@" workload "/" scheme [":" attempts] ["=" seconds]
+    kind    := "crash" | "hang" | "raise" | "slow" | "corrupt_cache"
+    attempts:= int ("," int)*          # 1-based; omitted = every attempt
+
+Examples::
+
+    crash@gzip/dlvp          kill the gzip/dlvp worker on every attempt
+    raise@*/vtage:1          first attempt raises; the retry succeeds
+    slow@*/*=0.2             every job sleeps 200 ms, then runs normally
+    hang@nat/*               nat jobs sleep far past any timeout
+    corrupt_cache@gzip/*     garble the cache entry after it is written
+    rate=0.25;seed=7;crash@*/*   crash a deterministic ~25% of jobs
+
+``workload`` and ``scheme`` are :mod:`fnmatch` patterns.  ``rate``
+selects a deterministic subset of jobs by hashing ``seed`` with the
+job's content key — no randomness at injection time, so reruns and
+resumed runs see identical faults.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from pathlib import Path
+
+FAULT_KINDS = ("crash", "hang", "raise", "slow", "corrupt_cache")
+FAULT_SPEC_ENV = "REPRO_FAULT_SPEC"
+CRASH_EXIT_CODE = 86          # distinctive worker os._exit status
+HANG_SECONDS = 3600.0         # default "hang": far past any sane timeout
+SLOW_SECONDS = 0.1            # default "slow" delay
+
+
+class FaultInjected(RuntimeError):
+    """Raised by an injected ``raise`` fault (so tests can match it)."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One fault clause: what happens to which cells on which attempts."""
+
+    kind: str
+    workload: str = "*"
+    scheme: str = "*"
+    attempts: tuple[int, ...] = ()
+    seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; have {FAULT_KINDS}"
+            )
+
+    def matches(self, workload: str, scheme_id: str, attempt: int) -> bool:
+        """True when this rule fires for (workload, scheme, attempt)."""
+        if self.attempts and attempt not in self.attempts:
+            return False
+        return fnmatchcase(workload, self.workload) and fnmatchcase(
+            scheme_id, self.scheme
+        )
+
+    def clause(self) -> str:
+        """This rule rendered back into spec-grammar text."""
+        text = f"{self.kind}@{self.workload}/{self.scheme}"
+        if self.attempts:
+            text += ":" + ",".join(str(a) for a in self.attempts)
+        if self.seconds is not None:
+            text += f"={self.seconds:g}"
+        return text
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic set of fault rules plus seeded job sampling."""
+
+    rules: tuple[FaultRule, ...] = ()
+    seed: int = 0
+    rate: float = 1.0
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse a ``REPRO_FAULT_SPEC`` string into a plan."""
+        rules: list[FaultRule] = []
+        seed, rate = 0, 1.0
+        for clause in spec.split(";"):
+            clause = clause.strip()
+            if not clause:
+                continue
+            if clause.startswith("seed="):
+                seed = int(clause[5:])
+                continue
+            if clause.startswith("rate="):
+                rate = float(clause[5:])
+                continue
+            rules.append(cls._parse_rule(clause))
+        return cls(rules=tuple(rules), seed=seed, rate=rate)
+
+    @staticmethod
+    def _parse_rule(clause: str) -> FaultRule:
+        seconds = None
+        if "=" in clause:
+            clause, _, tail = clause.partition("=")
+            seconds = float(tail)
+        attempts: tuple[int, ...] = ()
+        if ":" in clause:
+            clause, _, tail = clause.partition(":")
+            attempts = tuple(int(a) for a in tail.split(",") if a)
+        kind, _, target = clause.partition("@")
+        workload, scheme = "*", "*"
+        if target:
+            workload, _, scheme = target.partition("/")
+            workload = workload or "*"
+            scheme = scheme or "*"
+        return FaultRule(
+            kind=kind.strip(), workload=workload, scheme=scheme,
+            attempts=attempts, seconds=seconds,
+        )
+
+    def spec(self) -> str:
+        """Serialize back to spec text (round-trips through :meth:`parse`)."""
+        clauses = []
+        if self.seed:
+            clauses.append(f"seed={self.seed}")
+        if self.rate != 1.0:
+            clauses.append(f"rate={self.rate:g}")
+        clauses.extend(rule.clause() for rule in self.rules)
+        return ";".join(clauses)
+
+    def selects(self, key: str) -> bool:
+        """Seeded, deterministic job sampling by content key."""
+        if self.rate >= 1.0:
+            return True
+        if self.rate <= 0.0:
+            return False
+        digest = hashlib.sha256(f"{self.seed}:{key}".encode()).hexdigest()
+        return int(digest[:8], 16) / float(0xFFFFFFFF) < self.rate
+
+    def rule_for(
+        self, workload: str, scheme_id: str, attempt: int, key: str
+    ) -> FaultRule | None:
+        """The first rule firing for this (job, attempt), if any."""
+        if not self.rules or not self.selects(key):
+            return None
+        for rule in self.rules:
+            if rule.matches(workload, scheme_id, attempt):
+                return rule
+        return None
+
+
+def active_plan(spec: str | None = None) -> FaultPlan | None:
+    """The plan for ``spec``, falling back to ``$REPRO_FAULT_SPEC``.
+
+    Returns None when neither names any faults — the common case, kept
+    cheap because it runs on every worker-side job execution.
+    """
+    if spec is None:
+        spec = os.environ.get(FAULT_SPEC_ENV)
+    if not spec:
+        return None
+    plan = FaultPlan.parse(spec)
+    return plan if plan.rules else None
+
+
+def inject(
+    workload: str, scheme_id: str, attempt: int, key: str, plan: FaultPlan
+) -> None:
+    """Worker-side injection point: act out the matching rule, if any.
+
+    ``crash`` hard-exits the worker process (exercising pool-break and
+    isolation recovery), ``hang`` sleeps past any timeout, ``raise``
+    raises :class:`FaultInjected` (exercising bounded retries), and
+    ``slow`` delays then lets the job run normally.  ``corrupt_cache``
+    is a no-op here — it is applied parent-side after the cache write
+    (see :meth:`repro.runtime.Runtime.run_jobs`).
+    """
+    rule = plan.rule_for(workload, scheme_id, attempt, key)
+    if rule is None:
+        return
+    if rule.kind == "crash":
+        os._exit(CRASH_EXIT_CODE)
+    elif rule.kind == "hang":
+        time.sleep(rule.seconds if rule.seconds is not None else HANG_SECONDS)
+    elif rule.kind == "raise":
+        raise FaultInjected(
+            f"injected fault: {workload}/{scheme_id} attempt {attempt}"
+        )
+    elif rule.kind == "slow":
+        time.sleep(rule.seconds if rule.seconds is not None else SLOW_SECONDS)
+    # corrupt_cache: parent-side, nothing to do in the worker
+
+
+def corrupt_file(path: str | Path) -> None:
+    """Garble a file in place (torn-write simulation for cache entries).
+
+    Truncates to half length and appends bytes that break both JSON and
+    the checksum, so integrity checking must catch it.
+    """
+    path = Path(path)
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 2] + b"\x00{torn-write}")

@@ -9,7 +9,7 @@ values.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 class OpClass(enum.IntEnum):

@@ -8,7 +8,7 @@ when a block is evicted and later refilled, so :meth:`Cache.lookup` and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

@@ -27,7 +27,6 @@ from __future__ import annotations
 from repro.branch import BranchUnit
 from repro.isa import (
     EXECUTION_LATENCY,
-    Instruction,
     OpClass,
     fetch_group_address,
     is_branch_op,

@@ -16,8 +16,14 @@ Typical use::
     print(runtime.journal.format_summary())
 """
 
-from repro.runtime.api import GridResult, Runtime
-from repro.runtime.cache import CACHE_DIR_ENV, ResultCache, default_cache_dir
+from repro.runtime.api import GridResult, RunInterrupted, Runtime
+from repro.runtime.cache import (
+    CACHE_DIR_ENV,
+    CACHE_SCHEMA_VERSION,
+    ResultCache,
+    default_cache_dir,
+    result_checksum,
+)
 from repro.runtime.executor import (
     JobOutcome,
     JobTimeoutError,
@@ -32,7 +38,7 @@ from repro.runtime.jobs import (
     make_job,
     trace_cache_key,
 )
-from repro.runtime.journal import RunJournal, read_journal
+from repro.runtime.journal import RunJournal, completed_results, read_journal
 from repro.runtime.registry import (
     BASELINE_ID,
     SchemeSpec,
@@ -45,6 +51,7 @@ from repro.runtime.registry import (
 __all__ = [
     "Runtime",
     "GridResult",
+    "RunInterrupted",
     "Job",
     "JobOutcome",
     "JobTimeoutError",
@@ -56,6 +63,9 @@ __all__ = [
     "default_cache_dir",
     "RunJournal",
     "read_journal",
+    "completed_results",
+    "result_checksum",
+    "CACHE_SCHEMA_VERSION",
     "SerialExecutor",
     "ParallelExecutor",
     "SchemeSpec",

@@ -5,20 +5,33 @@ by ``$REPRO_CACHE_DIR`` or ``--cache-dir``)::
 
     results/<k0k1>/<key>.json   # schema-versioned SimResult payloads
     traces/<key>.trace          # repro.trace.serialization v1 format
+    corrupt/                    # quarantined unreadable/bad-checksum entries
 
 Result entries are JSON (never pickles): the payload embeds the job's
 identity fields next to :meth:`SimResult.to_dict`, so an entry is
 self-describing and auditable with standard tools.  All writes are
 atomic (temp file + ``os.replace``) so concurrent workers and runs can
-share one cache directory; any unreadable or schema-mismatched entry is
-treated as a miss and overwritten, never trusted.
+share one cache directory.
+
+Integrity: every result payload carries a sha256 checksum over its
+canonical result JSON.  An entry that cannot be parsed or whose
+checksum does not match is **quarantined** — moved under ``corrupt/``
+and reported through the ``on_corrupt`` callback (the runtime turns
+that into a ``cache_corrupt`` journal event) — rather than silently
+overwritten, so disk-level corruption stays observable and diagnosable.
+A payload whose ``cache_schema`` is simply from an older release is a
+plain miss (stale, not corrupt).  :meth:`ResultCache.verify` audits the
+whole store; :meth:`ResultCache.gc` prunes it by age and size.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
+import time
+from collections.abc import Callable
 from pathlib import Path
 
 from repro.pipeline.stats import RESULT_SCHEMA_VERSION, SimResult
@@ -26,7 +39,10 @@ from repro.trace.serialization import load_trace, save_trace
 from repro.trace.trace import Trace
 
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
-CACHE_SCHEMA_VERSION = 1
+CACHE_SCHEMA_VERSION = 2      # v2: payloads carry a sha256 checksum
+
+# (key, reason, quarantine-destination) -> None
+CorruptFn = Callable[[str, str, Path], None]
 
 
 def default_cache_dir() -> Path:
@@ -52,44 +68,202 @@ def _atomic_write_text(path: Path, text: str) -> None:
         raise
 
 
-class ResultCache:
-    """Content-addressed store for :class:`SimResult` and trace files."""
+def result_checksum(result_payload: dict) -> str:
+    """sha256 over the canonical JSON of a result payload."""
+    blob = json.dumps(result_payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
 
-    def __init__(self, root: str | Path | None = None) -> None:
+
+class ResultCache:
+    """Content-addressed store for :class:`SimResult` and trace files.
+
+    Args:
+        root: Cache root directory (None: :func:`default_cache_dir`).
+        on_corrupt: Called once per quarantined entry with
+            ``(key, reason, destination)``; None ignores them silently.
+    """
+
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        on_corrupt: CorruptFn | None = None,
+    ) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
+        self.on_corrupt = on_corrupt
 
     # -- results ---------------------------------------------------------
 
     def result_path(self, key: str) -> Path:
         return self.root / "results" / key[:2] / f"{key}.json"
 
+    def quarantine_dir(self) -> Path:
+        return self.root / "corrupt"
+
+    def _quarantine(self, key: str, path: Path, reason: str) -> Path | None:
+        """Move a bad entry under ``corrupt/``; returns the destination."""
+        dest = self.quarantine_dir() / path.name
+        try:
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, dest)
+        except OSError:
+            return None
+        if self.on_corrupt is not None:
+            self.on_corrupt(key, reason, dest)
+        return dest
+
     def get(self, key: str) -> SimResult | None:
-        """The cached result for ``key``, or None on miss/corruption."""
+        """The cached result for ``key``, or None on miss.
+
+        Unparseable or checksum-failed entries are quarantined under
+        ``corrupt/`` (never silently overwritten in place) and read as
+        a miss; entries from an older cache schema are a plain miss.
+        """
         path = self.result_path(key)
+        if not path.is_file():
+            return None
         try:
             payload = json.loads(path.read_text())
-        except (OSError, ValueError):
+        except OSError:
+            return None
+        except ValueError:
+            self._quarantine(key, path, "unparseable JSON")
+            return None
+        if not isinstance(payload, dict):
+            self._quarantine(key, path, "non-object payload")
             return None
         if payload.get("cache_schema") != CACHE_SCHEMA_VERSION:
+            return None           # stale schema: a miss, not corruption
+        result_payload = payload.get("result")
+        if not isinstance(result_payload, dict) or payload.get(
+            "sha256"
+        ) != result_checksum(result_payload):
+            self._quarantine(key, path, "checksum mismatch")
             return None
         try:
-            return SimResult.from_dict(payload["result"])
+            return SimResult.from_dict(result_payload)
         except (KeyError, TypeError, ValueError):
+            self._quarantine(key, path, "undecodable result")
             return None
 
     def put(self, key: str, result: SimResult, job_fields: dict | None = None) -> None:
-        """Store ``result`` under ``key`` atomically."""
+        """Store ``result`` under ``key`` atomically, with checksum."""
+        result_payload = result.to_dict()
         payload = {
             "cache_schema": CACHE_SCHEMA_VERSION,
             "result_schema": RESULT_SCHEMA_VERSION,
             "key": key,
             "job": job_fields or {},
-            "result": result.to_dict(),
+            "sha256": result_checksum(result_payload),
+            "result": result_payload,
         }
         _atomic_write_text(self.result_path(key), json.dumps(payload))
 
     def contains(self, key: str) -> bool:
-        return self.get(key) is not None
+        """Cheap existence + schema check — no result deserialisation.
+
+        Answers "would :meth:`get` even try this entry?" without paying
+        for :meth:`SimResult.from_dict` or checksum verification (those
+        stay the job of :meth:`get` and :meth:`verify`).
+        """
+        path = self.result_path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return False
+        return (
+            isinstance(payload, dict)
+            and payload.get("cache_schema") == CACHE_SCHEMA_VERSION
+            and isinstance(payload.get("result"), dict)
+        )
+
+    # -- maintenance -----------------------------------------------------
+
+    def _result_files(self) -> list[Path]:
+        results = self.root / "results"
+        return sorted(results.rglob("*.json")) if results.is_dir() else []
+
+    def _trace_files(self) -> list[Path]:
+        traces = self.root / "traces"
+        return sorted(traces.glob("*.trace")) if traces.is_dir() else []
+
+    def verify(self) -> dict:
+        """Audit every entry; quarantine bad ones; return counters.
+
+        Returns ``{"results", "ok", "stale", "corrupt", "traces",
+        "trace_corrupt"}`` — ``corrupt`` entries (and unreadable
+        traces) end up under ``corrupt/`` with ``on_corrupt`` fired.
+        """
+        report = {"results": 0, "ok": 0, "stale": 0, "corrupt": 0,
+                  "traces": 0, "trace_corrupt": 0}
+        for path in self._result_files():
+            report["results"] += 1
+            key = path.stem
+            if self.get(key) is not None:
+                report["ok"] += 1
+            elif path.is_file():      # still there: schema-stale miss
+                report["stale"] += 1
+            else:                     # gone: get() quarantined it
+                report["corrupt"] += 1
+        for path in self._trace_files():
+            report["traces"] += 1
+            try:
+                load_trace(path)
+            except (OSError, ValueError):
+                report["trace_corrupt"] += 1
+                self._quarantine(path.stem, path, "unreadable trace")
+        return report
+
+    def gc(
+        self,
+        max_age_days: float | None = None,
+        max_size_mb: float | None = None,
+    ) -> dict:
+        """Prune the store by age and/or total size (oldest first).
+
+        Sweeps results, traces and quarantined files.  Entries older
+        than ``max_age_days`` are removed; then, if the remainder still
+        exceeds ``max_size_mb``, the oldest entries go until it fits.
+        Returns ``{"removed", "kept", "bytes_freed", "bytes_kept"}``.
+        """
+        quarantined = (
+            sorted(self.quarantine_dir().glob("*"))
+            if self.quarantine_dir().is_dir()
+            else []
+        )
+        entries = []          # (mtime, size, path)
+        for path in [*self._result_files(), *self._trace_files(), *quarantined]:
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort()        # oldest first
+        now = time.time()
+        doomed: list[tuple[float, int, Path]] = []
+        if max_age_days is not None:
+            cutoff = now - max_age_days * 86400.0
+            doomed = [e for e in entries if e[0] < cutoff]
+            entries = [e for e in entries if e[0] >= cutoff]
+        if max_size_mb is not None:
+            budget = max_size_mb * 1024 * 1024
+            total = sum(size for _, size, _ in entries)
+            while entries and total > budget:
+                entry = entries.pop(0)          # oldest survivor
+                doomed.append(entry)
+                total -= entry[1]
+        freed = 0
+        for _, size, path in doomed:
+            try:
+                path.unlink()
+                freed += size
+            except OSError:
+                pass
+        return {
+            "removed": len(doomed),
+            "kept": len(entries),
+            "bytes_freed": freed,
+            "bytes_kept": sum(size for _, size, _ in entries),
+        }
 
     # -- traces ----------------------------------------------------------
 

@@ -12,28 +12,51 @@ Two interchangeable drivers with identical semantics and results:
   and the surviving jobs resubmitted, while a job that repeatedly kills
   its worker exhausts its attempts and is reported as failed.
 
+Shared failure policy (both drivers):
+
+* **Deterministic retry backoff** — attempt *n*'s resubmission is
+  delayed by ``backoff * 2**(n-1)`` seconds, a fixed schedule with no
+  jitter so chaos runs and their journals are reproducible.
+* **Timeout escalation** — with ``timeout_factor`` set, a timed-out
+  job is retried (within its bounded attempts) with its timeout
+  multiplied by the factor, which turns "this cell is slow today" into
+  a recoverable condition instead of a dead cell.
+* **Graceful interruption** — a ``KeyboardInterrupt`` (Ctrl-C, or
+  SIGTERM converted by the runtime) stops scheduling, cancels what it
+  can, and returns the completed outcomes with the rest marked
+  ``"interrupted"`` — callers keep (and cache) the finished cells.
+
 Timeouts are enforced *inside* the worker via ``SIGALRM`` (each pool
 worker runs jobs on its main thread), so a timed-out job ends cleanly
 without tearing down the pool.  Where ``SIGALRM`` does not exist the
-timeout degrades to best-effort (the job runs to completion).
+timeout degrades to best-effort (the job runs to completion) and a
+one-time :class:`RuntimeWarning` makes the degradation visible.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import signal
 import threading
 import time
 import traceback
+import warnings
 from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 
 from repro.pipeline import SimResult
 from repro.runtime.jobs import Job, execute_job, result_from_payload
 
 # events callback: (kind, job, extra-fields) -> None
 EventFn = Callable[[str, Job, dict], None]
+# outcome callback: invoked the moment a job's outcome is final, before
+# run() returns — callers journal/cache each cell as it settles so a
+# later hang, crash or interrupt cannot lose already-finished work
+OutcomeFn = Callable[["JobOutcome"], None]
+
+INTERRUPTED_ERROR = "interrupted by signal before completion"
 
 
 class JobTimeoutError(RuntimeError):
@@ -45,16 +68,20 @@ class JobOutcome:
     """What happened to one job."""
 
     job: Job
-    status: str                       # "ok" | "error" | "timeout"
+    status: str         # "ok" | "error" | "timeout" | "interrupted"
     result: SimResult | None = None
     error: str | None = None
     duration: float = 0.0
     attempts: int = 1
     cache_hit: bool = False
+    resumed: bool = False
 
     @property
     def ok(self) -> bool:
         return self.status == "ok"
+
+
+_timeout_degraded_warned = False
 
 
 def _call_with_timeout(fn: Callable[[], object], timeout: float | None) -> object:
@@ -62,15 +89,27 @@ def _call_with_timeout(fn: Callable[[], object], timeout: float | None) -> objec
 
     Uses ``SIGALRM``/``setitimer``, which only works on the main thread
     of a process with POSIX signals — exactly where executor workers
-    (and the serial driver) run.  Anywhere else the call is unbounded.
+    (and the serial driver) run.  Anywhere else the call is unbounded,
+    and a one-time :class:`RuntimeWarning` says so instead of silently
+    dropping the limit.
     """
+    wanted = timeout is not None and timeout > 0
     usable = (
-        timeout is not None
-        and timeout > 0
+        wanted
         and hasattr(signal, "SIGALRM")
         and threading.current_thread() is threading.main_thread()
     )
     if not usable:
+        global _timeout_degraded_warned
+        if wanted and not _timeout_degraded_warned:
+            _timeout_degraded_warned = True
+            warnings.warn(
+                "per-job timeout requested but SIGALRM is unavailable here "
+                "(no POSIX signals or not on the main thread); jobs run "
+                "unbounded",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return fn()
 
     def _on_alarm(signum, frame):
@@ -85,7 +124,12 @@ def _call_with_timeout(fn: Callable[[], object], timeout: float | None) -> objec
         signal.signal(signal.SIGALRM, previous)
 
 
-def _worker_run(job: Job, cache_dir: str | None) -> dict:
+def _worker_run(
+    job: Job,
+    cache_dir: str | None,
+    attempt: int = 1,
+    fault_spec: str | None = None,
+) -> dict:
     """Pool-worker entry point: execute one job under its timeout.
 
     Returns an envelope ``{"result": payload, "duration": seconds}`` —
@@ -93,12 +137,53 @@ def _worker_run(job: Job, cache_dir: str | None) -> dict:
     execution time rather than time spent queued in the pool.
     """
     started = time.monotonic()
-    payload = _call_with_timeout(lambda: execute_job(job, cache_dir), job.timeout)
+    payload = _call_with_timeout(
+        lambda: execute_job(job, cache_dir, attempt=attempt,
+                            fault_spec=fault_spec),
+        job.timeout,
+    )
     return {"result": payload, "duration": time.monotonic() - started}
 
 
 def _no_events(kind: str, job: Job, fields: dict) -> None:
     pass
+
+
+def _no_outcome(outcome: "JobOutcome") -> None:
+    pass
+
+
+_pool_ctx = None
+
+
+def _pool_context():
+    """The multiprocessing context worker pools are built from.
+
+    The default ``fork`` start method forks workers lazily at submit
+    time, while the pool's own queue-feeder and manager threads are
+    live — a worker forked while one of those threads holds a lock
+    inherits it held-forever and deadlocks on first acquire (observed
+    intermittently under heavy pool churn, e.g. crash-isolation
+    rounds).  ``forkserver`` forks every worker from a clean,
+    single-threaded server process, which eliminates the entire class;
+    preloading this module keeps the per-worker cost at a plain fork
+    after the server's one-time warm import.  Falls back to the
+    platform default where forkserver does not exist (Windows).
+    """
+    global _pool_ctx
+    if _pool_ctx is None:
+        try:
+            ctx = multiprocessing.get_context("forkserver")
+            ctx.set_forkserver_preload(["repro.runtime.executor"])
+        except (ValueError, AttributeError):
+            ctx = multiprocessing.get_context()
+        _pool_ctx = ctx
+    return _pool_ctx
+
+
+def _make_pool(max_workers: int) -> ProcessPoolExecutor:
+    return ProcessPoolExecutor(max_workers=max_workers,
+                               mp_context=_pool_context())
 
 
 @dataclass
@@ -107,52 +192,109 @@ class _Attempt:
     attempts: int = 0
 
 
-class SerialExecutor:
-    """Run jobs one at a time in the calling process."""
+class _FailurePolicy:
+    """Retry/backoff/escalation knobs shared by both executors."""
 
-    def __init__(self, retries: int = 1) -> None:
+    def __init__(
+        self,
+        retries: int = 1,
+        backoff: float = 0.0,
+        timeout_factor: float | None = None,
+    ) -> None:
         self.retries = max(0, retries)
+        self.backoff = max(0.0, backoff)
+        self.timeout_factor = timeout_factor
+
+    def backoff_before(self, attempt: int) -> None:
+        """Deterministic exponential delay before retry ``attempt``."""
+        if self.backoff > 0.0 and attempt > 1:
+            time.sleep(self.backoff * 2 ** (attempt - 2))
+
+    def escalate_timeout(self, state: _Attempt) -> bool:
+        """Retry a timed-out attempt with a scaled timeout, if enabled."""
+        if (
+            self.timeout_factor is None
+            or state.job.timeout is None
+            or state.attempts > self.retries
+        ):
+            return False
+        state.job = replace(
+            state.job, timeout=state.job.timeout * self.timeout_factor
+        )
+        return True
+
+
+class SerialExecutor(_FailurePolicy):
+    """Run jobs one at a time in the calling process."""
 
     def run(
         self,
         jobs: Sequence[Job],
         cache_dir: str | None = None,
         events: EventFn | None = None,
+        fault_spec: str | None = None,
+        on_outcome: OutcomeFn | None = None,
     ) -> list[JobOutcome]:
         events = events or _no_events
+        on_outcome = on_outcome or _no_outcome
         outcomes = []
-        for job in jobs:
-            attempts = 0
-            while True:
-                attempts += 1
-                events("job_started", job, {"attempt": attempts})
-                started = time.monotonic()
-                try:
-                    envelope = _worker_run(job, cache_dir)
-                except JobTimeoutError as exc:
-                    outcome = JobOutcome(
-                        job, "timeout", error=str(exc),
-                        duration=time.monotonic() - started, attempts=attempts,
-                    )
-                except Exception as exc:
-                    if attempts <= self.retries:
-                        continue
-                    outcome = JobOutcome(
-                        job, "error", error=_format_error(exc),
-                        duration=time.monotonic() - started, attempts=attempts,
-                    )
-                else:
-                    outcome = JobOutcome(
-                        job, "ok",
-                        result=result_from_payload(envelope["result"]),
-                        duration=envelope["duration"], attempts=attempts,
-                    )
-                break
-            outcomes.append(outcome)
+        try:
+            for job in jobs:
+                outcome = self._run_one(job, cache_dir, events, fault_spec)
+                on_outcome(outcome)
+                outcomes.append(outcome)
+        except KeyboardInterrupt:
+            for job in jobs[len(outcomes):]:
+                outcome = JobOutcome(
+                    job, "interrupted", error=INTERRUPTED_ERROR, attempts=0,
+                )
+                on_outcome(outcome)
+                outcomes.append(outcome)
         return outcomes
 
+    def _run_one(
+        self,
+        job: Job,
+        cache_dir: str | None,
+        events: EventFn,
+        fault_spec: str | None,
+    ) -> JobOutcome:
+        state = _Attempt(job)
+        while True:
+            state.attempts += 1
+            self.backoff_before(state.attempts)
+            events("job_started", state.job, {"attempt": state.attempts})
+            started = time.monotonic()
+            try:
+                envelope = _worker_run(state.job, cache_dir, state.attempts,
+                                       fault_spec)
+            except JobTimeoutError as exc:
+                if self.escalate_timeout(state):
+                    continue
+                return JobOutcome(
+                    job, "timeout", error=str(exc),
+                    duration=time.monotonic() - started,
+                    attempts=state.attempts,
+                )
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                if state.attempts <= self.retries:
+                    continue
+                return JobOutcome(
+                    job, "error", error=_format_error(exc),
+                    duration=time.monotonic() - started,
+                    attempts=state.attempts,
+                )
+            else:
+                return JobOutcome(
+                    job, "ok",
+                    result=result_from_payload(envelope["result"]),
+                    duration=envelope["duration"], attempts=state.attempts,
+                )
 
-class ParallelExecutor:
+
+class ParallelExecutor(_FailurePolicy):
     """Fan jobs out over a ``ProcessPoolExecutor``.
 
     Crash isolation: when a worker dies, ``ProcessPoolExecutor`` breaks
@@ -165,17 +307,27 @@ class ParallelExecutor:
     cell; everything else completes normally.
     """
 
-    def __init__(self, max_workers: int, retries: int = 1) -> None:
+    def __init__(
+        self,
+        max_workers: int,
+        retries: int = 1,
+        backoff: float = 0.0,
+        timeout_factor: float | None = None,
+    ) -> None:
+        super().__init__(retries=retries, backoff=backoff,
+                         timeout_factor=timeout_factor)
         self.max_workers = max(1, max_workers)
-        self.retries = max(0, retries)
 
     def run(
         self,
         jobs: Sequence[Job],
         cache_dir: str | None = None,
         events: EventFn | None = None,
+        fault_spec: str | None = None,
+        on_outcome: OutcomeFn | None = None,
     ) -> list[JobOutcome]:
         events = events or _no_events
+        on_outcome = on_outcome or _no_outcome
         order = [job.key for job in jobs]
         pending = {job.key: _Attempt(job) for job in jobs}
         done: dict[str, JobOutcome] = {}
@@ -183,11 +335,23 @@ class ParallelExecutor:
         # isolation rounds charge an attempt to every job they submit,
         # so the loop terminates within retries + 2 rounds.
         isolate = False
-        while pending:
-            if isolate:
-                self._isolated_round(pending, done, cache_dir, events)
-            else:
-                isolate = self._shared_round(pending, done, cache_dir, events)
+        try:
+            while pending:
+                if isolate:
+                    self._isolated_round(pending, done, cache_dir, events,
+                                         fault_spec, on_outcome)
+                else:
+                    isolate = self._shared_round(pending, done, cache_dir,
+                                                 events, fault_spec,
+                                                 on_outcome)
+        except KeyboardInterrupt:
+            for state in pending.values():
+                outcome = JobOutcome(
+                    state.job, "interrupted", error=INTERRUPTED_ERROR,
+                    attempts=state.attempts,
+                )
+                on_outcome(outcome)
+                done[state.job.key] = outcome
         return [done[key] for key in order]
 
     def _shared_round(
@@ -196,17 +360,22 @@ class ParallelExecutor:
         done: dict[str, JobOutcome],
         cache_dir: str | None,
         events: EventFn,
+        fault_spec: str | None,
+        on_outcome: OutcomeFn,
     ) -> bool:
         """One pass through a shared pool; True if the pool broke."""
-        pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        pool = _make_pool(self.max_workers)
         futures = {}
         broke = False
+        settled = False
         try:
             for state in list(pending.values()):
                 state.attempts += 1
+                self.backoff_before(state.attempts)
                 events("job_started", state.job, {"attempt": state.attempts})
                 try:
-                    future = pool.submit(_worker_run, state.job, cache_dir)
+                    future = pool.submit(_worker_run, state.job, cache_dir,
+                                         state.attempts, fault_spec)
                 except BrokenProcessPool:
                     # died mid-submission; uncharge and leave the rest
                     # of the batch for the isolation rounds
@@ -225,11 +394,20 @@ class ParallelExecutor:
                     state.attempts -= 1
                     broke = True
                 except Exception as exc:
-                    self._settle(state, None, exc, pending, done, duration)
+                    self._settle(state, None, exc, pending, done, duration,
+                                 on_outcome)
                 else:
-                    self._settle(state, payload, None, pending, done, duration)
+                    self._settle(state, payload, None, pending, done,
+                                 duration, on_outcome)
+            settled = True
         finally:
-            pool.shutdown(wait=False, cancel_futures=True)
+            # Once every future has resolved, workers are idle or dead
+            # and joining the pool's helper threads is cheap — and
+            # necessary before the isolation rounds fork fresh pools:
+            # forking while a dying pool's queue-feeder threads still
+            # hold their locks can deadlock the new workers.  Only an
+            # interrupt (a worker may be mid-job) skips the join.
+            pool.shutdown(wait=settled, cancel_futures=True)
         return broke
 
     def _isolated_round(
@@ -238,6 +416,8 @@ class ParallelExecutor:
         done: dict[str, JobOutcome],
         cache_dir: str | None,
         events: EventFn,
+        fault_spec: str | None,
+        on_outcome: OutcomeFn,
     ) -> None:
         """Run each pending job in its own single-worker pool."""
         states = list(pending.values())
@@ -245,13 +425,16 @@ class ParallelExecutor:
             batch = states[start : start + self.max_workers]
             pools: list[ProcessPoolExecutor] = []
             futures = {}
+            settled = False
             try:
                 for state in batch:
                     state.attempts += 1
+                    self.backoff_before(state.attempts)
                     events("job_started", state.job, {"attempt": state.attempts})
-                    pool = ProcessPoolExecutor(max_workers=1)
+                    pool = _make_pool(1)
                     pools.append(pool)
-                    futures[pool.submit(_worker_run, state.job, cache_dir)] = (
+                    futures[pool.submit(_worker_run, state.job, cache_dir,
+                                        state.attempts, fault_spec)] = (
                         state,
                         time.monotonic(),
                     )
@@ -263,19 +446,26 @@ class ParallelExecutor:
                     except BrokenProcessPool:
                         # single-worker pool: this job *is* the culprit
                         if state.attempts > self.retries:
-                            done[state.job.key] = JobOutcome(
+                            outcome = JobOutcome(
                                 state.job, "error",
                                 error="worker process died (crash or kill)",
                                 duration=duration, attempts=state.attempts,
                             )
+                            on_outcome(outcome)
+                            done[state.job.key] = outcome
                             del pending[state.job.key]
                     except Exception as exc:
-                        self._settle(state, None, exc, pending, done, duration)
+                        self._settle(state, None, exc, pending, done,
+                                     duration, on_outcome)
                     else:
-                        self._settle(state, payload, None, pending, done, duration)
+                        self._settle(state, payload, None, pending, done,
+                                     duration, on_outcome)
+                settled = True
             finally:
+                # join on the settled path for the same fork-safety
+                # reason as the shared round (see above)
                 for pool in pools:
-                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool.shutdown(wait=settled, cancel_futures=True)
 
     def _settle(
         self,
@@ -285,6 +475,7 @@ class ParallelExecutor:
         pending: dict[str, _Attempt],
         done: dict[str, JobOutcome],
         duration: float,
+        on_outcome: OutcomeFn,
     ) -> None:
         """Resolve one attempt's (worker envelope, exception) pair.
 
@@ -293,24 +484,28 @@ class ParallelExecutor:
         duration in the envelope, which excludes pool queue wait.
         """
         job = state.job
+        outcome: JobOutcome | None = None
         if exc is None:
             assert envelope is not None
-            done[job.key] = JobOutcome(
+            outcome = JobOutcome(
                 job, "ok", result=result_from_payload(envelope["result"]),
                 duration=envelope["duration"], attempts=state.attempts,
             )
-            del pending[job.key]
         elif isinstance(exc, JobTimeoutError):
-            done[job.key] = JobOutcome(
+            if self.escalate_timeout(state):
+                return            # stays pending with a longer timeout
+            outcome = JobOutcome(
                 job, "timeout", error=str(exc),
                 duration=duration, attempts=state.attempts,
             )
-            del pending[job.key]
         elif state.attempts > self.retries:
-            done[job.key] = JobOutcome(
+            outcome = JobOutcome(
                 job, "error", error=_format_error(exc),
                 duration=duration, attempts=state.attempts,
             )
+        if outcome is not None:
+            on_outcome(outcome)
+            done[job.key] = outcome
             del pending[job.key]
         # else: stays pending, retried next round
 

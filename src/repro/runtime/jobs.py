@@ -22,6 +22,7 @@ import os
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
+from repro import faults
 from repro.pipeline import RecoveryMode, SimResult, simulate
 from repro.runtime.cache import ResultCache
 from repro.runtime.registry import BASELINE_ID, get_scheme
@@ -137,7 +138,12 @@ def _trace_for(job: Job, cache: ResultCache | None):
     return trace
 
 
-def execute_job(job: Job, cache_dir: str | None = None) -> dict:
+def execute_job(
+    job: Job,
+    cache_dir: str | None = None,
+    attempt: int = 1,
+    fault_spec: str | None = None,
+) -> dict:
     """Run one job to completion; returns ``SimResult.to_dict()``.
 
     This is the worker-side entry point.  The scheme's defining module
@@ -146,7 +152,16 @@ def execute_job(job: Job, cache_dir: str | None = None) -> dict:
     import is a cached no-op.  ``cache_dir`` enables the shared trace
     cache only — result caching is the parent's responsibility, so a
     cache hit never even reaches a worker.
+
+    ``attempt`` and ``fault_spec`` feed :mod:`repro.faults`: when a
+    fault plan (explicit spec or ``$REPRO_FAULT_SPEC``) matches this
+    (job, attempt), the injector acts it out *here*, in the worker —
+    crashing, hanging, raising or stalling exactly where a real
+    misbehaving simulation would.
     """
+    plan = faults.active_plan(fault_spec)
+    if plan is not None:
+        faults.inject(job.workload, job.scheme_id, attempt, job.key, plan)
     if job.scheme_module:
         try:
             importlib.import_module(job.scheme_module)

@@ -21,7 +21,6 @@ from repro.workloads.base import WorkloadSpec
 from repro.workloads.kernels import (
     bytecode_interpreter,
     flag_check_loop,
-    call_tree,
     hash_lookup,
     matrix_multiply,
     mixed_phases,

@@ -96,8 +96,12 @@ class TestRuntimeFlags:
         assert "0 executed" in err
         from repro.runtime import read_journal
         events = read_journal(tmp_path / "cache" / "last-run.jsonl")
-        assert all(e["event"] != "job_started" for e in events)
-        assert any(e["event"] == "cache_hit" for e in events)
+        # journals append (never truncate); isolate the warm run by run_id
+        warm_id = [e for e in events if e["event"] == "run_started"][-1]["run_id"]
+        warm = [e for e in events if e["run_id"] == warm_id]
+        assert len(warm) < len(events)  # cold run's events retained too
+        assert all(e["event"] != "job_started" for e in warm)
+        assert any(e["event"] == "cache_hit" for e in warm)
 
 
 class TestSweep:

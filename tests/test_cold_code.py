@@ -1,12 +1,10 @@
 """Tests for the cold-code sprinkling infrastructure."""
 
-import dataclasses
 
 from repro.isa import OpClass
 from repro.memory import MemoryImage
 from repro.workloads.base import (
     _COLD_CODE_BASE,
-    WorkloadBuilder,
     WorkloadSpec,
 )
 from repro.workloads.kernels import streaming_sum

@@ -13,10 +13,8 @@ from repro.pipeline import DlvpScheme, RecoveryMode, SimResult, simulate
 from repro.runtime import (
     CODE_SALT_ENV,
     Job,
-    JobTimeoutError,
     ParallelExecutor,
     ResultCache,
-    RunJournal,
     Runtime,
     SerialExecutor,
     code_version_salt,

@@ -80,7 +80,6 @@ class TestTournamentScheme:
         assert t.final_predictions <= t.loads
 
     def test_tournament_coverage_at_least_best_single(self, trace):
-        base = simulate(trace)
         dlvp = simulate(trace, scheme=DlvpScheme())
         tourney = simulate(trace, scheme=TournamentScheme())
         # Coverage overlap: combined should be >= DLVP alone - small slack.
