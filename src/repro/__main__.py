@@ -9,6 +9,7 @@ Commands:
 * ``sweep``                        — run a scheme x workload grid
 * ``chaos``                        — sweep under deterministic fault injection
 * ``cache verify|gc``              — audit / prune the result cache
+* ``bench throughput``             — simulator inst/s report (``BENCH_*.json``)
 
 ``run``, ``figure``, ``sweep`` and ``chaos`` go through
 :mod:`repro.runtime`: ``--jobs N`` fans simulation out over N worker
@@ -36,6 +37,7 @@ Examples::
     python -m repro sweep --schemes dlvp vtage --workloads gzip nat crc
     python -m repro sweep --schemes dlvp --resume ~/.cache/repro/last-run.jsonl
     python -m repro chaos --fault 'crash@gzip/dlvp:1' --jobs 4
+    python -m repro bench throughput --output BENCH_pr3.json
     python -m repro cache verify
     python -m repro cache gc --max-age-days 30 --max-size-mb 512
 """
@@ -341,6 +343,53 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """``bench throughput``: measure simulate() inst/s per scheme."""
+    from repro import bench
+
+    unknown = [s for s in args.schemes if s not in scheme_ids()]
+    if unknown:
+        print(f"unknown scheme(s) {unknown}; registered: {scheme_ids()}",
+              file=sys.stderr)
+        return 2
+    print(f"bench throughput — {args.workload} x {args.instructions} "
+          f"instructions, best of {args.repeats}", file=sys.stderr)
+    report = bench.run_throughput(
+        workload=args.workload,
+        instructions=args.instructions,
+        schemes=args.schemes,
+        repeats=args.repeats,
+        progress=lambda sid, entry: print(
+            f"  {sid:<12} {entry['inst_per_s']:>9,} inst/s "
+            f"({entry['wall_s']:.2f}s)", file=sys.stderr),
+    )
+    rows = [
+        [sid, f"{entry['inst_per_s']:,}", f"{entry['inst_per_s_mean']:,}",
+         f"{entry['wall_s']:.2f}"]
+        for sid, entry in report["schemes"].items()
+    ]
+    print(format_table(
+        ["scheme", "inst/s (best)", "inst/s (mean)", "wall s"], rows
+    ))
+    print(f"peak RSS {report['peak_rss_kib']} KiB, "
+          f"total wall {report['wall_s']:.1f}s")
+    if args.output:
+        path = bench.write_report(report, args.output)
+        print(f"wrote {path}", file=sys.stderr)
+    if args.check:
+        committed = bench.load_report(args.check)
+        failures = bench.check_regression(
+            report, committed, args.max_regression
+        )
+        for failure in failures:
+            print(f"REGRESSION {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"throughput within {args.max_regression:.0%} of "
+              f"{args.check}", file=sys.stderr)
+    return 0
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     for name in args.workloads:
         trace = build_workload(name, args.instructions)
@@ -426,6 +475,29 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--max-size-mb", type=float, default=None,
                        help="gc: prune oldest entries until under this size")
 
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark the simulator itself (inst/s per scheme)",
+    )
+    bench.add_argument("target", choices=["throughput"],
+                       help="what to benchmark")
+    bench.add_argument("--workload", default="gzip",
+                       choices=workload_names())
+    bench.add_argument("--instructions", type=int, default=24_000)
+    bench.add_argument("--schemes", nargs="+", metavar="scheme",
+                       default=["baseline"] + list(_RUN_SCHEMES),
+                       help="scheme ids to time (default: all built-ins)")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="simulate() runs per scheme; best is reported")
+    bench.add_argument("--output", default=None, metavar="FILE",
+                       help="write the JSON report (e.g. BENCH_pr3.json)")
+    bench.add_argument("--check", default=None, metavar="FILE",
+                       help="fail if inst/s regresses versus this "
+                            "committed report")
+    bench.add_argument("--max-regression", type=float, default=0.30,
+                       metavar="FRACTION",
+                       help="allowed inst/s drop for --check (default 0.30)")
+
     prof = sub.add_parser("profile", help="Figure 1/2 trace profiles")
     prof.add_argument("workloads", nargs="+", choices=workload_names(),
                       metavar="workload")
@@ -443,6 +515,7 @@ def main(argv: list[str] | None = None) -> int:
         "sweep": cmd_sweep,
         "chaos": cmd_chaos,
         "cache": cmd_cache,
+        "bench": cmd_bench,
     }
     try:
         return handlers[args.command](args)

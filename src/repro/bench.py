@@ -1,0 +1,154 @@
+"""Simulator throughput benchmark — ``python -m repro bench throughput``.
+
+Measures how many *simulated* instructions per second ``simulate()``
+sustains for each registered scheme on one workload trace, and writes
+the numbers to a ``BENCH_*.json`` report (inst/s per scheme, wall time,
+peak RSS) so the simulator's own performance trajectory is tracked in
+the repository alongside its accuracy.
+
+The committed report doubles as a regression baseline:
+``--check BENCH_pr3.json`` re-measures and fails when any scheme's
+inst/s falls more than ``--max-regression`` (default 30%) below the
+committed number — loose enough to absorb machine-to-machine variance,
+tight enough to catch an accidental O(n) regression on the hot path.
+
+Simulated *outcomes* are deliberately out of scope here: bit-identical
+``SimResult``\\ s are locked by ``tests/test_golden_simresults.py``, so
+this module only has to care about speed.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import resource
+import sys
+import time
+from pathlib import Path
+from typing import Sequence
+
+BENCH_REPORT_NAME = "BENCH_pr3.json"
+DEFAULT_WORKLOAD = "gzip"
+DEFAULT_INSTRUCTIONS = 24_000
+DEFAULT_REPEATS = 3
+DEFAULT_MAX_REGRESSION = 0.30
+# Every registered scheme id, cheapest first; ``tournament`` runs two
+# sub-predictors per load and dominates the wall time.
+DEFAULT_SCHEMES = ("baseline", "dlvp", "cap", "vtage", "dvtage", "tournament")
+
+
+def peak_rss_kib() -> int:
+    """Peak resident set size of this process, in KiB.
+
+    ``ru_maxrss`` is KiB on Linux but bytes on macOS; normalise so the
+    JSON report is comparable across both.
+    """
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        rss //= 1024
+    return rss
+
+
+def measure_scheme(trace, scheme_id: str, repeats: int = DEFAULT_REPEATS) -> dict:
+    """Time ``simulate(trace, scheme)`` ``repeats`` times; report best.
+
+    A fresh scheme instance is built per repeat so no predictor state
+    leaks between rounds; best-of-N is reported as the headline inst/s
+    because scheduler noise only ever slows a run down.
+    """
+    from repro.pipeline.core_model import simulate
+    from repro.runtime.registry import get_scheme
+
+    spec = get_scheme(scheme_id)
+    n = len(trace)
+    rates = []
+    wall = 0.0
+    for _ in range(max(1, repeats)):
+        scheme = spec.build()
+        start = time.perf_counter()
+        simulate(trace, scheme)
+        elapsed = time.perf_counter() - start
+        wall += elapsed
+        rates.append(n / elapsed)
+    return {
+        "inst_per_s": round(max(rates)),
+        "inst_per_s_mean": round(sum(rates) / len(rates)),
+        "wall_s": round(wall, 3),
+        "repeats": len(rates),
+    }
+
+
+def run_throughput(
+    workload: str = DEFAULT_WORKLOAD,
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    repeats: int = DEFAULT_REPEATS,
+    progress=None,
+) -> dict:
+    """Run the full throughput bench; returns the JSON-safe report."""
+    from repro.workloads import build_workload
+
+    t0 = time.perf_counter()
+    trace = build_workload(workload, instructions)
+    trace_s = time.perf_counter() - t0
+    results = {}
+    for scheme_id in schemes:
+        results[scheme_id] = measure_scheme(trace, scheme_id, repeats)
+        if progress is not None:
+            progress(scheme_id, results[scheme_id])
+    return {
+        "bench": "throughput",
+        "workload": workload,
+        "instructions": instructions,
+        "trace_length": len(trace),
+        "trace_build_s": round(trace_s, 3),
+        "wall_s": round(time.perf_counter() - t0, 3),
+        "peak_rss_kib": peak_rss_kib(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "schemes": results,
+    }
+
+
+def write_report(report: dict, path: str | Path) -> Path:
+    """Write a bench report as stable (sorted-key) JSON; returns path."""
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_report(path: str | Path) -> dict:
+    """Read back a report written by :func:`write_report`."""
+    return json.loads(Path(path).read_text())
+
+
+def check_regression(
+    current: dict,
+    committed: dict,
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+) -> list[str]:
+    """Compare a fresh report against a committed one.
+
+    Returns a list of human-readable failures — empty means every
+    scheme present in both reports is within ``max_regression`` of its
+    committed inst/s.  Schemes only on one side are skipped (adding a
+    scheme must not break CI retroactively).
+    """
+    failures = []
+    committed_schemes = committed.get("schemes", {})
+    for scheme_id, entry in current.get("schemes", {}).items():
+        base = committed_schemes.get(scheme_id)
+        if base is None:
+            continue
+        baseline_rate = base.get("inst_per_s", 0)
+        if baseline_rate <= 0:
+            continue
+        rate = entry["inst_per_s"]
+        floor = baseline_rate * (1.0 - max_regression)
+        if rate < floor:
+            failures.append(
+                f"{scheme_id}: {rate:.0f} inst/s is "
+                f"{1 - rate / baseline_rate:.0%} below the committed "
+                f"{baseline_rate:.0f} inst/s (allowed: {max_regression:.0%})"
+            )
+    return failures

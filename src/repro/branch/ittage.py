@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.branch.history import GlobalHistory, fold_history
+from repro.branch.history import GlobalHistory
 
 
 @dataclass(frozen=True)
@@ -21,15 +21,21 @@ class IttageConfig:
     max_history: int = 64
 
 
-@dataclass
 class _Entry:
-    tag: int = -1
-    target: int = 0
-    confidence: int = 0
+    __slots__ = ("tag", "target", "confidence")
+
+    def __init__(self, tag: int = -1, target: int = 0, confidence: int = 0) -> None:
+        self.tag = tag
+        self.target = target
+        self.confidence = confidence
 
 
 class Ittage:
-    """Indirect-branch target predictor."""
+    """Indirect-branch target predictor.
+
+    Like :class:`~repro.branch.tage.Tage`, history folds are maintained
+    incrementally per pushed bit rather than recomputed per lookup.
+    """
 
     def __init__(self, config: IttageConfig | None = None) -> None:
         self.config = config or IttageConfig()
@@ -39,18 +45,24 @@ class Ittage:
         self._tables: list[list[_Entry]] = [
             [_Entry() for _ in range(cfg.tagged_entries)] for _ in cfg.history_lengths
         ]
+        idx_bits = cfg.tagged_entries.bit_length() - 1
+        self._idx_folds = [
+            self.history.folded_register(L, idx_bits) for L in cfg.history_lengths
+        ]
+        self._tag_folds = [
+            self.history.folded_register(L, cfg.tag_bits) for L in cfg.history_lengths
+        ]
         self.predictions = 0
         self.mispredictions = 0
 
     def _index(self, pc: int, table: int) -> int:
         cfg = self.config
-        idx_bits = cfg.tagged_entries.bit_length() - 1
-        folded = fold_history(self.history.value, cfg.history_lengths[table], idx_bits)
+        folded = self._idx_folds[table].value
         return ((pc >> 2) ^ folded ^ (table * 0x1F)) % cfg.tagged_entries
 
     def _tag(self, pc: int, table: int) -> int:
         cfg = self.config
-        folded = fold_history(self.history.value, cfg.history_lengths[table], cfg.tag_bits)
+        folded = self._tag_folds[table].value
         return ((pc >> 2) ^ (folded << 1)) & ((1 << cfg.tag_bits) - 1)
 
     def predict(self, pc: int) -> int | None:

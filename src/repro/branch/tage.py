@@ -6,6 +6,13 @@ implementation follows the canonical structure: longest-match provides
 the prediction, the alternate prediction arbitrates for "newly
 allocated" entries, and useful counters steer allocation on
 mispredictions.
+
+Index/tag hashes fold the global history through incrementally updated
+:class:`~repro.branch.history.FoldedHistory` registers (one index fold
+plus two tag folds per tagged table) instead of refolding the full
+history on every lookup, and the per-PC key set is memoized across the
+lookup/update/allocate calls of a single resolved branch — together the
+bulk of the simulator's former ``fold_history`` hot path.
 """
 
 from __future__ import annotations
@@ -13,7 +20,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from repro.branch.history import GlobalHistory, fold_history
+from repro.branch.history import GlobalHistory
 
 
 @dataclass(frozen=True)
@@ -29,11 +36,13 @@ class TageConfig:
     max_history: int = 128
 
 
-@dataclass
 class _TaggedEntry:
-    tag: int = 0
-    ctr: int = 0          # signed, [-4, 3] for 3 bits
-    useful: int = 0
+    __slots__ = ("tag", "ctr", "useful")
+
+    def __init__(self, tag: int = 0, ctr: int = 0, useful: int = 0) -> None:
+        self.tag = tag
+        self.ctr = ctr          # signed, [-4, 3] for 3 bits
+        self.useful = useful
 
 
 class Tage:
@@ -49,27 +58,78 @@ class Tage:
             [_TaggedEntry() for _ in range(cfg.tagged_entries)]
             for _ in cfg.history_lengths
         ]
+        idx_bits = cfg.tagged_entries.bit_length() - 1
+        self._idx_bits = idx_bits
+        self._idx_folds = [
+            self.history.folded_register(L, idx_bits) for L in cfg.history_lengths
+        ]
+        self._tag_folds = [
+            self.history.folded_register(L, cfg.tag_bits) for L in cfg.history_lengths
+        ]
+        self._tag_folds2 = [
+            self.history.folded_register(L, cfg.tag_bits - 1)
+            for L in cfg.history_lengths
+        ]
+        # Per-table fold triples plus hoisted key-hash constants, so
+        # _keys() does no per-call list indexing or config access.
+        self._key_folds = list(zip(self._idx_folds, self._tag_folds, self._tag_folds2))
+        self._entries_count = cfg.tagged_entries
+        # tagged_entries is a power of two in every shipped config; the
+        # modulo in the key hash then reduces to a mask.
+        self._entries_mask = (
+            cfg.tagged_entries - 1
+            if cfg.tagged_entries & (cfg.tagged_entries - 1) == 0
+            else None
+        )
+        self._tag_mask = (1 << cfg.tag_bits) - 1
         self._ctr_max = (1 << (cfg.counter_bits - 1)) - 1
         self._ctr_min = -(1 << (cfg.counter_bits - 1))
         self._useful_max = (1 << cfg.useful_bits) - 1
+        # Memoized (index, tag) per table for the last (pc, history) pair.
+        self._key_pc = -1
+        self._key_version = -1
+        self._key_cache: list[tuple[int, int]] = []
         self.predictions = 0
         self.mispredictions = 0
 
     # -- indexing -----------------------------------------------------
 
+    def _keys(self, pc: int) -> list[tuple[int, int]]:
+        """(index, tag) per tagged table, memoized until pc/history change."""
+        version = self.history.version
+        if pc == self._key_pc and self._key_version == version:
+            return self._key_cache
+        tag_mask = self._tag_mask
+        pc_idx = (pc >> 2) ^ (pc >> (2 + self._idx_bits))
+        pc_tag = pc >> 2
+        entries_mask = self._entries_mask
+        if entries_mask is not None:
+            keys = [
+                (
+                    (pc_idx ^ f_idx.value ^ table) & entries_mask,
+                    (pc_tag ^ f_tag.value ^ (f_tag2.value << 1)) & tag_mask,
+                )
+                for table, (f_idx, f_tag, f_tag2) in enumerate(self._key_folds)
+            ]
+        else:
+            entries = self._entries_count
+            keys = [
+                (
+                    (pc_idx ^ f_idx.value ^ table) % entries,
+                    (pc_tag ^ f_tag.value ^ (f_tag2.value << 1)) & tag_mask,
+                )
+                for table, (f_idx, f_tag, f_tag2) in enumerate(self._key_folds)
+            ]
+        self._key_pc = pc
+        self._key_version = version
+        self._key_cache = keys
+        return keys
+
     def _index(self, pc: int, table: int) -> int:
-        cfg = self.config
-        hist_len = cfg.history_lengths[table]
-        idx_bits = cfg.tagged_entries.bit_length() - 1
-        folded = fold_history(self.history.value, hist_len, idx_bits)
-        return ((pc >> 2) ^ (pc >> (2 + idx_bits)) ^ folded ^ table) % cfg.tagged_entries
+        return self._keys(pc)[table][0]
 
     def _tag(self, pc: int, table: int) -> int:
-        cfg = self.config
-        hist_len = cfg.history_lengths[table]
-        folded = fold_history(self.history.value, hist_len, cfg.tag_bits)
-        folded2 = fold_history(self.history.value, hist_len, cfg.tag_bits - 1)
-        return ((pc >> 2) ^ folded ^ (folded2 << 1)) & ((1 << cfg.tag_bits) - 1)
+        return self._keys(pc)[table][1]
 
     def _base_index(self, pc: int) -> int:
         return (pc >> 2) % self.config.base_entries
@@ -86,9 +146,12 @@ class Tage:
         provider = None
         provider_pred = None
         alt_pred = self._base[self._base_index(pc)] >= 2
-        for table in reversed(range(len(self.config.history_lengths))):
-            entry = self._tables[table][self._index(pc, table)]
-            if entry.tag == self._tag(pc, table):
+        keys = self._keys(pc)
+        tables = self._tables
+        for table in range(len(keys) - 1, -1, -1):
+            index, tag = keys[table]
+            entry = tables[table][index]
+            if entry.tag == tag:
                 if provider is None:
                     provider = table
                     provider_pred = entry.ctr >= 0
@@ -119,7 +182,7 @@ class Tage:
             self._base[base_idx] = min(3, counter + 1) if taken else max(0, counter - 1)
 
         if provider is not None:
-            entry = self._tables[provider][self._index(pc, provider)]
+            entry = self._tables[provider][self._keys(pc)[provider][0]]
             if taken:
                 entry.ctr = min(self._ctr_max, entry.ctr + 1)
             else:
@@ -138,15 +201,16 @@ class Tage:
 
     def _allocate(self, pc: int, taken: bool, provider: int | None) -> None:
         """Allocate in one table with longer history than the provider."""
+        keys = self._keys(pc)
         start = 0 if provider is None else provider + 1
         candidates = [
             table
             for table in range(start, len(self.config.history_lengths))
-            if self._tables[table][self._index(pc, table)].useful == 0
+            if self._tables[table][keys[table][0]].useful == 0
         ]
         if not candidates:
             for table in range(start, len(self.config.history_lengths)):
-                entry = self._tables[table][self._index(pc, table)]
+                entry = self._tables[table][keys[table][0]]
                 entry.useful = max(0, entry.useful - 1)
             return
         # Prefer shorter history with probability 1/2 each step, the
@@ -156,8 +220,8 @@ class Tage:
             if self._rng.random() < 0.5:
                 break
             chosen = candidate
-        entry = self._tables[chosen][self._index(pc, chosen)]
-        entry.tag = self._tag(pc, chosen)
+        entry = self._tables[chosen][keys[chosen][0]]
+        entry.tag = keys[chosen][1]
         entry.ctr = 0 if taken else -1
         entry.useful = 0
 

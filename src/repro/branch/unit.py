@@ -64,7 +64,7 @@ class BranchUnit:
         Returns True if the branch was mispredicted (direction or
         target), i.e. the pipeline must flush and refetch.
         """
-        if inst.op == OpClass.BRANCH:
+        if inst.op is OpClass.BRANCH:
             self.stats.conditional += 1
             assert inst.taken is not None
             mispredicted = self.tage.update(inst.pc, inst.taken)
@@ -73,17 +73,17 @@ class BranchUnit:
                 self.stats.conditional_mispredicted += 1
             return mispredicted
 
-        if inst.op == OpClass.JUMP:
+        if inst.op is OpClass.JUMP:
             self.stats.jumps += 1
             return False
 
-        if inst.op == OpClass.CALL:
+        if inst.op is OpClass.CALL:
             self.stats.calls += 1
             self.ras.push(inst.pc + INSTRUCTION_BYTES)
             self.tage.update_history(True)
             return False
 
-        if inst.op == OpClass.RETURN:
+        if inst.op is OpClass.RETURN:
             self.stats.returns += 1
             predicted = self.ras.pop()
             mispredicted = predicted != inst.target
@@ -91,7 +91,7 @@ class BranchUnit:
                 self.stats.returns_mispredicted += 1
             return mispredicted
 
-        if inst.op == OpClass.INDIRECT:
+        if inst.op is OpClass.INDIRECT:
             self.stats.indirect += 1
             assert inst.target is not None
             mispredicted = self.ittage.update(inst.pc, inst.target)

@@ -19,15 +19,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.isa import Instruction, fetch_group_address
+from repro.isa.fetch import FETCH_GROUP_BYTES
 from repro.memory import MemoryHierarchy, MemoryImage
 from repro.predictors.base import AddressPrediction
 from repro.predictors.cap import CapPredictor
-from repro.predictors.pap import PapPredictor
+from repro.predictors.pap import PapPredictor, _SIZE_FROM_CODE
 from repro.core.config import DlvpConfig
 from repro.core.lscd import LoadStoreConflictDetector
 from repro.core.paq import PaqEntry, PredictedAddressQueue
 
 _PROBE_BYTES = 32      # captures LDM footprints up to 4 x 8B / VLD 2 x 16B
+_FGA_MASK = ~(FETCH_GROUP_BYTES - 1)      # fetch_group_address(), inlined
 
 
 @dataclass
@@ -43,9 +45,11 @@ class DlvpStats:
     probes: int = 0
     probe_hits: int = 0
     probe_misses: int = 0
+    probes_way_predicted: int = 0    # probes that read a single predicted way
     way_mispredictions: int = 0
     prefetches: int = 0
     inflight_conflicts: int = 0      # addr right, value wrong -> LSCD insert
+    paq_flushed: int = 0             # PAQ entries cleared by pipeline flushes
 
     @property
     def coverage(self) -> float:
@@ -70,29 +74,57 @@ class DlvpStats:
         return self.prefetches / self.loads_seen if self.loads_seen else 0.0
 
 
-@dataclass
 class DlvpFetchHandle:
-    """Per-load state carried from fetch to execute."""
+    """Per-load state carried from fetch to execute.
 
-    load_pc: int
-    apt_index: int = 0
-    apt_tag: int = 0
-    prediction: AddressPrediction | None = None
-    lscd_blocked: bool = False
-    probed: bool = False
-    probe_hit: bool = False
-    raw_probe_value: int | None = None     # _PROBE_BYTES bytes at predicted addr
-    dropped: bool = False
+    A ``__slots__`` plain class, not a dataclass: one is allocated per
+    predicted load on the simulate() hot path.
+    """
+
+    __slots__ = (
+        "load_pc", "apt_index", "apt_tag", "prediction", "lscd_blocked",
+        "probed", "probe_hit", "raw_probe_value", "dropped",
+    )
+
+    def __init__(
+        self,
+        load_pc: int,
+        apt_index: int = 0,
+        apt_tag: int = 0,
+        prediction: AddressPrediction | None = None,
+        lscd_blocked: bool = False,
+        probed: bool = False,
+        probe_hit: bool = False,
+        raw_probe_value: int | None = None,
+        dropped: bool = False,
+    ) -> None:
+        self.load_pc = load_pc
+        self.apt_index = apt_index
+        self.apt_tag = apt_tag
+        self.prediction = prediction
+        self.lscd_blocked = lscd_blocked
+        self.probed = probed
+        self.probe_hit = probe_hit
+        self.raw_probe_value = raw_probe_value     # _PROBE_BYTES bytes at predicted addr
+        self.dropped = dropped
 
 
-@dataclass
 class DlvpOutcome:
     """What the pipeline needs to know after a load executes."""
 
-    value_predicted: bool
-    value_correct: bool
-    address_predicted: bool
-    address_correct: bool
+    __slots__ = ("value_predicted", "value_correct", "address_predicted", "address_correct")
+
+    def __init__(
+        self,
+        value_predicted: bool,
+        value_correct: bool,
+        address_predicted: bool,
+        address_correct: bool,
+    ) -> None:
+        self.value_predicted = value_predicted
+        self.value_correct = value_correct
+        self.address_predicted = address_predicted
+        self.address_correct = address_correct
 
 
 class DlvpEngine:
@@ -123,10 +155,36 @@ class DlvpEngine:
         self._lscd_enabled = self.config.lscd_entries > 0
         self.lscd = LoadStoreConflictDetector(max(1, self.config.lscd_entries))
         self.stats = DlvpStats()
+        # Resolved once: the isinstance check sat on the per-load path.
+        self._is_pap = isinstance(self.predictor, PapPredictor)
+        # Fetch-side hot-path aliases consumed by fetch_probe_predict().
+        self._way_pred_enabled = self.config.way_prediction
+        self._prefetch_on_miss = self.config.prefetch_on_miss
+        self._lscd_pcs = self.lscd._pcs
+        if self._is_pap:
+            p = self.predictor
+            self._path_push = p.history._history.push
+            self._compute_key = p.compute_key
+            self._apt_predict = p.predict
+            # APT internals for the inlined key/predict in
+            # fetch_probe_predict (created once, mutated in place).
+            self._apt_idx_fold = p._idx_fold
+            self._apt_tag_fold = p._tag_fold
+            self._apt_index_bits = p._index_bits
+            self._apt_index_mask = p._index_mask
+            self._apt_tag_mask = p._tag_mask
+            self._apt_tag_shift = p._tag_shift
+            self._apt_entries = p._entries
+            self._apt_conf_max = p._conf_max
+            self._apt_use_way = p._use_way
+        else:
+            self._path_push = None
+            self._compute_key = None
+            self._apt_predict = None
 
     @property
     def _uses_pap(self) -> bool:
-        return isinstance(self.predictor, PapPredictor)
+        return self._is_pap
 
     # -- fetch ----------------------------------------------------------
 
@@ -141,35 +199,33 @@ class DlvpEngine:
                 1); PAP keys the APT with FGA + slot, the paper's
                 "fetch group PC and fetch group PC plus one".
         """
-        handle = DlvpFetchHandle(load_pc=inst.pc)
+        pc = inst.pc
+        predictor = self.predictor
+        is_pap = self._is_pap
+        handle = DlvpFetchHandle(pc)
 
-        if self._lscd_enabled and self.lscd.blocks(inst.pc):
+        if self._lscd_enabled and self.lscd.blocks(pc):
             handle.lscd_blocked = True
-            self._push_history(inst.pc)
+            if is_pap:
+                predictor.history.push_load(pc)
             return handle
 
-        if self._uses_pap:
+        if is_pap:
             # "Fetch group PC and fetch group PC plus one" (Section
             # 3.1.1): the slot number must land in bits the key hash
             # actually uses, so it is placed at the instruction-index
             # granularity (bit 2).
-            key_pc = fetch_group_address(inst.pc) | (slot << 2)
-            index, tag = self.predictor.compute_key(key_pc)
+            key_pc = fetch_group_address(pc) | (slot << 2)
+            index, tag = predictor.compute_key(key_pc)
             handle.apt_index, handle.apt_tag = index, tag
-            handle.prediction = self.predictor.predict(index, tag)
+            prediction = handle.prediction = predictor.predict(index, tag)
+            predictor.history.push_load(pc)
         else:
-            handle.prediction = self.predictor.predict_pc(inst.pc)
+            prediction = handle.prediction = predictor.predict_pc(pc)
 
-        self._push_history(inst.pc)
-
-        if handle.prediction is not None:
+        if prediction is not None:
             accepted = self.paq.push(
-                PaqEntry(
-                    addr=handle.prediction.addr,
-                    size=handle.prediction.size,
-                    way=handle.prediction.way,
-                    allocated_cycle=fetch_cycle,
-                )
+                PaqEntry(prediction.addr, prediction.size, prediction.way, fetch_cycle)
             )
             if not accepted:
                 handle.prediction = None       # PAQ full: no value prediction
@@ -187,7 +243,7 @@ class DlvpEngine:
         self._push_history(inst.pc)
 
     def _push_history(self, load_pc: int) -> None:
-        if self._uses_pap:
+        if self._is_pap:
             self.predictor.history.push_load(load_pc)
 
     # -- probe ------------------------------------------------------------
@@ -209,21 +265,135 @@ class DlvpEngine:
             handle.prediction = None
             return
         handle.probed = True
-        self.stats.probes += 1
+        stats = self.stats
+        stats.probes += 1
+        way_predicted = self.config.way_prediction and entry.way is not None
+        if way_predicted:
+            # A one-way probe: reads a single predicted data way instead
+            # of the full set (the paper's ~1/4-energy probe).
+            stats.probes_way_predicted += 1
         hit, actual_way = self.hierarchy.probe_l1(entry.addr)
-        if hit and self.config.way_prediction and entry.way is not None:
-            if entry.way != actual_way:
-                self.stats.way_mispredictions += 1
-                hit = False
+        if hit and way_predicted and entry.way != actual_way:
+            stats.way_mispredictions += 1
+            hit = False
         if hit:
-            self.stats.probe_hits += 1
+            stats.probe_hits += 1
             handle.probe_hit = True
             handle.raw_probe_value = self.image.read(entry.addr, _PROBE_BYTES)
         else:
-            self.stats.probe_misses += 1
+            stats.probe_misses += 1
             if self.config.prefetch_on_miss:
                 self.hierarchy.prefetch_fill(entry.addr)
-                self.stats.prefetches += 1
+                stats.prefetches += 1
+
+    def fetch_probe_predict(
+        self, inst: Instruction, fetch_cycle: int, slot: int, probe_cycle: int
+    ) -> tuple[DlvpFetchHandle, tuple[int, ...] | None]:
+        """Fetch-side fast path: on_load_fetch + probe + predicted_values.
+
+        The fetch, PAQ push/service, probe and value-extraction bodies
+        are all inlined here (one method dispatch instead of several per
+        load on the simulate() hot path); behaviourally identical to
+        calling :meth:`on_load_fetch`, :meth:`probe` and
+        :meth:`predicted_values` in sequence — those remain the
+        reference implementations.
+        """
+        pc = inst.pc
+        handle = DlvpFetchHandle(pc)
+        is_pap = self._is_pap
+
+        if self._lscd_enabled and pc in self._lscd_pcs:    # lscd.blocks(), inlined
+            self.lscd.filtered += 1
+            handle.lscd_blocked = True
+            if is_pap:
+                self._path_push((pc >> 2) & 1)    # path_history_bit(pc)
+            return handle, None
+
+        if is_pap:
+            # PapPredictor.compute_key + .predict, inlined.
+            key_pc = (pc & _FGA_MASK) | (slot << 2)
+            word = key_pc >> 2
+            index_bits = self._apt_index_bits
+            index = (
+                word ^ (word >> index_bits) ^ (word >> (2 * index_bits))
+                ^ self._apt_idx_fold.value
+            ) & self._apt_index_mask
+            tag = (
+                word ^ (key_pc >> self._apt_tag_shift) ^ self._apt_tag_fold.value
+            ) & self._apt_tag_mask
+            handle.apt_index = index
+            handle.apt_tag = tag
+            entry = self._apt_entries[index]
+            if entry is None or entry.tag != tag or entry.confidence < self._apt_conf_max:
+                prediction = None
+            else:
+                prediction = AddressPrediction(
+                    entry.addr,
+                    _SIZE_FROM_CODE[entry.size_code],
+                    entry.way if self._apt_use_way else None,
+                    index,
+                    tag,
+                )
+            handle.prediction = prediction
+            self._path_push((pc >> 2) & 1)        # path_history_bit(pc)
+        else:
+            prediction = handle.prediction = self.predictor.predict_pc(pc)
+
+        if prediction is None:
+            return handle, None
+
+        # PAQ push (inlined PredictedAddressQueue.push).
+        paq = self.paq
+        queue = paq._queue
+        if len(queue) >= paq.capacity:
+            paq.rejected_full += 1
+            handle.prediction = None
+            return handle, None
+        if not queue:
+            paq.bypassed += 1
+        queue.append(
+            PaqEntry(prediction.addr, prediction.size, prediction.way, fetch_cycle)
+        )
+        paq.enqueued += 1
+
+        # PAQ drain (inlined PredictedAddressQueue.service).
+        drop_cycles = paq.drop_cycles
+        entry = None
+        while queue:
+            candidate = queue.popleft()
+            if probe_cycle - candidate.allocated_cycle > drop_cycles:
+                paq.dropped += 1
+                continue
+            paq.serviced += 1
+            entry = candidate
+            break
+        if entry is None:
+            handle.dropped = True
+            handle.prediction = None
+            return handle, None
+        handle.probed = True
+        stats = self.stats
+        stats.probes += 1
+        way_predicted = self._way_pred_enabled and entry.way is not None
+        if way_predicted:
+            stats.probes_way_predicted += 1
+        hit, actual_way = self.hierarchy.probe_l1(entry.addr)
+        if hit and way_predicted and entry.way != actual_way:
+            stats.way_mispredictions += 1
+            hit = False
+        if hit:
+            stats.probe_hits += 1
+            handle.probe_hit = True
+            raw = handle.raw_probe_value = self.image.read(entry.addr, _PROBE_BYTES)
+            size = inst.mem_size
+            if len(inst.dests) == 1 and size <= _PROBE_BYTES:
+                return handle, (raw & ((1 << (8 * size)) - 1),)
+            return handle, self.predicted_values(handle, inst)
+        stats.probe_misses += 1
+        if self._prefetch_on_miss:
+            self.hierarchy.prefetch_fill(entry.addr)
+            stats.prefetches += 1
+        return handle, None
 
     # -- value extraction ---------------------------------------------------
 
@@ -233,16 +403,20 @@ class DlvpEngine:
         Returns None when no usable probe data exists or the load's
         footprint exceeds what the probe captured.
         """
-        if handle.raw_probe_value is None:
+        raw = handle.raw_probe_value
+        if raw is None:
             return None
         size = inst.mem_size
-        if size * max(1, len(inst.dests)) > _PROBE_BYTES:
+        ndests = len(inst.dests)
+        if ndests == 1:
+            # Single-destination fast path (the overwhelming majority).
+            if size > _PROBE_BYTES:
+                return None
+            return (raw & ((1 << (8 * size)) - 1),)
+        if size * max(1, ndests) > _PROBE_BYTES:
             return None
         mask = (1 << (8 * size)) - 1
-        return tuple(
-            (handle.raw_probe_value >> (8 * size * k)) & mask
-            for k in range(len(inst.dests))
-        )
+        return tuple((raw >> (8 * size * k)) & mask for k in range(ndests))
 
     # -- execute --------------------------------------------------------
 
@@ -265,55 +439,106 @@ class DlvpEngine:
                 value prediction (it may have declined, e.g. PVT full).
             predicted: The values that were predicted, if any.
         """
-        assert inst.mem_addr is not None
-        self.stats.loads_seen += 1
+        mem_addr = inst.mem_addr
+        assert mem_addr is not None
+        stats = self.stats
+        stats.loads_seen += 1
 
         if handle.lscd_blocked:
-            self.stats.lscd_blocked += 1
-            return DlvpOutcome(
-                value_predicted=False,
-                value_correct=False,
-                address_predicted=False,
-                address_correct=False,
-            )
+            stats.lscd_blocked += 1
+            return DlvpOutcome(False, False, False, False)
 
-        addr_predicted = handle.prediction is not None
-        addr_correct = addr_predicted and handle.prediction.addr == inst.mem_addr
+        prediction = handle.prediction
+        addr_predicted = prediction is not None
+        addr_correct = addr_predicted and prediction.addr == mem_addr
         if addr_predicted:
-            self.stats.address_predictions += 1
+            stats.address_predictions += 1
             if addr_correct:
-                self.stats.address_correct += 1
+                stats.address_correct += 1
 
         # Train the address predictor with the executed load.
-        if self._uses_pap:
+        if self._is_pap:
             self.predictor.train(
                 handle.apt_index,
                 handle.apt_tag,
-                inst.mem_addr,
+                mem_addr,
                 inst.mem_size,
                 actual_way,
             )
         else:
-            self.predictor.train(inst.pc, inst.mem_addr)
+            self.predictor.train(inst.pc, mem_addr)
 
         value_correct = False
         if value_predicted:
             assert predicted is not None
-            masked_actual = tuple(v & ((1 << (8 * inst.mem_size)) - 1) for v in inst.values)
+            mask = (1 << (8 * inst.mem_size)) - 1
+            masked_actual = tuple(v & mask for v in inst.values)
             value_correct = predicted == masked_actual
-            self.stats.value_predictions += 1
+            stats.value_predictions += 1
             if value_correct:
-                self.stats.value_correct += 1
+                stats.value_correct += 1
             elif addr_correct:
                 # An in-flight store changed the location between the
                 # probe and execution: exactly what LSCD filters.
-                self.stats.inflight_conflicts += 1
+                stats.inflight_conflicts += 1
                 if self._lscd_enabled:
                     self.lscd.insert(inst.pc)
 
-        return DlvpOutcome(
-            value_predicted=value_predicted,
-            value_correct=value_correct,
-            address_predicted=addr_predicted,
-            address_correct=addr_correct,
-        )
+        return DlvpOutcome(value_predicted, value_correct, addr_predicted, addr_correct)
+
+    def execute_train(
+        self,
+        handle: DlvpFetchHandle,
+        inst: Instruction,
+        actual_way: int | None,
+        value_predicted: bool,
+        predicted: tuple[int, ...] | None,
+    ) -> tuple[bool, bool]:
+        """Execute-side fast path: :meth:`on_load_execute` without the
+        :class:`DlvpOutcome` allocation.
+
+        Returns ``(value_predicted, value_correct)`` — the two fields
+        the timing model consumes per load; behaviourally identical to
+        :meth:`on_load_execute`, which remains the reference
+        implementation (and the entry point for callers that want the
+        address-prediction outcome too).
+        """
+        mem_addr = inst.mem_addr
+        stats = self.stats
+        stats.loads_seen += 1
+
+        if handle.lscd_blocked:
+            stats.lscd_blocked += 1
+            return False, False
+
+        prediction = handle.prediction
+        addr_correct = prediction is not None and prediction.addr == mem_addr
+        if prediction is not None:
+            stats.address_predictions += 1
+            if addr_correct:
+                stats.address_correct += 1
+
+        if self._is_pap:
+            self.predictor.train(
+                handle.apt_index, handle.apt_tag, mem_addr, inst.mem_size, actual_way
+            )
+        else:
+            self.predictor.train(inst.pc, mem_addr)
+
+        value_correct = False
+        if value_predicted:
+            mask = (1 << (8 * inst.mem_size)) - 1
+            values = inst.values
+            if len(values) == 1:
+                value_correct = predicted == (values[0] & mask,)
+            else:
+                value_correct = predicted == tuple(v & mask for v in values)
+            stats.value_predictions += 1
+            if value_correct:
+                stats.value_correct += 1
+            elif addr_correct:
+                stats.inflight_conflicts += 1
+                if self._lscd_enabled:
+                    self.lscd.insert(inst.pc)
+
+        return value_predicted, value_correct

@@ -11,17 +11,18 @@ bypass the queue entirely when it is empty (Section 3.2.2).
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
 
 
-@dataclass(frozen=True)
 class PaqEntry:
     """One queued predicted address."""
 
-    addr: int
-    size: int
-    way: int | None
-    allocated_cycle: int
+    __slots__ = ("addr", "size", "way", "allocated_cycle")
+
+    def __init__(self, addr: int, size: int, way: int | None, allocated_cycle: int) -> None:
+        self.addr = addr
+        self.size = size
+        self.way = way
+        self.allocated_cycle = allocated_cycle
 
 
 class PredictedAddressQueue:
@@ -38,16 +39,23 @@ class PredictedAddressQueue:
         self.rejected_full = 0
         self.serviced = 0
         self.bypassed = 0
+        self.flushed = 0
 
     def __len__(self) -> int:
         return len(self._queue)
 
     @property
     def drop_rate(self) -> float:
-        """Fraction of accepted entries that aged out (paper: <0.1%)."""
-        if not self.enqueued:
+        """Fraction of accepted entries that aged out (paper: <0.1%).
+
+        Entries cleared by a pipeline flush never had the chance to be
+        serviced, so they are excluded from the denominator — otherwise
+        branchy workloads would artificially deflate the rate.
+        """
+        eligible = self.enqueued - self.flushed
+        if eligible <= 0:
             return 0.0
-        return self.dropped / self.enqueued
+        return self.dropped / eligible
 
     def push(self, entry: PaqEntry) -> bool:
         """Enqueue; returns False (and counts a rejection) when full."""
@@ -76,5 +84,11 @@ class PredictedAddressQueue:
         return None
 
     def flush(self) -> None:
-        """Drop everything (pipeline flush)."""
+        """Drop everything (pipeline flush).
+
+        Flushed entries are accounted separately from age-based drops so
+        ``serviced + dropped + flushed + len(queue) == enqueued`` always
+        holds.
+        """
+        self.flushed += len(self._queue)
         self._queue.clear()

@@ -14,12 +14,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
-@dataclass
-class _PvtAllocation:
-    free_cycle: int
-    registers: int
-
-
 class PredictedValuesTable:
     """Occupancy model of the 32-entry PVT.
 
@@ -34,7 +28,9 @@ class PredictedValuesTable:
         self.capacity = entries
         self.read_ports = read_ports
         self.write_ports = write_ports
-        self._allocations: list[_PvtAllocation] = []
+        # (free_cycle, registers) pairs; plain tuples — one is created
+        # per admitted prediction on the simulate() hot path.
+        self._allocations: list[tuple[int, int]] = []
         self._occupied = 0
         self.writes = 0
         self.reads = 0
@@ -42,15 +38,16 @@ class PredictedValuesTable:
         self.peak_occupancy = 0
 
     def _reclaim(self, cycle: int) -> None:
-        if not self._allocations:
+        allocations = self._allocations
+        if not allocations:
             return
-        live = []
-        for alloc in self._allocations:
-            if alloc.free_cycle <= cycle:
-                self._occupied -= alloc.registers
-            else:
-                live.append(alloc)
-        self._allocations = live
+        freed = 0
+        for alloc in allocations:
+            if alloc[0] <= cycle:
+                freed += alloc[1]
+        if freed:
+            self._allocations = [a for a in allocations if a[0] > cycle]
+            self._occupied -= freed
 
     def try_allocate(self, registers: int, cycle: int, free_cycle: int) -> bool:
         """Reserve ``registers`` entries from ``cycle`` until ``free_cycle``.
@@ -64,9 +61,11 @@ class PredictedValuesTable:
         if self._occupied + registers > self.capacity:
             self.allocation_failures += 1
             return False
-        self._occupied += registers
-        self.peak_occupancy = max(self.peak_occupancy, self._occupied)
-        self._allocations.append(_PvtAllocation(free_cycle=free_cycle, registers=registers))
+        occupied = self._occupied + registers
+        self._occupied = occupied
+        if occupied > self.peak_occupancy:
+            self.peak_occupancy = occupied
+        self._allocations.append((free_cycle, registers))
         self.writes += registers
         return True
 

@@ -30,6 +30,7 @@ class EnergyWeights:
     instruction: float = 1.0
     l1_access: float = 2.0
     l1_probe: float = 0.40
+    l1_probe_way_predicted: float = 0.10
     l2_access: float = 8.0
     l3_access: float = 20.0
     predictor_read_per_kbit: float = 0.0015
@@ -43,10 +44,14 @@ def core_energy(result: SimResult, weights: EnergyWeights | None = None) -> floa
     w = weights or EnergyWeights()
     e = result.energy
     table_kbits = max(e.predictor_bits, 1) / 1024.0
+    # Way-predicted probes read one data way instead of the full set;
+    # charge them the discounted weight and the rest the full probe cost.
+    full_probes = max(0, e.l1d_probes - e.l1d_probes_way_predicted)
     return (
         w.instruction * e.instructions
         + w.l1_access * e.l1d_accesses
-        + w.l1_probe * e.l1d_probes
+        + w.l1_probe * full_probes
+        + w.l1_probe_way_predicted * e.l1d_probes_way_predicted
         + w.l2_access * e.l2_accesses
         + w.l3_access * e.l3_accesses
         + w.predictor_read_per_kbit * table_kbits * e.predictor_reads

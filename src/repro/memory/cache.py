@@ -70,11 +70,14 @@ class Cache:
         self._set_shift = config.block_bytes.bit_length() - 1
         self._set_mask = num_sets - 1
         # Per set: way -> block address (None = invalid), plus LRU order
-        # of occupied ways (MRU first).
+        # of occupied ways (MRU first), plus a block -> way index so the
+        # residency check on the simulator hot path is one dict probe
+        # instead of an associativity-wide scan.
         self._ways: list[list[int | None]] = [
             [None] * config.associativity for _ in range(num_sets)
         ]
         self._lru: list[list[int]] = [[] for _ in range(num_sets)]
+        self._where: list[dict[int, int]] = [{} for _ in range(num_sets)]
 
     def _set_index(self, addr: int) -> int:
         return (addr >> self._set_shift) & self._set_mask
@@ -89,27 +92,33 @@ class Cache:
             ``(hit, way)`` — ``way`` is the occupied way on a hit, else
             ``None``.
         """
-        set_idx = self._set_index(addr)
-        block = self._block_addr(addr)
-        ways = self._ways[set_idx]
-        for way, resident in enumerate(ways):
-            if resident == block:
-                if update_lru:
-                    lru = self._lru[set_idx]
-                    lru.remove(way)
-                    lru.insert(0, way)
-                return True, way
-        return False, None
+        block = addr >> self._set_shift
+        set_idx = block & self._set_mask
+        way = self._where[set_idx].get(block)
+        if way is None:
+            return False, None
+        if update_lru:
+            lru = self._lru[set_idx]
+            if lru[0] != way:
+                lru.remove(way)
+                lru.insert(0, way)
+        return True, way
 
     def access(self, addr: int) -> tuple[bool, int]:
         """Demand access: hit updates LRU; miss fills (evicting LRU).
 
         Returns ``(hit, way)`` where ``way`` is the block's way after the
-        access completes.
+        access completes.  The residency check is inlined (rather than
+        delegating to :meth:`lookup`) — this is the hot path.
         """
-        hit, way = self.lookup(addr)
-        if hit:
-            assert way is not None
+        block = addr >> self._set_shift
+        set_idx = block & self._set_mask
+        way = self._where[set_idx].get(block)
+        if way is not None:
+            lru = self._lru[set_idx]
+            if lru[0] != way:
+                lru.remove(way)
+                lru.insert(0, way)
             self.stats.hits += 1
             return True, way
         self.stats.misses += 1
@@ -117,12 +126,13 @@ class Cache:
 
     def probe(self, addr: int) -> tuple[bool, int | None]:
         """Speculative (DLVP-style) probe: never allocates or reorders LRU."""
-        hit, way = self.lookup(addr, update_lru=False)
-        if hit:
+        block = addr >> self._set_shift
+        way = self._where[block & self._set_mask].get(block)
+        if way is not None:
             self.stats.probe_hits += 1
-        else:
-            self.stats.probe_misses += 1
-        return hit, way
+            return True, way
+        self.stats.probe_misses += 1
+        return False, None
 
     def fill(self, addr: int) -> int:
         """Insert the block for ``addr``; returns the way it landed in.
@@ -138,13 +148,19 @@ class Cache:
         block = self._block_addr(addr)
         ways = self._ways[set_idx]
         lru = self._lru[set_idx]
+        where = self._where[set_idx]
         for candidate, resident in enumerate(ways):
             if resident is None:
                 ways[candidate] = block
+                where[block] = candidate
                 lru.insert(0, candidate)
                 return candidate
         victim = lru.pop()
+        evicted = ways[victim]
+        assert evicted is not None
+        del where[evicted]
         ways[victim] = block
+        where[block] = victim
         lru.insert(0, victim)
         self.stats.evictions += 1
         return victim
@@ -153,13 +169,12 @@ class Cache:
         """Drop the block for ``addr`` if resident; True if it was."""
         set_idx = self._set_index(addr)
         block = self._block_addr(addr)
-        ways = self._ways[set_idx]
-        for way, resident in enumerate(ways):
-            if resident == block:
-                ways[way] = None
-                self._lru[set_idx].remove(way)
-                return True
-        return False
+        way = self._where[set_idx].pop(block, None)
+        if way is None:
+            return False
+        self._ways[set_idx][way] = None
+        self._lru[set_idx].remove(way)
+        return True
 
     def resident_blocks(self) -> int:
         """Number of valid blocks (for tests and occupancy reporting)."""

@@ -40,14 +40,20 @@ class HierarchyConfig:
     prefetch: bool = True
 
 
-@dataclass(frozen=True)
 class AccessResult:
-    """Outcome of one demand access."""
+    """Outcome of one demand access.
 
-    latency: int
-    l1_hit: bool
-    tlb_hit: bool
-    way: int
+    A ``__slots__`` plain class rather than a dataclass: one is built
+    per demand access on the simulator hot path.
+    """
+
+    __slots__ = ("latency", "l1_hit", "tlb_hit", "way")
+
+    def __init__(self, latency: int, l1_hit: bool, tlb_hit: bool, way: int) -> None:
+        self.latency = latency
+        self.l1_hit = l1_hit
+        self.tlb_hit = tlb_hit
+        self.way = way
 
 
 class MemoryHierarchy:
@@ -62,29 +68,98 @@ class MemoryHierarchy:
         self.prefetcher = StridePrefetcher() if self.config.prefetch else None
         self.demand_accesses = 0
         self.prefetch_fills = 0
+        self._l1_latency = self.config.l1d.latency
+        # The TLB's backing cache array and miss penalty, resolved once:
+        # every demand access and every DLVP probe translates, so the
+        # Tlb.access wrapper call was pure hot-path overhead.  The cache
+        # internals aliased below are created once by Cache.__init__ and
+        # only ever mutated in place, so the references stay valid.
+        self._tlb_array = self.tlb._array
+        self._tlb_penalty = self.tlb.config.miss_penalty
+        tlb_array = self._tlb_array
+        self._tlb_shift = tlb_array._set_shift
+        self._tlb_mask = tlb_array._set_mask
+        self._tlb_where = tlb_array._where
+        self._tlb_lru = tlb_array._lru
+        self._tlb_stats = tlb_array.stats
+        l1 = self.l1d
+        self._l1_shift = l1._set_shift
+        self._l1_mask = l1._set_mask
+        self._l1_where = l1._where
+        self._l1_lru = l1._lru
+        self._l1_stats = l1.stats
 
     def access(self, pc: int, addr: int, is_store: bool = False) -> AccessResult:
-        """Demand load/store; returns latency and placement information."""
+        """Demand load/store; returns latency and placement information.
+
+        The TLB and L1 hit paths are inlined copies of
+        :meth:`Cache.access` — one demand access per memory instruction
+        makes this the hottest hierarchy entry point.
+        """
         self.demand_accesses += 1
-        tlb_hit, tlb_penalty = self.tlb.access(addr)
-        latency = self.config.l1d.latency + tlb_penalty
-        l1_hit, way = self.l1d.access(addr)
-        if not l1_hit:
+        block = addr >> self._tlb_shift
+        set_idx = block & self._tlb_mask
+        way = self._tlb_where[set_idx].get(block)
+        if way is not None:
+            lru = self._tlb_lru[set_idx]
+            if lru[0] != way:
+                lru.remove(way)
+                lru.insert(0, way)
+            self._tlb_stats.hits += 1
+            tlb_hit = True
+            latency = self._l1_latency
+        else:
+            self._tlb_stats.misses += 1
+            self._tlb_array.fill(addr)
+            tlb_hit = False
+            latency = self._l1_latency + self._tlb_penalty
+        block = addr >> self._l1_shift
+        set_idx = block & self._l1_mask
+        way = self._l1_where[set_idx].get(block)
+        if way is not None:
+            lru = self._l1_lru[set_idx]
+            if lru[0] != way:
+                lru.remove(way)
+                lru.insert(0, way)
+            self._l1_stats.hits += 1
+            l1_hit = True
+        else:
+            self._l1_stats.misses += 1
+            way = self.l1d.fill(addr)
+            l1_hit = False
             latency += self._fill_from_below(addr)
-            _, way = self.l1d.lookup(addr, update_lru=False)
-            assert way is not None
         if self.prefetcher is not None and not is_store:
             for target in self.prefetcher.observe(pc, addr):
                 self.prefetch_fill(target)
-        return AccessResult(latency=latency, l1_hit=l1_hit, tlb_hit=tlb_hit, way=way)
+        return AccessResult(latency, l1_hit, tlb_hit, way)
 
     def probe_l1(self, addr: int) -> tuple[bool, int | None]:
         """DLVP speculative probe: L1 residency check, non-allocating
         for the cache but translated through the TLB — probing twice per
         predicted load perturbs TLB contents, the second-order effect
-        behind the paper's Figure 9 bzip2/avmshell anomalies."""
-        self.tlb.access(addr)
-        return self.l1d.probe(addr)
+        behind the paper's Figure 9 bzip2/avmshell anomalies.
+
+        TLB access and L1 probe bodies inlined, as in :meth:`access`.
+        """
+        block = addr >> self._tlb_shift
+        set_idx = block & self._tlb_mask
+        way = self._tlb_where[set_idx].get(block)
+        if way is not None:
+            lru = self._tlb_lru[set_idx]
+            if lru[0] != way:
+                lru.remove(way)
+                lru.insert(0, way)
+            self._tlb_stats.hits += 1
+        else:
+            self._tlb_stats.misses += 1
+            self._tlb_array.fill(addr)
+        block = addr >> self._l1_shift
+        way = self._l1_where[block & self._l1_mask].get(block)
+        if way is not None:
+            self._l1_stats.probe_hits += 1
+            return True, way
+        self._l1_stats.probe_misses += 1
+        return False, None
 
     def prefetch_fill(self, addr: int) -> None:
         """Bring ``addr`` into L1 (checking L1 first, as the paper's

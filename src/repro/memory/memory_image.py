@@ -37,6 +37,12 @@ class MemoryImage:
 
     def __init__(self) -> None:
         self._words: dict[int, int] = {}
+        # Union view: explicit writes plus memoized _background() values
+        # (recomputing the SplitMix64 mix for every probed never-written
+        # word was a measurable slice of the simulate() hot path).  One
+        # dict probe resolves a word; writes update both maps.  Bounded
+        # by the workload's address footprint, not trace length.
+        self._all: dict[int, int] = {}
 
     def write(self, addr: int, size: int, value: int) -> None:
         """Store ``size`` bytes of ``value`` at ``addr``.
@@ -50,22 +56,36 @@ class MemoryImage:
         if addr % _WORD_BYTES:
             raise ValueError(f"address must be 4-byte aligned, got {addr:#x}")
         word = addr // _WORD_BYTES
+        words = self._words
+        all_words = self._all
         for i in range(size // _WORD_BYTES):
-            self._words[word + i] = (value >> (32 * i)) & _WORD_MASK
+            chunk = (value >> (32 * i)) & _WORD_MASK
+            words[word + i] = chunk
+            all_words[word + i] = chunk
 
     def read(self, addr: int, size: int) -> int:
         """Read ``size`` bytes at ``addr`` as a little-endian integer."""
+        all_words = self._all
+        if size == 4 and not addr & 3:
+            # Fast path: single-word read, the overwhelmingly common case.
+            word = addr >> 2
+            chunk = all_words.get(word)
+            if chunk is None:
+                chunk = all_words[word] = _background(word)
+            return chunk
         if size <= 0 or size % _WORD_BYTES:
             raise ValueError(f"size must be a positive multiple of 4, got {size}")
         if addr % _WORD_BYTES:
             raise ValueError(f"address must be 4-byte aligned, got {addr:#x}")
         word = addr // _WORD_BYTES
+        # Accumulate high word to low: each 32-bit chunk shifts the
+        # running value once, avoiding a per-word variable shift amount.
         value = 0
-        for i in range(size // _WORD_BYTES):
-            chunk = self._words.get(word + i)
+        for w in range(word + size // _WORD_BYTES - 1, word - 1, -1):
+            chunk = all_words.get(w)
             if chunk is None:
-                chunk = _background(word + i)
-            value |= chunk << (32 * i)
+                chunk = all_words[w] = _background(w)
+            value = (value << 32) | chunk
         return value
 
     def is_written(self, addr: int, size: int) -> bool:

@@ -2,14 +2,14 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
-
-@dataclass
 class _StrideEntry:
-    last_addr: int
-    stride: int = 0
-    confidence: int = 0
+    __slots__ = ("last_addr", "stride", "confidence")
+
+    def __init__(self, last_addr: int, stride: int = 0, confidence: int = 0) -> None:
+        self.last_addr = last_addr
+        self.stride = stride
+        self.confidence = confidence
 
 
 class StridePrefetcher:
@@ -30,23 +30,28 @@ class StridePrefetcher:
         self.trained = 0
         self.issued = 0
 
-    def observe(self, pc: int, addr: int) -> list[int]:
-        """Record a demand access; return prefetch addresses to issue."""
+    def observe(self, pc: int, addr: int) -> tuple[int, ...] | list[int]:
+        """Record a demand access; return prefetch addresses to issue.
+
+        The empty result is a shared tuple, not a fresh list — observe()
+        runs once per demand load and almost always returns nothing.
+        """
         slot = pc % self.entries
         entry = self._table.get(slot)
         if entry is None:
-            self._table[slot] = _StrideEntry(last_addr=addr)
-            return []
+            self._table[slot] = _StrideEntry(addr)
+            return ()
         stride = addr - entry.last_addr
         if stride == entry.stride and stride != 0:
-            entry.confidence = min(entry.confidence + 1, self.threshold)
+            if entry.confidence < self.threshold:
+                entry.confidence += 1
         else:
             entry.stride = stride
             entry.confidence = 0
         entry.last_addr = addr
-        if entry.confidence < self.threshold or entry.stride == 0:
-            return []
+        if entry.confidence < self.threshold or stride == 0:
+            return ()
         self.trained += 1
-        prefetches = [addr + entry.stride * (i + 1) for i in range(self.degree)]
+        prefetches = [addr + stride * (i + 1) for i in range(self.degree)]
         self.issued += len(prefetches)
         return prefetches

@@ -20,7 +20,6 @@ from repro.pipeline.stats import SimResult
 from repro.pipeline.schemes import (
     Scheme,
     SchemePrediction,
-    SchemeOutcome,
     DlvpScheme,
     DvtageScheme,
     VtageScheme,
@@ -34,7 +33,6 @@ __all__ = [
     "SimResult",
     "Scheme",
     "SchemePrediction",
-    "SchemeOutcome",
     "DlvpScheme",
     "DvtageScheme",
     "VtageScheme",

@@ -20,6 +20,15 @@ What the model captures (because the paper's results hinge on it):
   loads (the LSCD's reason to exist);
 * lane/width/window contention — 2 LS + 6 generic lanes, 4-wide fetch,
   8-wide commit, ROB/LDQ/STQ occupancy.
+
+Performance: the per-instruction loop is the whole simulator's hot
+path, so it trades a little readability for throughput — method and
+attribute lookups are hoisted into locals, the per-word store tracking
+dicts are pruned as stores retire (they are otherwise O(trace) — a
+memory leak and a dict-miss slowdown on long traces), and issue-port
+busy maps are pruned below the monotonically advancing fetch cycle.
+All of it is outcome-preserving; the golden equivalence test pins every
+suite kernel's ``SimResult`` to the seed model bit for bit.
 """
 
 from __future__ import annotations
@@ -28,9 +37,9 @@ from repro.branch import BranchUnit
 from repro.isa import (
     EXECUTION_LATENCY,
     OpClass,
-    fetch_group_address,
     is_branch_op,
 )
+from repro.isa.fetch import FETCH_GROUP_BYTES
 from repro.mdp import StoreSetsPredictor
 from repro.memory import HierarchyConfig, MemoryHierarchy, MemoryImage
 from repro.pipeline.config import CoreConfig
@@ -39,14 +48,11 @@ from repro.pipeline.schemes import Scheme
 from repro.pipeline.stats import EnergyEvents, FlushStats, SimResult
 from repro.trace import Trace
 
-_WORD_BYTES = 4
 _LS_OPS = frozenset({OpClass.LOAD, OpClass.STORE, OpClass.ATOMIC})
 
-
-def _touched_words(addr: int, nbytes: int) -> range:
-    first = addr // _WORD_BYTES
-    last = (addr + max(1, nbytes) - 1) // _WORD_BYTES
-    return range(first, last + 1)
+# Prune the issue-port busy maps once they exceed this many distinct
+# cycles; keeps each dict O(1)-ish amortized instead of O(cycles).
+_PORT_PRUNE_THRESHOLD = 4096
 
 
 class _IssuePorts:
@@ -67,11 +73,26 @@ class _IssuePorts:
 
     def issue_at(self, ready: int) -> int:
         busy = self._busy
+        width = self.width
         cycle = ready
-        while busy.get(cycle, 0) >= self.width:
+        count = busy.get(cycle, 0)
+        while count >= width:
             cycle += 1
-        busy[cycle] = busy.get(cycle, 0) + 1
+            count = busy.get(cycle, 0)
+        busy[cycle] = count + 1
         return cycle
+
+    def prune_below(self, cycle: int) -> None:
+        """Drop busy slots for cycles that can no longer be probed.
+
+        Safe whenever ``cycle`` is a lower bound on every future
+        ``ready`` argument — the simulator passes the monotonically
+        non-decreasing fetch cycle, and ready >= fetch + fetch_to_execute.
+        """
+        busy = self._busy
+        if len(busy) > _PORT_PRUNE_THRESHOLD:
+            for stale in [c for c in busy if c < cycle]:
+                del busy[stale]
 
 
 def simulate(
@@ -107,7 +128,10 @@ def simulate(
     reg_ready: dict[int, int] = {}
     ls_ports = _IssuePorts(cfg.ls_lanes)
     gen_ports = _IssuePorts(cfg.generic_lanes)
-    # word -> (store seq, store done cycle, store pc): newest store per word.
+    # word -> (store seq, store done cycle, store pc): newest store per
+    # word.  Entries are removed as their store retires (see the commit
+    # loop below), bounding both dicts by in-flight work, not trace
+    # length.
     word_store: dict[int, tuple[int, int, int]] = {}
     store_done: dict[int, int] = {}
 
@@ -128,137 +152,325 @@ def simulate(
     flushes = FlushStats()
     loads = 0
 
+    # ---- hot-loop local aliases ---------------------------------------
+    LOAD = OpClass.LOAD
+    STORE = OpClass.STORE
+    ls_ops = _LS_OPS
+    branch_ops = frozenset(op for op in OpClass if is_branch_op(op))
+    exec_latency = EXECUTION_LATENCY
+    fga_mask = ~(FETCH_GROUP_BYTES - 1)    # fetch_group_address(), inlined
+    fetch_width = cfg.fetch_width
+    rob_entries = cfg.rob_entries
+    ldq_entries = cfg.ldq_entries
+    stq_entries = cfg.stq_entries
+    fetch_to_execute = cfg.fetch_to_execute
+    rename_depth = cfg.rename_depth
+    commit_width = cfg.commit_width
+    branch_latency = cfg.branch_resolution_latency
+    validation_penalty = cfg.value_validation_penalty
+    forward_latency = cfg.store_forward_latency
+    # Issue-port state, inlined: the busy dicts and widths are bound
+    # locally and the issue_at scan is expanded in place below.
+    ls_busy = ls_ports._busy
+    ls_busy_get = ls_busy.get
+    ls_width = ls_ports.width
+    gen_busy = gen_ports._busy
+    gen_busy_get = gen_busy.get
+    gen_width = gen_ports.width
+    # Memory-hierarchy state, inlined: the demand-access TLB/L1 paths
+    # are expanded in place in the load/store blocks below (the aliased
+    # structures are created once by Cache.__init__ and only mutated in
+    # place, so the references stay valid for the whole run).
+    demand_accesses = hierarchy.demand_accesses
+    l1_latency = hierarchy._l1_latency
+    tlb_penalty = hierarchy._tlb_penalty
+    tlb_shift = hierarchy._tlb_shift
+    tlb_mask = hierarchy._tlb_mask
+    tlb_where = hierarchy._tlb_where
+    tlb_lru = hierarchy._tlb_lru
+    tlb_stats = hierarchy._tlb_stats
+    tlb_fill = hierarchy._tlb_array.fill
+    l1_shift = hierarchy._l1_shift
+    l1_mask = hierarchy._l1_mask
+    l1_where = hierarchy._l1_where
+    l1_lru = hierarchy._l1_lru
+    l1_stats = hierarchy._l1_stats
+    l1_fill = hierarchy.l1d.fill
+    fill_from_below = hierarchy._fill_from_below
+    prefetcher = hierarchy.prefetcher
+    prefetch_observe = prefetcher.observe if prefetcher is not None else None
+    prefetch_fill = hierarchy.prefetch_fill
+    image_write = image.write
+    branch_resolve = branch_unit.resolve
+    mdp_load_dependence = mdp.load_dependence
+    mdp_store_fetched = mdp.store_fetched
+    mdp_store_executed = mdp.store_executed
+    mdp_report_violation = mdp.report_violation
+    reg_ready_get = reg_ready.get
+    word_store_get = word_store.get
+    oracle_replay = recovery == RecoveryMode.ORACLE_REPLAY
+    fetch_all_ops = scheme is not None and not scheme.fetch_loads_only
+    if scheme is not None:
+        scheme_fetch_side = scheme.fetch_side
+        scheme_execute_side = scheme.execute_side
+        vpe_stats = scheme.vpe.stats
+        # vpe.admit and vpe.record_validation, split into their halves
+        # (allocate + the stat increments) so the common case is one
+        # call plus inline counter updates, not three calls.
+        pvt_try_allocate = scheme.vpe.pvt.try_allocate
+        pvt_note_read = scheme.vpe.pvt.note_consumer_read
+
     instructions = trace.instructions
     for i in range(n):
         inst = instructions[i]
+        op = inst.op
+        pc = inst.pc
 
         # ---- fetch grouping --------------------------------------------
-        new_group = (
+        if (
             force_new_group
-            or slots_used >= cfg.fetch_width
+            or slots_used >= fetch_width
             or prev_pc is None
-            or inst.pc != prev_pc + 4
-            or fetch_group_address(inst.pc) != current_group
-        )
-        if new_group:
+            or pc != prev_pc + 4
+            or (pc & fga_mask) != current_group
+        ):
             fetch_cycle = max(fetch_cycle + 1, pending_redirect)
             slots_used = 0
             loads_in_group = 0
-            current_group = fetch_group_address(inst.pc)
+            current_group = pc & fga_mask
             force_new_group = False
         slots_used += 1
-        prev_pc = inst.pc
+        prev_pc = pc
 
         # ---- structural stalls (ROB / LDQ / STQ) ------------------------
-        if i >= cfg.rob_entries:
-            fetch_cycle = max(fetch_cycle, commit_cycles[i - cfg.rob_entries])
-        if inst.op == OpClass.LOAD and len(load_commits) >= cfg.ldq_entries:
-            fetch_cycle = max(fetch_cycle, load_commits[-cfg.ldq_entries])
-        if inst.op == OpClass.STORE and len(store_commits) >= cfg.stq_entries:
-            fetch_cycle = max(fetch_cycle, store_commits[-cfg.stq_entries])
+        if i >= rob_entries:
+            stall = commit_cycles[i - rob_entries]
+            if stall > fetch_cycle:
+                fetch_cycle = stall
+        if op is LOAD:
+            if len(load_commits) >= ldq_entries:
+                stall = load_commits[-ldq_entries]
+                if stall > fetch_cycle:
+                    fetch_cycle = stall
+        elif op is STORE:
+            if len(store_commits) >= stq_entries:
+                stall = store_commits[-stq_entries]
+                if stall > fetch_cycle:
+                    fetch_cycle = stall
 
         # ---- retire committed stores into the memory image --------------
+        # Retirement also prunes the in-flight store tracking: a store
+        # with commit_cycle <= fetch_cycle can never again satisfy the
+        # "in flight at issue" checks below (every future issue cycle is
+        # > the monotone fetch_cycle), so dropping it is outcome-neutral.
         while commit_ptr < i and commit_cycles[commit_ptr] <= fetch_cycle:
             cinst = instructions[commit_ptr]
-            if cinst.op == OpClass.STORE:
-                assert cinst.mem_addr is not None
-                image.write(cinst.mem_addr, cinst.mem_size, cinst.values[0])
+            if cinst.op is STORE:
+                caddr = cinst.mem_addr
+                image_write(caddr, cinst.mem_size, cinst.values[0])
+                store_done.pop(commit_ptr, None)
+                # _touched_words(), inlined (store sizes are >= 4).
+                first = caddr >> 2
+                last = (caddr + cinst.mem_size - 1) >> 2
+                for word in range(first, last + 1):
+                    entry = word_store_get(word)
+                    if entry is not None and entry[0] == commit_ptr:
+                        del word_store[word]
             commit_ptr += 1
 
         # ---- scheme fetch side ------------------------------------------
         load_slot: int | None = None
-        if inst.op == OpClass.LOAD:
+        if op is LOAD:
             loads += 1
             if loads_in_group < 2:
                 load_slot = loads_in_group
             loads_in_group += 1
         sp = None
-        if scheme is not None:
+        if scheme is not None and (op is LOAD or fetch_all_ops):
             # Probe on the first load-store bubble after the predicted
             # address reaches the back-end (1 cycle predict + 1 cycle
             # transport).  Lane *reservations* are for future issue
             # cycles, so a bubble is essentially always available now;
             # the paper measures <0.1% of PAQ entries aging out.
-            probe_cycle = fetch_cycle + 2
-            sp = scheme.fetch_side(inst, fetch_cycle, load_slot, probe_cycle)
+            sp = scheme_fetch_side(inst, fetch_cycle, load_slot, fetch_cycle + 2)
 
         # ---- issue timing -----------------------------------------------
         src_ready = 0
         for reg in inst.srcs:
-            ready = reg_ready.get(reg, 0)
+            ready = reg_ready_get(reg, 0)
             if ready > src_ready:
                 src_ready = ready
-        earliest_exec = fetch_cycle + cfg.fetch_to_execute
-        ports = ls_ports if inst.op in _LS_OPS else gen_ports
-        ready = max(earliest_exec, src_ready)
+        ready = fetch_cycle + fetch_to_execute
+        if src_ready > ready:
+            ready = src_ready
 
-        access = None
-        if inst.op == OpClass.LOAD:
-            assert inst.mem_addr is not None
+        acc_way = None
+        if op is LOAD:
+            addr = inst.mem_addr
             # MDP-predicted dependence: wait for the predicted store.
-            dep_seq = mdp.load_dependence(inst.pc)
+            dep_seq = mdp_load_dependence(pc)
             if dep_seq is not None and dep_seq in store_done:
                 if commit_cycles[dep_seq] > ready:
-                    ready = max(ready, store_done[dep_seq])
-            issue = ports.issue_at(ready)
-            access = hierarchy.access(inst.pc, inst.mem_addr)
-            newest = None
-            for word in _touched_words(inst.mem_addr, inst.footprint_bytes):
-                entry = word_store.get(word)
-                if entry is not None and (newest is None or entry[0] > newest[0]):
-                    newest = entry
+                    dep_done = store_done[dep_seq]
+                    if dep_done > ready:
+                        ready = dep_done
+            issue = ready
+            count = ls_busy_get(issue, 0)
+            while count >= ls_width:
+                issue += 1
+                count = ls_busy_get(issue, 0)
+            ls_busy[issue] = count + 1
+            # hierarchy.access(), inlined: TLB, then L1, then prefetcher.
+            demand_accesses += 1
+            block = addr >> tlb_shift
+            set_idx = block & tlb_mask
+            way = tlb_where[set_idx].get(block)
+            if way is not None:
+                lru = tlb_lru[set_idx]
+                if lru[0] != way:
+                    lru.remove(way)
+                    lru.insert(0, way)
+                tlb_stats.hits += 1
+                acc_latency = l1_latency
+            else:
+                tlb_stats.misses += 1
+                tlb_fill(addr)
+                acc_latency = l1_latency + tlb_penalty
+            block = addr >> l1_shift
+            set_idx = block & l1_mask
+            acc_way = l1_where[set_idx].get(block)
+            if acc_way is not None:
+                lru = l1_lru[set_idx]
+                if lru[0] != acc_way:
+                    lru.remove(acc_way)
+                    lru.insert(0, acc_way)
+                l1_stats.hits += 1
+            else:
+                l1_stats.misses += 1
+                acc_way = l1_fill(addr)
+                acc_latency += fill_from_below(addr)
+            if prefetch_observe is not None:
+                for target in prefetch_observe(pc, addr):
+                    prefetch_fill(target)
+            # inst.footprint_bytes, inlined (op is LOAD here).
+            nbytes = inst.mem_size * (len(inst.dests) or 1)
+            first = addr >> 2
+            last = (addr + (nbytes if nbytes > 0 else 1) - 1) >> 2
+            if first == last:
+                newest = word_store_get(first)
+            else:
+                newest = None
+                for word in range(first, last + 1):
+                    entry = word_store_get(word)
+                    if entry is not None and (newest is None or entry[0] > newest[0]):
+                        newest = entry
             if newest is not None and commit_cycles[newest[0]] > issue:
                 # In-flight producing store: forward from the STQ.
                 if newest[1] > issue and (dep_seq is None or dep_seq < newest[0]):
-                    mdp.report_violation(inst.pc, newest[2])
-                done = max(issue, newest[1]) + cfg.store_forward_latency
+                    mdp_report_violation(pc, newest[2])
+                done = max(issue, newest[1]) + forward_latency
             else:
                 # Address generation (1 cycle) then the cache access.
-                done = issue + 1 + access.latency
-        elif inst.op == OpClass.STORE:
-            assert inst.mem_addr is not None
-            mdp.store_fetched(inst.pc, i)
-            access = hierarchy.access(inst.pc, inst.mem_addr, is_store=True)
-            issue = ports.issue_at(ready)
+                done = issue + 1 + acc_latency
+        elif op is STORE:
+            addr = inst.mem_addr
+            mdp_store_fetched(pc, i)
+            # hierarchy.access(is_store=True), inlined: TLB then L1, no
+            # prefetcher training on stores.
+            demand_accesses += 1
+            block = addr >> tlb_shift
+            set_idx = block & tlb_mask
+            way = tlb_where[set_idx].get(block)
+            if way is not None:
+                lru = tlb_lru[set_idx]
+                if lru[0] != way:
+                    lru.remove(way)
+                    lru.insert(0, way)
+                tlb_stats.hits += 1
+            else:
+                tlb_stats.misses += 1
+                tlb_fill(addr)
+            block = addr >> l1_shift
+            set_idx = block & l1_mask
+            acc_way = l1_where[set_idx].get(block)
+            if acc_way is not None:
+                lru = l1_lru[set_idx]
+                if lru[0] != acc_way:
+                    lru.remove(acc_way)
+                    lru.insert(0, acc_way)
+                l1_stats.hits += 1
+            else:
+                l1_stats.misses += 1
+                acc_way = l1_fill(addr)
+                fill_from_below(addr)
+            issue = ready
+            count = ls_busy_get(issue, 0)
+            while count >= ls_width:
+                issue += 1
+                count = ls_busy_get(issue, 0)
+            ls_busy[issue] = count + 1
             done = issue + 1
-            for word in _touched_words(inst.mem_addr, inst.mem_size):
-                word_store[word] = (i, done, inst.pc)
+            entry = (i, done, pc)
+            nbytes = inst.mem_size
+            first = addr >> 2
+            last = (addr + (nbytes if nbytes > 0 else 1) - 1) >> 2
+            if first == last:
+                word_store[first] = entry
+            else:
+                for word in range(first, last + 1):
+                    word_store[word] = entry
             store_done[i] = done
-            mdp.store_executed(inst.pc)
+            mdp_store_executed(pc)
+        elif op in ls_ops:
+            issue = ready
+            count = ls_busy_get(issue, 0)
+            while count >= ls_width:
+                issue += 1
+                count = ls_busy_get(issue, 0)
+            ls_busy[issue] = count + 1
+            done = issue + exec_latency[op]
         else:
-            issue = ports.issue_at(ready)
-            done = issue + EXECUTION_LATENCY[inst.op]
+            issue = ready
+            count = gen_busy_get(issue, 0)
+            while count >= gen_width:
+                issue += 1
+                count = gen_busy_get(issue, 0)
+            gen_busy[issue] = count + 1
+            done = issue + exec_latency[op]
 
         # ---- branches ----------------------------------------------------
-        if is_branch_op(inst.op):
-            done = issue + cfg.branch_resolution_latency
-            mispredicted = branch_unit.resolve(inst)
-            if mispredicted:
+        if op in branch_ops:
+            done = issue + branch_latency
+            if branch_resolve(inst):
                 flushes.branch += 1
                 pending_redirect = done + 1
                 force_new_group = True
                 if scheme is not None:
                     scheme.on_branch_flush()
 
-        # ---- value prediction resolution -----------------------------------
+        # ---- value prediction resolution ---------------------------------
         value_predicted = False
-        if sp is not None and scheme is not None:
+        if sp is not None:
             if sp.values is not None:
-                if recovery == RecoveryMode.ORACLE_REPLAY and not sp.correct:
+                if oracle_replay and not sp.correct:
                     pass        # oracle replay: treat as never predicted
-                elif scheme.vpe.admit(sp.registers, fetch_cycle, done):
+                elif pvt_try_allocate(sp.registers, fetch_cycle, done):
                     value_predicted = True
-            outcome = scheme.execute_side(inst, sp, access, value_predicted)
+                else:
+                    vpe_stats.pvt_rejections += 1
+            value_correct = scheme_execute_side(inst, sp, acc_way, value_predicted)[1]
             if value_predicted:
-                scheme.vpe.record_validation(outcome.value_correct)
-                scheme.vpe.pvt.note_consumer_read(sp.registers)
-                if outcome.value_correct:
-                    ready_time = fetch_cycle + cfg.rename_depth
+                vpe_stats.value_predictions += 1
+                if value_correct:
+                    vpe_stats.value_correct += 1
+                pvt_note_read(sp.registers)
+                if value_correct:
+                    ready_time = fetch_cycle + rename_depth
                     for reg in inst.dests:
                         reg_ready[reg] = ready_time
                 else:
                     flushes.value += 1
-                    pending_redirect = done + 1 + cfg.value_validation_penalty
+                    pending_redirect = done + 1 + validation_penalty
                     force_new_group = True
                     scheme.on_value_flush()
                     for reg in inst.dests:
@@ -267,10 +479,12 @@ def simulate(
             for reg in inst.dests:
                 reg_ready[reg] = done
 
-        # ---- in-order commit ------------------------------------------------
-        cc = max(done + 1, last_commit_cycle)
+        # ---- in-order commit ---------------------------------------------
+        cc = done + 1
+        if cc < last_commit_cycle:
+            cc = last_commit_cycle
         if cc == last_commit_cycle:
-            if commits_in_cycle >= cfg.commit_width:
+            if commits_in_cycle >= commit_width:
                 cc += 1
                 commits_in_cycle = 1
             else:
@@ -279,12 +493,18 @@ def simulate(
             commits_in_cycle = 1
         last_commit_cycle = cc
         commit_cycles[i] = cc
-        if inst.op == OpClass.LOAD:
+        if op is LOAD:
             load_commits.append(cc)
-        elif inst.op == OpClass.STORE:
+        elif op is STORE:
             store_commits.append(cc)
 
+        # ---- bounded busy-map pruning ------------------------------------
+        if not i & 1023:
+            ls_ports.prune_below(fetch_cycle)
+            gen_ports.prune_below(fetch_cycle)
+
     cycles = last_commit_cycle
+    hierarchy.demand_accesses = demand_accesses
 
     # ---- assemble the result -------------------------------------------
     energy = EnergyEvents(
@@ -305,6 +525,7 @@ def simulate(
         value_predictions = scheme.vpe.stats.value_predictions
         value_mispredictions = scheme.vpe.stats.value_mispredictions
         reads, writes = scheme.access_counts()
+        energy.l1d_probes_way_predicted = scheme.way_predicted_probes()
         energy.predictor_reads = reads
         energy.predictor_writes = writes
         energy.predictor_bits = scheme.predictor_storage_bits()

@@ -16,9 +16,8 @@ from dataclasses import dataclass
 
 from repro.branch import BranchUnit
 from repro.core import DlvpConfig, DlvpEngine, ValuePredictionEngine
-from repro.core.dlvp import DlvpFetchHandle
 from repro.isa import Instruction, OpClass
-from repro.memory import AccessResult, MemoryHierarchy, MemoryImage
+from repro.memory import MemoryHierarchy, MemoryImage
 from repro.predictors.cap import CapConfig, CapPredictor
 from repro.pipeline.stats import register_stats_type
 from repro.predictors.tournament import ChooserStats, TournamentChooser
@@ -31,26 +30,39 @@ _MASK64 = (1 << 64) - 1
 register_stats_type(ChooserStats)
 
 
-@dataclass
 class SchemePrediction:
-    """Fetch-side result for one instruction."""
+    """Fetch-side result for one instruction.
 
-    values: tuple[int, ...] | None     # None: no value prediction available
-    correct: bool                      # trace-known correctness of ``values``
-    handle: object                     # scheme-private state for execute_side
-    registers: int                     # PVT entries the prediction would need
+    ``__slots__`` plain class: allocated once per fetched instruction on
+    the simulate() hot path.
+    """
 
+    __slots__ = ("values", "correct", "handle", "registers")
 
-@dataclass
-class SchemeOutcome:
-    value_predicted: bool
-    value_correct: bool
+    def __init__(
+        self,
+        values: tuple[int, ...] | None,    # None: no value prediction available
+        correct: bool,                     # trace-known correctness of ``values``
+        handle: object,                    # scheme-private state for execute_side
+        registers: int,                    # PVT entries the prediction would need
+    ) -> None:
+        self.values = values
+        self.correct = correct
+        self.handle = handle
+        self.registers = registers
 
 
 class Scheme(abc.ABC):
     """Base class for value-prediction schemes driven by the pipeline."""
 
     name: str = "scheme"
+
+    # True when fetch_side() is a guaranteed no-op for non-load
+    # instructions (no prediction AND no side effects).  The timing
+    # model uses it to skip the call entirely on the hot path; schemes
+    # that predict non-loads (e.g. VTAGE with loads_only=False) must
+    # leave it False.
+    fetch_loads_only: bool = False
 
     def __init__(self, pvt_entries: int = 32) -> None:
         self.vpe = ValuePredictionEngine(pvt_entries=pvt_entries)
@@ -86,10 +98,17 @@ class Scheme(abc.ABC):
         self,
         inst: Instruction,
         sp: SchemePrediction,
-        access: AccessResult | None,
+        way: int | None,
         value_predicted: bool,
-    ) -> SchemeOutcome:
-        """Validate and train once the instruction executes."""
+    ) -> tuple[bool, bool]:
+        """Validate and train once the instruction executes.
+
+        ``way`` is the L1 way the block occupies after the demand access
+        (None for non-memory instructions); returns ``(value_predicted,
+        value_correct)`` as a plain tuple — one is produced per
+        predicted instruction on the simulate() hot path, so no result
+        object is allocated.
+        """
 
     def on_value_flush(self) -> None:
         """A value misprediction flushed the pipeline."""
@@ -97,6 +116,14 @@ class Scheme(abc.ABC):
 
     def on_branch_flush(self) -> None:
         """A branch misprediction flushed the pipeline front-end."""
+
+    def way_predicted_probes(self) -> int:
+        """L1 probes issued as single-way (way-predicted) reads.
+
+        Feeds :attr:`EnergyEvents.l1d_probes_way_predicted`; schemes
+        without a probing engine report zero.
+        """
+        return 0
 
     @abc.abstractmethod
     def result_stats(self) -> object:
@@ -115,12 +142,17 @@ def _masked_values(inst: Instruction, size: int | None = None) -> tuple[int, ...
     """The architecturally loaded values masked to the access width."""
     nbytes = size if size is not None else inst.mem_size
     mask = (1 << (8 * nbytes)) - 1
-    return tuple(v & mask for v in inst.values)
+    values = inst.values
+    if len(values) == 1:
+        return (values[0] & mask,)
+    return tuple(v & mask for v in values)
 
 
 class DlvpScheme(Scheme):
     """DLVP proper (PAP), or the paper's "CAP" comparison point when
     constructed with ``use_cap=True``."""
+
+    fetch_loads_only = True
 
     def __init__(
         self,
@@ -148,36 +180,30 @@ class DlvpScheme(Scheme):
             image=image,
             address_predictor=address_predictor,
         )
+        # Bound-method aliases for the two per-load calls (hot path).
+        self._fetch_probe_predict = self.engine.fetch_probe_predict
+        self._execute_train = self.engine.execute_train
+        self._on_unpredicted = self.engine.on_load_fetch_unpredicted
 
     def fetch_side(self, inst, fetch_cycle, load_slot, probe_cycle):
         if inst.op != OpClass.LOAD:
             return None
-        assert self.engine is not None
         if load_slot is None:
-            self.engine.on_load_fetch_unpredicted(inst)
+            self._on_unpredicted(inst)
             return None
-        handle = self.engine.on_load_fetch(inst, fetch_cycle, load_slot)
-        self.engine.probe(handle, probe_cycle)
-        values = self.engine.predicted_values(handle, inst)
-        correct = values is not None and values == _masked_values(inst)
-        return SchemePrediction(
-            values=values, correct=correct, handle=handle, registers=len(inst.dests)
+        handle, values = self._fetch_probe_predict(
+            inst, fetch_cycle, load_slot, probe_cycle
         )
+        correct = values is not None and values == _masked_values(inst)
+        return SchemePrediction(values, correct, handle, len(inst.dests))
 
-    def execute_side(self, inst, sp, access, value_predicted):
-        assert self.engine is not None
-        assert isinstance(sp.handle, DlvpFetchHandle)
-        way = access.way if access is not None else None
-        outcome = self.engine.on_load_execute(
+    def execute_side(self, inst, sp, way, value_predicted):
+        return self._execute_train(
             sp.handle,
             inst,
             way,
             value_predicted,
             sp.values if value_predicted else None,
-        )
-        return SchemeOutcome(
-            value_predicted=outcome.value_predicted,
-            value_correct=outcome.value_correct,
         )
 
     def on_value_flush(self) -> None:
@@ -189,8 +215,15 @@ class DlvpScheme(Scheme):
         assert self.engine is not None
         self.engine.paq.flush()
 
+    def way_predicted_probes(self) -> int:
+        assert self.engine is not None
+        return self.engine.stats.probes_way_predicted
+
     def result_stats(self):
         assert self.engine is not None
+        # The PAQ keeps its own flush counter; mirror it into the
+        # result-facing stats so cached/serialized runs carry it.
+        self.engine.stats.paq_flushed = self.engine.paq.flushed
         return self.engine.stats
 
     def predictor_storage_bits(self) -> int:
@@ -214,6 +247,7 @@ class VtageScheme(Scheme):
         self.config = config or VtageConfig()
         self.name = "vtage"
         self.predictor = VtagePredictor(self.config)
+        self.fetch_loads_only = self.config.loads_only
 
     def fetch_side(self, inst, fetch_cycle, load_slot, probe_cycle):
         if not inst.dests or not inst.values:
@@ -236,10 +270,9 @@ class VtageScheme(Scheme):
             registers=inst.value_prediction_slots(),
         )
 
-    def execute_side(self, inst, sp, access, value_predicted):
-        assert isinstance(sp.handle, VtageHandle)
+    def execute_side(self, inst, sp, way, value_predicted):
         correct = self.predictor.finish(sp.handle, inst)
-        return SchemeOutcome(value_predicted=value_predicted, value_correct=correct)
+        return value_predicted, correct
 
     def result_stats(self):
         return self.predictor.stats
@@ -261,6 +294,8 @@ class DvtageScheme(Scheme):
     last-value window) without evaluating it; this scheme lets the
     benchmarks quantify them on the same workloads.
     """
+
+    fetch_loads_only = True
 
     def __init__(self, config: "DvtageConfig | None" = None) -> None:
         super().__init__()
@@ -288,13 +323,13 @@ class DvtageScheme(Scheme):
             registers=len(inst.dests),
         )
 
-    def execute_side(self, inst, sp, access, value_predicted):
+    def execute_side(self, inst, sp, way, value_predicted):
         history = sp.handle
         prediction = self.predictor.train(inst, history)
         correct = prediction is not None and (prediction,) == tuple(
             v & _MASK64 for v in inst.values
         )
-        return SchemeOutcome(value_predicted=value_predicted, value_correct=correct)
+        return value_predicted, correct
 
     def result_stats(self):
         return self.predictor.stats
@@ -341,6 +376,8 @@ class _TournamentHandle:
 
 class TournamentScheme(Scheme):
     """DLVP and VTAGE running concurrently with a 2-bit chooser."""
+
+    fetch_loads_only = True
 
     def __init__(
         self,
@@ -398,27 +435,27 @@ class TournamentScheme(Scheme):
             registers=chosen.registers,
         )
 
-    def execute_side(self, inst, sp, access, value_predicted):
+    def execute_side(self, inst, sp, way, value_predicted):
         handle = sp.handle
         assert isinstance(handle, _TournamentHandle)
         a_correct: bool | None = None
         b_correct: bool | None = None
-        outcome = SchemeOutcome(value_predicted=value_predicted, value_correct=False)
+        value_correct = False
         if handle.sp_dlvp is not None:
             dlvp_used = value_predicted and handle.final_is_dlvp
-            d_out = self.dlvp.execute_side(inst, handle.sp_dlvp, access, dlvp_used)
+            _, d_correct = self.dlvp.execute_side(inst, handle.sp_dlvp, way, dlvp_used)
             if handle.sp_dlvp.values is not None:
                 a_correct = handle.sp_dlvp.correct
             if dlvp_used:
-                outcome.value_correct = d_out.value_correct
+                value_correct = d_correct
         if handle.sp_vtage is not None:
-            v_out = self.vtage.execute_side(inst, handle.sp_vtage, access, False)
+            _, v_correct = self.vtage.execute_side(inst, handle.sp_vtage, way, False)
             if handle.sp_vtage.values is not None:
                 b_correct = handle.sp_vtage.correct
             if value_predicted and not handle.final_is_dlvp:
-                outcome.value_correct = v_out.value_correct
+                value_correct = v_correct
         self.chooser.update(inst.pc, a_correct, b_correct)
-        return outcome
+        return value_predicted, value_correct
 
     def on_value_flush(self) -> None:
         super().on_value_flush()
@@ -427,6 +464,9 @@ class TournamentScheme(Scheme):
 
     def on_branch_flush(self) -> None:
         self.dlvp.on_branch_flush()
+
+    def way_predicted_probes(self) -> int:
+        return self.dlvp.way_predicted_probes()
 
     def result_stats(self):
         return {

@@ -16,7 +16,12 @@ from dataclasses import dataclass, field
 from repro.core.dlvp import DlvpStats
 from repro.predictors.base import PredictorStats
 
-RESULT_SCHEMA_VERSION = 1
+RESULT_SCHEMA_VERSION = 2
+
+# Older schemas this build can still read.  v1 payloads predate the
+# way-predicted-probe energy split and the PAQ flush counter; both load
+# as zero via dataclass defaults, which matches the old accounting.
+_COMPATIBLE_SCHEMA_VERSIONS = frozenset({1, RESULT_SCHEMA_VERSION})
 
 _STATS_TYPES: dict[str, type] = {}
 
@@ -168,10 +173,10 @@ class SimResult:
     def from_dict(cls, data: dict) -> "SimResult":
         """Rebuild a result serialized by :meth:`to_dict`."""
         schema = data.get("schema")
-        if schema != RESULT_SCHEMA_VERSION:
+        if schema not in _COMPATIBLE_SCHEMA_VERSIONS:
             raise ValueError(
                 f"unsupported SimResult schema {schema!r} "
-                f"(expected {RESULT_SCHEMA_VERSION})"
+                f"(compatible: {sorted(_COMPATIBLE_SCHEMA_VERSIONS)})"
             )
         return cls(
             trace_name=data["trace_name"],

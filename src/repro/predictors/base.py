@@ -11,9 +11,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
-@dataclass(frozen=True)
 class AddressPrediction:
     """One address prediction made at fetch.
+
+    A ``__slots__`` plain class (one is allocated per predicted load on
+    the simulate() hot path).
 
     Attributes:
         addr: Predicted effective (base) memory address.
@@ -26,11 +28,14 @@ class AddressPrediction:
         tag: The tag computed at prediction time (same purpose).
     """
 
-    addr: int
-    size: int
-    way: int | None
-    index: int
-    tag: int
+    __slots__ = ("addr", "size", "way", "index", "tag")
+
+    def __init__(self, addr: int, size: int, way: int | None, index: int, tag: int) -> None:
+        self.addr = addr
+        self.size = size
+        self.way = way
+        self.index = index
+        self.tag = tag
 
 
 @dataclass

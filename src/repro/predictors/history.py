@@ -14,7 +14,7 @@ snapshot of the value-mispredicted load on recovery (Section 2.2).
 
 from __future__ import annotations
 
-from repro.branch.history import GlobalHistory
+from repro.branch.history import FoldedHistory, GlobalHistory
 from repro.isa.fetch import path_history_bit
 
 
@@ -23,6 +23,10 @@ class LoadPathHistory:
 
     def __init__(self, length: int = 16) -> None:
         self._history = GlobalHistory(length)
+
+    def folded_register(self, target_bits: int) -> FoldedHistory:
+        """Incrementally maintained fold of the full load-path history."""
+        return self._history.folded_register(self._history.length, target_bits)
 
     @property
     def length(self) -> int:

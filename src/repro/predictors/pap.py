@@ -23,7 +23,7 @@ A prediction is made only on a tag match with saturated confidence.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.predictors.base import AddressPrediction, PredictorStats
 from repro.predictors.confidence import PAP_FPC_VECTOR
@@ -83,13 +83,22 @@ class PapConfig:
             raise ValueError("allocation_policy must be 1 or 2")
 
 
-@dataclass
 class _AptEntry:
-    tag: int
-    addr: int
-    size_code: int
-    way: int | None
-    confidence: int = 0
+    __slots__ = ("tag", "addr", "size_code", "way", "confidence")
+
+    def __init__(
+        self,
+        tag: int,
+        addr: int,
+        size_code: int,
+        way: int | None,
+        confidence: int = 0,
+    ) -> None:
+        self.tag = tag
+        self.addr = addr
+        self.size_code = size_code
+        self.way = way
+        self.confidence = confidence
 
 
 class PapPredictor:
@@ -102,6 +111,14 @@ class PapPredictor:
         self._index_bits = cfg.entries.bit_length() - 1
         self._entries: list[_AptEntry | None] = [None] * cfg.entries
         self.history = LoadPathHistory(cfg.history_bits)
+        self._idx_fold = self.history.folded_register(self._index_bits)
+        self._tag_fold = self.history.folded_register(cfg.tag_bits)
+        # Hot-path constants hoisted off the (frozen-dataclass) config.
+        self._index_mask = cfg.entries - 1
+        self._tag_mask = (1 << cfg.tag_bits) - 1
+        self._tag_shift = 2 + cfg.tag_bits
+        self._conf_max = len(cfg.fpc_vector)
+        self._use_way = cfg.way_prediction
         self.stats = PredictorStats()
         self.allocations = 0
         self.confidence_resets = 0
@@ -115,18 +132,22 @@ class PapPredictor:
         history; the tag folds to ``tag_bits`` and the index to
         ``log2(entries)`` bits, so they decorrelate.
         """
-        cfg = self.config
         if history_value is None:
-            history_value = self.history.value
-        idx_fold = fold_history(history_value, cfg.history_bits, self._index_bits)
-        tag_fold = fold_history(history_value, cfg.history_bits, cfg.tag_bits)
+            # Hot path: the registered folds track the live history.
+            idx_fold = self._idx_fold.value
+            tag_fold = self._tag_fold.value
+        else:
+            cfg = self.config
+            idx_fold = fold_history(history_value, cfg.history_bits, self._index_bits)
+            tag_fold = fold_history(history_value, cfg.history_bits, cfg.tag_bits)
         word = pc >> 2
+        index_bits = self._index_bits
         # Fold high PC bits into the index so regularly-strided code
         # does not alias systematically.
         index = (
-            word ^ (word >> self._index_bits) ^ (word >> (2 * self._index_bits)) ^ idx_fold
-        ) & (cfg.entries - 1)
-        tag = (word ^ (pc >> (2 + cfg.tag_bits)) ^ tag_fold) & ((1 << cfg.tag_bits) - 1)
+            word ^ (word >> index_bits) ^ (word >> (2 * index_bits)) ^ idx_fold
+        ) & self._index_mask
+        tag = (word ^ (pc >> self._tag_shift) ^ tag_fold) & self._tag_mask
         return index, tag
 
     # -- prediction ---------------------------------------------------
@@ -140,14 +161,14 @@ class PapPredictor:
         entry = self._entries[index]
         if entry is None or entry.tag != tag:
             return None
-        if entry.confidence < len(self.config.fpc_vector):
+        if entry.confidence < self._conf_max:
             return None
         return AddressPrediction(
-            addr=entry.addr,
-            size=decode_size(entry.size_code),
-            way=entry.way if self.config.way_prediction else None,
-            index=index,
-            tag=tag,
+            entry.addr,
+            decode_size(entry.size_code),
+            entry.way if self._use_way else None,
+            index,
+            tag,
         )
 
     def predict_pc(self, pc: int) -> AddressPrediction | None:
@@ -177,9 +198,7 @@ class PapPredictor:
         if entry is None or entry.tag != tag:
             # APT miss.
             if cfg.allocation_policy == 1 or entry is None or entry.confidence == 0:
-                self._entries[index] = _AptEntry(
-                    tag=tag, addr=addr, size_code=size_code, way=way
-                )
+                self._entries[index] = _AptEntry(tag, addr, size_code, way)
                 self.allocations += 1
             else:
                 entry.confidence -= 1
@@ -187,7 +206,7 @@ class PapPredictor:
 
         # APT hit.
         if entry.addr == addr:
-            if entry.confidence < len(cfg.fpc_vector):
+            if entry.confidence < self._conf_max:
                 if self._rng.random() <= cfg.fpc_vector[entry.confidence]:
                     entry.confidence += 1
             entry.size_code = size_code

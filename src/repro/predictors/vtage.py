@@ -83,11 +83,13 @@ class VtageConfig:
             raise ValueError("first VTAGE component must use history length 0 (LVP base)")
 
 
-@dataclass
 class _VtageEntry:
-    tag: int
-    value: int
-    confidence: int = 0
+    __slots__ = ("tag", "value", "confidence")
+
+    def __init__(self, tag: int, value: int, confidence: int = 0) -> None:
+        self.tag = tag
+        self.value = value
+        self.confidence = confidence
 
 
 @dataclass
@@ -132,6 +134,12 @@ class VtagePredictor:
         self.slot_predictions = 0
         self.slot_correct = 0
         self._type_accuracy: dict[str, _TypeAccuracy] = {}
+        # One-entry memo of per-table (idx_fold, tag_fold) pairs for the
+        # last seen history value: the branch history only changes on
+        # branches, so runs of consecutive loads (and the multiple slots
+        # of one load) share the fold computation.
+        self._fold_memo_history: int | None = None
+        self._fold_memo: list[tuple[int, int]] = []
 
     # -- eligibility ----------------------------------------------------
 
@@ -172,15 +180,29 @@ class VtagePredictor:
         # systematically in the small (256-entry) tables.
         mixed = base ^ (base >> self._index_bits) ^ (base >> (2 * self._index_bits))
         keys = []
-        for table, hist_len in enumerate(cfg.history_lengths):
-            idx_fold = fold_history(history, hist_len, self._index_bits) if hist_len else 0
-            tag_fold = fold_history(history, hist_len, cfg.tag_bits) if hist_len else 0
+        for table, (idx_fold, tag_fold) in enumerate(self._folds(history)):
             index = (mixed ^ idx_fold ^ (table * 0x9E5)) & (cfg.table_entries - 1)
             tag = (base ^ (base >> self._index_bits) ^ (tag_fold << 1)) & (
                 (1 << cfg.tag_bits) - 1
             )
             keys.append((index, tag))
         return keys
+
+    def _folds(self, history: int) -> list[tuple[int, int]]:
+        """Per-table (index fold, tag fold) of ``history``, memoized."""
+        if history == self._fold_memo_history:
+            return self._fold_memo
+        cfg = self.config
+        folds = [
+            (
+                fold_history(history, hist_len, self._index_bits) if hist_len else 0,
+                fold_history(history, hist_len, cfg.tag_bits) if hist_len else 0,
+            )
+            for hist_len in cfg.history_lengths
+        ]
+        self._fold_memo_history = history
+        self._fold_memo = folds
+        return folds
 
     def _lookup_slot(self, keys: list[tuple[int, int]]) -> _SlotLookup:
         provider = None

@@ -65,12 +65,72 @@ class TestPaq:
         with pytest.raises(ValueError):
             PredictedAddressQueue(entries=0)
 
+    def test_flush_counts_separately_from_drops(self):
+        paq = PredictedAddressQueue()
+        paq.push(entry())
+        paq.push(entry())
+        paq.flush()
+        assert paq.flushed == 2
+        assert paq.dropped == 0
+        assert paq.serviced == 0
+
+    def test_flushed_excluded_from_drop_rate(self):
+        # 2 accepted, 1 serviced, 1 flushed: the flushed entry never had
+        # a chance to be serviced, so the drop rate must stay 0 — the
+        # old accounting would have reported 0/2 anyway, but with a
+        # later age-out it skewed to dropped/(enqueued) instead of
+        # dropped/(enqueued - flushed).
+        paq = PredictedAddressQueue(drop_cycles=1)
+        paq.push(entry(cycle=0))
+        paq.service(0)
+        paq.push(entry(cycle=0))
+        paq.flush()
+        assert paq.drop_rate == 0.0
+        paq.push(entry(cycle=10))
+        paq.push(entry(cycle=10))
+        paq.service(10)
+        paq.service(100)          # ages out -> dropped
+        assert paq.drop_rate == pytest.approx(1 / 3)  # 1 of 3 eligible
+
+    def test_conservation_invariant_after_flush(self):
+        paq = PredictedAddressQueue(entries=4, drop_cycles=2)
+        paq.push(entry(cycle=0))
+        paq.push(entry(cycle=0))
+        paq.service(1)
+        paq.flush()
+        paq.push(entry(cycle=5))
+        paq.push(entry(cycle=5))
+        paq.service(50)           # drops both stale entries, returns None
+        paq.push(entry(cycle=60))
+        assert (paq.serviced + paq.dropped + paq.flushed + len(paq)
+                == paq.enqueued)
+
     @given(st.lists(st.integers(min_value=0, max_value=30), max_size=60))
     def test_occupancy_bounded(self, cycles):
         paq = PredictedAddressQueue(entries=8)
         for c in cycles:
             paq.push(entry(cycle=c))
             assert len(paq) <= 8
+
+    @given(st.lists(
+        st.tuples(st.sampled_from(["push", "service", "flush"]),
+                  st.integers(min_value=0, max_value=40)),
+        max_size=80,
+    ))
+    def test_conservation_invariant_holds_always(self, ops):
+        # serviced + dropped + flushed + len(queue) == enqueued after
+        # every operation, for any interleaving of pushes, services
+        # (with arbitrary cycle gaps -> age-based drops) and flushes.
+        paq = PredictedAddressQueue(entries=4, drop_cycles=3)
+        for op, cycle in ops:
+            if op == "push":
+                paq.push(entry(cycle=cycle))
+            elif op == "service":
+                paq.service(cycle)
+            else:
+                paq.flush()
+            assert (paq.serviced + paq.dropped + paq.flushed + len(paq)
+                    == paq.enqueued)
 
 
 class TestLscd:

@@ -102,6 +102,26 @@ class TestCoreEnergy:
         trace = build_workload("gzip", 2000)
         assert core_energy(simulate(trace)) > 0
 
+    def test_way_predicted_probes_populated_and_discounted(self):
+        # The way-predicted probe split: simulate() must populate
+        # l1d_probes_way_predicted from DLVP stats, and core_energy must
+        # charge those probes the discounted weight — zeroing the field
+        # (the old, buggy accounting) must cost strictly more.
+        import dataclasses
+
+        trace = build_workload("gzip", 6000)
+        result = simulate(trace, scheme=DlvpScheme())
+        e = result.energy
+        assert 0 < e.l1d_probes_way_predicted <= e.l1d_probes
+        flat = dataclasses.replace(e, l1d_probes_way_predicted=0)
+        flat_result = dataclasses.replace(result, energy=flat)
+        w = EnergyWeights()
+        delta = core_energy(flat_result, w) - core_energy(result, w)
+        expected = ((w.l1_probe - w.l1_probe_way_predicted)
+                    * e.l1d_probes_way_predicted)
+        assert delta == pytest.approx(expected)
+        assert delta > 0
+
     def test_normalization_requires_same_trace(self):
         a = simulate(build_workload("gzip", 1000))
         b = simulate(build_workload("parser", 1000))

@@ -1,0 +1,103 @@
+"""Golden lock on ``simulate()``'s exact outcomes.
+
+The hot-path overhaul (incremental folded histories, the inlined
+``simulate()`` fast paths, the hierarchy/scheme call trimming) is pure
+optimization: it must never change a simulated outcome.  This suite
+pins ``SimResult.to_dict()`` — cycles, flushes, misprediction counts,
+hit rates, energy events, scheme stats — for one workload per suite
+kernel under every registered scheme, against goldens generated from
+the pre-optimization model.
+
+A mismatch here means the fast path diverged from the reference
+semantics.  Only regenerate after a *deliberate* model change::
+
+    PYTHONPATH=src python tests/test_golden_simresults.py --regen
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.pipeline.core_model import simulate
+from repro.runtime.registry import get_scheme
+from repro.workloads import SUITE, build_workload
+
+GOLDEN_PATH = Path(__file__).parent / "golden_simresults.json"
+INSTRUCTIONS = 3_000
+SCHEMES = ("baseline", "dlvp", "cap", "vtage", "dvtage", "tournament")
+
+_TRACES: dict[str, object] = {}
+
+
+def kernel_representatives() -> list[tuple[str, str]]:
+    """(kernel name, first workload using it) for every suite kernel."""
+    reps: dict[str, str] = {}
+    for spec in sorted(SUITE.values(), key=lambda s: s.name):
+        reps.setdefault(spec.kernel.__name__, spec.name)
+    return sorted(reps.items())
+
+
+def _trace(workload: str):
+    trace = _TRACES.get(workload)
+    if trace is None:
+        trace = _TRACES[workload] = build_workload(workload, INSTRUCTIONS)
+    return trace
+
+
+def simulate_cell(workload: str, scheme_id: str) -> dict:
+    scheme = get_scheme(scheme_id).build()
+    return simulate(_trace(workload), scheme).to_dict()
+
+
+def _cells() -> list[tuple[str, str]]:
+    return [
+        (workload, scheme_id)
+        for _, workload in kernel_representatives()
+        for scheme_id in SCHEMES
+    ]
+
+
+@pytest.fixture(scope="module")
+def goldens() -> dict:
+    assert GOLDEN_PATH.exists(), (
+        f"{GOLDEN_PATH} missing — regenerate with "
+        f"`python {Path(__file__).name} --regen`"
+    )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def test_golden_covers_every_kernel(goldens):
+    expected = {f"{w}/{s}" for w, s in _cells()}
+    assert set(goldens["cells"]) == expected
+
+
+@pytest.mark.parametrize(
+    "workload,scheme_id", _cells(), ids=lambda v: str(v)
+)
+def test_simresult_bit_identical(goldens, workload, scheme_id):
+    golden = goldens["cells"][f"{workload}/{scheme_id}"]
+    assert simulate_cell(workload, scheme_id) == golden
+
+
+def _regen() -> None:
+    cells = {}
+    for workload, scheme_id in _cells():
+        cells[f"{workload}/{scheme_id}"] = simulate_cell(workload, scheme_id)
+        print(f"  {workload}/{scheme_id}")
+    GOLDEN_PATH.write_text(json.dumps(
+        {"instructions": INSTRUCTIONS, "cells": cells},
+        indent=1, sort_keys=True,
+    ) + "\n")
+    print(f"wrote {GOLDEN_PATH} ({len(cells)} cells)")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        print(__doc__)

@@ -39,8 +39,8 @@ class TestTlb:
 class TestStridePrefetcher:
     def test_untrained_issues_nothing(self):
         pf = StridePrefetcher(threshold=2)
-        assert pf.observe(0x10, 0x1000) == []
-        assert pf.observe(0x10, 0x1040) == []
+        assert list(pf.observe(0x10, 0x1000)) == []
+        assert list(pf.observe(0x10, 0x1040)) == []
 
     def test_trains_on_repeated_stride(self):
         pf = StridePrefetcher(threshold=2, degree=2)
@@ -52,14 +52,14 @@ class TestStridePrefetcher:
         pf = StridePrefetcher(threshold=2)
         for i in range(4):
             pf.observe(0x10, 0x1000 + i * 64)
-        assert pf.observe(0x10, 0x9000) == []
-        assert pf.observe(0x10, 0x9100) == []
+        assert list(pf.observe(0x10, 0x9000)) == []
+        assert list(pf.observe(0x10, 0x9100)) == []
 
     def test_zero_stride_never_prefetches(self):
         pf = StridePrefetcher(threshold=1)
         for _ in range(10):
             out = pf.observe(0x10, 0x1000)
-        assert out == []
+        assert list(out) == []
 
     def test_distinct_pcs_tracked_separately(self):
         pf = StridePrefetcher(threshold=2)

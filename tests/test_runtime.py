@@ -123,6 +123,24 @@ class TestSimResultRoundTrip:
         with pytest.raises(ValueError, match="schema"):
             SimResult.from_dict(payload)
 
+    def test_v1_payload_still_loads(self):
+        # v1 results predate the way-predicted-probe energy split and
+        # the PAQ flush counter; they must load with those fields at
+        # their zero defaults (the old accounting), not be rejected.
+        from repro.pipeline import DlvpScheme
+
+        trace = build_workload("gzip", N)
+        payload = simulate(trace, scheme=DlvpScheme()).to_dict()
+        payload["schema"] = 1
+        payload["energy"].pop("l1d_probes_way_predicted")
+        payload["scheme_stats"].pop("probes_way_predicted")
+        payload["scheme_stats"].pop("paq_flushed")
+        result = SimResult.from_dict(json.loads(json.dumps(payload)))
+        assert result.energy.l1d_probes_way_predicted == 0
+        assert result.scheme_stats.probes_way_predicted == 0
+        assert result.scheme_stats.paq_flushed == 0
+        assert result.cycles == payload["cycles"]
+
 
 class TestResultCache:
     def test_put_get_round_trip(self, tmp_path):
