@@ -10,6 +10,9 @@ Commands:
 * ``chaos``                        — sweep under deterministic fault injection
 * ``cache verify|gc``              — audit / prune the result cache
 * ``bench throughput``             — simulator inst/s report (``BENCH_*.json``)
+* ``trace <workload>``             — one traced simulation (Chrome trace +
+  interval metrics + flight recorder; see :mod:`repro.observe`)
+* ``observe report``               — interval-metrics report from a journal
 
 ``run``, ``figure``, ``sweep`` and ``chaos`` go through
 :mod:`repro.runtime`: ``--jobs N`` fans simulation out over N worker
@@ -37,6 +40,9 @@ Examples::
     python -m repro sweep --schemes dlvp vtage --workloads gzip nat crc
     python -m repro sweep --schemes dlvp --resume ~/.cache/repro/last-run.jsonl
     python -m repro chaos --fault 'crash@gzip/dlvp:1' --jobs 4
+    python -m repro trace aifirf --scheme dlvp --out trace.json
+    python -m repro observe report
+    python -m repro run aifirf --scheme dlvp --trace traces/
     python -m repro bench throughput --output BENCH_pr3.json
     python -m repro cache verify
     python -m repro cache gc --max-age-days 30 --max-size-mb 512
@@ -112,6 +118,7 @@ def _runtime_from_args(
         timeout_factor=args.timeout_escalation,
         faults=faults,
         resume_from=args.resume,
+        trace_dir=getattr(args, "trace", None),
     )
 
 
@@ -390,6 +397,119 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """One traced simulation with the full observability stack.
+
+    Writes a ``chrome://tracing``-loadable JSON to ``--out``, prints the
+    interval-metrics report, and journals the run like any runtime job
+    (so ``observe report`` finds it later).  A ``raise`` rule in
+    ``--fault`` (or ``$REPRO_FAULT_SPEC``) arms a deterministic mid-run
+    tripwire; the flight-recorder tail then lands beside ``--out`` and
+    in the journal.
+    """
+    from repro import faults as faults_mod
+    from repro.observe import FaultTripwire, render_report, run_traced
+    from repro.runtime.jobs import make_job
+    from repro.runtime.journal import RunJournal
+    from repro.runtime.registry import get_scheme
+
+    if args.scheme not in scheme_ids():
+        print(f"unknown scheme {args.scheme!r}; registered: {scheme_ids()}",
+              file=sys.stderr)
+        return 2
+    recovery = RecoveryMode(args.recovery)
+    cache_dir = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+    journal_path = args.journal or cache_dir / "last-run.jsonl"
+    journal = RunJournal(journal_path)
+    job = make_job(args.workload, args.instructions, args.scheme,
+                   recovery=recovery, trace_dir=str(Path(args.out).parent))
+    journal.event("job_submitted", **job.identity())
+    journal.event("job_started", key=job.key, workload=job.workload,
+                  scheme=job.scheme_id, attempt=1)
+
+    tripwire = None
+    plan = faults_mod.active_plan(args.fault)
+    if plan is not None:
+        rule = plan.rule_for(job.workload, job.scheme_id, 1, job.key)
+        if rule is not None and rule.kind == "raise":
+            tripwire = FaultTripwire(rule)
+            journal.event("fault_injected", key=job.key, fault=rule.kind,
+                          rule=rule.clause())
+        elif rule is not None:
+            # crash/hang/slow act out exactly as in a runtime worker
+            faults_mod.inject(job.workload, job.scheme_id, 1, job.key, plan)
+
+    trace = build_workload(args.workload, args.instructions)
+    try:
+        run = run_traced(
+            trace,
+            scheme=get_scheme(args.scheme).build(),
+            recovery=recovery,
+            interval=args.interval,
+            flight_capacity=args.flight,
+            tripwire=tripwire,
+            out=args.out,
+            journal=journal,
+        )
+    except Exception as exc:
+        journal.event("job_finished", key=job.key, workload=job.workload,
+                      scheme=job.scheme_id, status="error", duration=0.0,
+                      attempts=1, error=f"{type(exc).__name__}: {exc}")
+        dump = Path(args.out).with_suffix(".flight.json")
+        print(f"trace failed: {exc}", file=sys.stderr)
+        if dump.exists():
+            print(f"flight recorder tail: {dump}", file=sys.stderr)
+        return 1
+    result = run.result
+    journal.event("job_finished", key=job.key, workload=job.workload,
+                  scheme=job.scheme_id, status="ok", duration=0.0,
+                  attempts=1, error=None, result=result.to_dict())
+    print(f"trace — {args.workload}/{args.scheme}, "
+          f"{result.instructions} instructions, {result.cycles} cycles, "
+          f"ipc {result.ipc:.3f}")
+    print(render_report(result.intervals))
+    print(f"wrote {args.out} ({len(run.chrome.events)} events; "
+          f"load in chrome://tracing)", file=sys.stderr)
+    return 0
+
+
+def cmd_observe(args: argparse.Namespace) -> int:
+    """``observe report``: interval metrics from journaled traced runs."""
+    from repro.observe import render_report
+    from repro.runtime.journal import read_journal
+
+    cache_dir = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+    journal_path = Path(args.journal or cache_dir / "last-run.jsonl")
+    if not journal_path.exists():
+        print(f"no journal at {journal_path}", file=sys.stderr)
+        return 2
+    events = read_journal(journal_path)
+    traced = [
+        e for e in events
+        if e.get("event") == "job_finished" and e.get("status") == "ok"
+        and isinstance(e.get("result"), dict)
+        and e["result"].get("intervals")
+    ]
+    dumps = [e for e in events if e.get("event") == "flight_recorder_dump"]
+    if not traced and not dumps:
+        print("no traced runs with interval data in this journal",
+              file=sys.stderr)
+        return 1
+    for entry in traced[-args.last:]:
+        result = entry["result"]
+        print(f"{entry.get('workload')}/{entry.get('scheme')} — "
+              f"{result['instructions']} instructions, "
+              f"{result['cycles']} cycles")
+        print(render_report(result["intervals"]))
+        print()
+    for entry in dumps[-args.last:]:
+        print(f"flight dump: {entry.get('trace')}/{entry.get('scheme')} — "
+              f"{entry.get('error')} ({entry.get('events_seen')} events seen"
+              + (f", {entry.get('dump_path')}" if entry.get("dump_path")
+                 else "") + ")")
+    return 0
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     for name in args.workloads:
         trace = build_workload(name, args.instructions)
@@ -424,6 +544,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--recovery", default="flush",
                      choices=[m.value for m in RecoveryMode])
     run.add_argument("--instructions", type=int, default=16_000)
+    run.add_argument("--trace", default=None, metavar="DIR",
+                     help="run under the observability stack; write Chrome "
+                          "traces (and flight dumps on failure) into DIR")
     _add_runtime_flags(run)
 
     fig = sub.add_parser("figure", help="regenerate one figure or table")
@@ -446,6 +569,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--recovery", default="flush",
                        choices=[m.value for m in RecoveryMode])
     sweep.add_argument("--instructions", type=int, default=8_000)
+    sweep.add_argument("--trace", default=None, metavar="DIR",
+                       help="run under the observability stack; write Chrome "
+                            "traces (and flight dumps on failure) into DIR")
     _add_runtime_flags(sweep)
 
     chaos = sub.add_parser(
@@ -498,6 +624,40 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="FRACTION",
                        help="allowed inst/s drop for --check (default 0.30)")
 
+    tr = sub.add_parser(
+        "trace",
+        help="run one traced simulation (Chrome trace + interval metrics "
+             "+ flight recorder)",
+    )
+    tr.add_argument("workload", choices=workload_names(), metavar="workload")
+    tr.add_argument("--scheme", default="dlvp",
+                    help="dlvp | cap | vtage | dvtage | tournament | baseline")
+    tr.add_argument("--out", default="trace.json", metavar="FILE",
+                    help="Chrome trace output path (default: trace.json)")
+    tr.add_argument("--instructions", type=int, default=16_000)
+    tr.add_argument("--interval", type=int, default=10_000,
+                    help="interval-metrics bin size in instructions")
+    tr.add_argument("--flight", type=int, default=256,
+                    help="flight-recorder ring capacity (events)")
+    tr.add_argument("--recovery", default="flush",
+                    choices=[m.value for m in RecoveryMode])
+    tr.add_argument("--fault", default=None, metavar="SPEC",
+                    help="fault spec; a matching raise rule trips mid-run "
+                         f"(default: ${FAULT_SPEC_ENV})")
+    tr.add_argument("--cache-dir", default=None, metavar="DIR")
+    tr.add_argument("--journal", default=None, metavar="FILE",
+                    help="JSONL journal (default: <cache-dir>/last-run.jsonl)")
+
+    obs = sub.add_parser(
+        "observe", help="report on journaled traced runs"
+    )
+    obs.add_argument("action", choices=["report"])
+    obs.add_argument("--journal", default=None, metavar="FILE",
+                     help="journal to read (default: <cache-dir>/last-run.jsonl)")
+    obs.add_argument("--cache-dir", default=None, metavar="DIR")
+    obs.add_argument("--last", type=int, default=8,
+                     help="show at most the last N traced runs (default 8)")
+
     prof = sub.add_parser("profile", help="Figure 1/2 trace profiles")
     prof.add_argument("workloads", nargs="+", choices=workload_names(),
                       metavar="workload")
@@ -516,6 +676,8 @@ def main(argv: list[str] | None = None) -> int:
         "chaos": cmd_chaos,
         "cache": cmd_cache,
         "bench": cmd_bench,
+        "trace": cmd_trace,
+        "observe": cmd_observe,
     }
     try:
         return handlers[args.command](args)

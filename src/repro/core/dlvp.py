@@ -155,6 +155,7 @@ class DlvpEngine:
         self._lscd_enabled = self.config.lscd_entries > 0
         self.lscd = LoadStoreConflictDetector(max(1, self.config.lscd_entries))
         self.stats = DlvpStats()
+        self._tracer = None
         # Resolved once: the isinstance check sat on the per-load path.
         self._is_pap = isinstance(self.predictor, PapPredictor)
         # Fetch-side hot-path aliases consumed by fetch_probe_predict().
@@ -185,6 +186,19 @@ class DlvpEngine:
     @property
     def _uses_pap(self) -> bool:
         return self._is_pap
+
+    def attach_tracer(self, tracer) -> None:
+        """Opt into per-event instrumentation (see :mod:`repro.observe`).
+
+        With a tracer attached, the fetch/execute fast paths dispatch to
+        the reference implementations (:meth:`on_load_fetch`,
+        :meth:`probe`, :meth:`predicted_values`, :meth:`on_load_execute`)
+        so every component hook fires; with none attached (the default)
+        the inlined fast paths run with zero added work.
+        """
+        self._tracer = tracer
+        self.paq.attach_tracer(tracer)
+        self.lscd.attach_tracer(tracer)
 
     # -- fetch ----------------------------------------------------------
 
@@ -285,6 +299,15 @@ class DlvpEngine:
             if self.config.prefetch_on_miss:
                 self.hierarchy.prefetch_fill(entry.addr)
                 stats.prefetches += 1
+        if self._tracer is not None:
+            self._tracer.on_probe(
+                probe_cycle,
+                handle.load_pc,
+                entry.addr,
+                hit,
+                way_predicted,
+                way_predicted and not hit and actual_way is not None,
+            )
 
     def fetch_probe_predict(
         self, inst: Instruction, fetch_cycle: int, slot: int, probe_cycle: int
@@ -298,6 +321,13 @@ class DlvpEngine:
         :meth:`predicted_values` in sequence — those remain the
         reference implementations.
         """
+        if self._tracer is not None:
+            # Traced runs take the reference path so every component
+            # hook (LSCD, PAQ, probe) fires; the `is None` check is the
+            # only cost the disabled case pays.
+            handle = self.on_load_fetch(inst, fetch_cycle, slot)
+            self.probe(handle, probe_cycle)
+            return handle, self.predicted_values(handle, inst)
         pc = inst.pc
         handle = DlvpFetchHandle(pc)
         is_pap = self._is_pap
@@ -349,10 +379,11 @@ class DlvpEngine:
             paq.rejected_full += 1
             handle.prediction = None
             return handle, None
-        if not queue:
-            paq.bypassed += 1
         queue.append(
-            PaqEntry(prediction.addr, prediction.size, prediction.way, fetch_cycle)
+            PaqEntry(
+                prediction.addr, prediction.size, prediction.way, fetch_cycle,
+                bypass=not queue,
+            )
         )
         paq.enqueued += 1
 
@@ -365,6 +396,8 @@ class DlvpEngine:
                 paq.dropped += 1
                 continue
             paq.serviced += 1
+            if candidate.bypass:
+                paq.bypassed += 1
             entry = candidate
             break
         if entry is None:
@@ -458,13 +491,17 @@ class DlvpEngine:
 
         # Train the address predictor with the executed load.
         if self._is_pap:
-            self.predictor.train(
+            train_outcome = self.predictor.train(
                 handle.apt_index,
                 handle.apt_tag,
                 mem_addr,
                 inst.mem_size,
                 actual_way,
             )
+            if self._tracer is not None:
+                self._tracer.on_apt_train(
+                    inst.pc, handle.apt_index, handle.apt_tag, train_outcome
+                )
         else:
             self.predictor.train(inst.pc, mem_addr)
 
@@ -503,6 +540,11 @@ class DlvpEngine:
         implementation (and the entry point for callers that want the
         address-prediction outcome too).
         """
+        if self._tracer is not None:
+            outcome = self.on_load_execute(
+                handle, inst, actual_way, value_predicted, predicted
+            )
+            return outcome.value_predicted, outcome.value_correct
         mem_addr = inst.mem_addr
         stats = self.stats
         stats.loads_seen += 1

@@ -14,15 +14,31 @@ from collections import deque
 
 
 class PaqEntry:
-    """One queued predicted address."""
+    """One queued predicted address.
 
-    __slots__ = ("addr", "size", "way", "allocated_cycle")
+    ``bypass`` marks an entry that entered an *empty* queue: if it is
+    subsequently serviced, its probe went straight through without
+    waiting behind older predictions — the Section 3.2.2 bypass.  The
+    flag is set by :meth:`PredictedAddressQueue.push` and only counted
+    when the entry is actually serviced; an empty-queue entry that ages
+    out or is flushed never bypassed anything.
+    """
 
-    def __init__(self, addr: int, size: int, way: int | None, allocated_cycle: int) -> None:
+    __slots__ = ("addr", "size", "way", "allocated_cycle", "bypass")
+
+    def __init__(
+        self,
+        addr: int,
+        size: int,
+        way: int | None,
+        allocated_cycle: int,
+        bypass: bool = False,
+    ) -> None:
         self.addr = addr
         self.size = size
         self.way = way
         self.allocated_cycle = allocated_cycle
+        self.bypass = bypass
 
 
 class PredictedAddressQueue:
@@ -40,6 +56,11 @@ class PredictedAddressQueue:
         self.serviced = 0
         self.bypassed = 0
         self.flushed = 0
+        self._tracer = None
+
+    def attach_tracer(self, tracer) -> None:
+        """Opt into per-event instrumentation (see :mod:`repro.observe`)."""
+        self._tracer = tracer
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -58,14 +79,25 @@ class PredictedAddressQueue:
         return self.dropped / eligible
 
     def push(self, entry: PaqEntry) -> bool:
-        """Enqueue; returns False (and counts a rejection) when full."""
+        """Enqueue; returns False (and counts a rejection) when full.
+
+        An entry entering an empty queue is only *marked* as a bypass
+        candidate; ``bypassed`` is counted by :meth:`service` when the
+        entry's probe actually issues, so entries that age out or are
+        flushed before servicing never inflate the bypass count.
+        """
         if len(self._queue) >= self.capacity:
             self.rejected_full += 1
+            if self._tracer is not None:
+                self._tracer.on_paq_reject(entry.allocated_cycle, entry.addr)
             return False
-        if not self._queue:
-            self.bypassed += 1
+        entry.bypass = not self._queue
         self._queue.append(entry)
         self.enqueued += 1
+        if self._tracer is not None:
+            self._tracer.on_paq_enqueue(
+                entry.allocated_cycle, entry.addr, len(self._queue)
+            )
         return True
 
     def service(self, cycle: int) -> PaqEntry | None:
@@ -78,8 +110,16 @@ class PredictedAddressQueue:
             entry = self._queue.popleft()
             if cycle - entry.allocated_cycle > self.drop_cycles:
                 self.dropped += 1
+                if self._tracer is not None:
+                    self._tracer.on_paq_drop(
+                        cycle, entry.addr, cycle - entry.allocated_cycle
+                    )
                 continue
             self.serviced += 1
+            if entry.bypass:
+                self.bypassed += 1
+            if self._tracer is not None:
+                self._tracer.on_paq_service(cycle, entry.addr, entry.bypass)
             return entry
         return None
 
@@ -90,5 +130,8 @@ class PredictedAddressQueue:
         ``serviced + dropped + flushed + len(queue) == enqueued`` always
         holds.
         """
-        self.flushed += len(self._queue)
+        cleared = len(self._queue)
+        self.flushed += cleared
         self._queue.clear()
+        if cleared and self._tracer is not None:
+            self._tracer.on_paq_flush(cleared)

@@ -1,0 +1,89 @@
+"""Flight recorder — the last N events preceding a failure.
+
+A bounded ring buffer over the firehose: cheap enough to leave on for
+long runs, and when a simulation dies (a real exception or an injected
+``raise`` fault from :mod:`repro.faults`) the tail of the buffer is the
+black-box record of what the machine was doing right before the end.
+
+:class:`FaultTripwire` is the observe-side integration with the fault
+plan grammar: a ``raise`` rule that selects a traced run arms a
+deterministic mid-run trip (at half the instruction count by default),
+so the flight recorder's dump can be exercised — and asserted on — at
+a reproducible point inside ``simulate()`` rather than before it runs.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any
+
+from repro.faults.plan import FaultInjected, FaultRule
+from repro.observe.tracer import Tracer
+
+DEFAULT_CAPACITY = 256
+
+
+class FlightRecorder(Tracer):
+    """Ring buffer of the most recent events, dumpable on failure."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._ring: deque[dict] = deque(maxlen=capacity)
+        self.seen = 0
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        self.seen += 1
+        fields["kind"] = kind
+        self._ring.append(fields)
+
+    def on_run_end(self, result: Any) -> None:
+        # Keep the tail focused on pre-failure events; a clean run end
+        # is still recorded so dumps distinguish "finished" from "died".
+        self.emit("run_end", cycles=result.cycles, instructions=result.instructions)
+
+    def dump(self) -> list[dict]:
+        """The buffered tail, oldest first."""
+        return list(self._ring)
+
+    def write(self, path) -> None:
+        payload = {
+            "events_seen": self.seen,
+            "capacity": self.capacity,
+            "tail": self.dump(),
+        }
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, default=str)
+
+
+class FaultTripwire(Tracer):
+    """Raise an injected fault mid-simulation, deterministically.
+
+    Armed from a ``raise`` rule of a :class:`repro.faults.FaultPlan`;
+    trips when the committed-instruction index reaches ``trip_at``
+    (default: half the run, fixed at ``on_run_start``).  The other
+    fault kinds (crash/hang/slow/corrupt_cache) stay worker-side in
+    :func:`repro.faults.inject` — only ``raise`` moves inside the run,
+    because only it needs to interact with the flight recorder.
+    """
+
+    def __init__(self, rule: FaultRule, trip_at: int | None = None) -> None:
+        if rule.kind != "raise":
+            raise ValueError(f"tripwire needs a raise rule, got {rule.kind!r}")
+        self.rule = rule
+        self.trip_at = trip_at
+        self.tripped = False
+
+    def on_run_start(self, trace_name: str, scheme_name: str, instructions: int) -> None:
+        if self.trip_at is None:
+            self.trip_at = max(1, instructions // 2)
+
+    def on_commit(self, index: int, cycle: int, op: Any) -> None:
+        if not self.tripped and self.trip_at is not None and index >= self.trip_at:
+            self.tripped = True
+            raise FaultInjected(
+                f"injected fault ({self.rule.clause()}) at instruction "
+                f"{index}, cycle {cycle}"
+            )

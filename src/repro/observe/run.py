@@ -1,0 +1,86 @@
+"""run_traced — one simulation under a full observability stack.
+
+Assembles the standard backend stack (interval metrics, Chrome trace
+export, flight recorder, optional fault tripwire), runs ``simulate``,
+and on failure persists the flight-recorder tail — to a dump file
+beside the requested trace output and, when a journal is given, as a
+``flight_recorder_dump`` journal event — before re-raising.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.observe.chrome import ChromeTraceExporter
+from repro.observe.flight import FaultTripwire, FlightRecorder
+from repro.observe.interval import DEFAULT_INTERVAL, IntervalMetricsCollector
+from repro.observe.tracer import MultiTracer
+from repro.pipeline.core_model import simulate
+
+
+class TracedRun:
+    """The stack for one traced simulation plus its outcome."""
+
+    def __init__(
+        self,
+        interval: int = DEFAULT_INTERVAL,
+        flight_capacity: int = 256,
+        tripwire: FaultTripwire | None = None,
+    ) -> None:
+        self.intervals = IntervalMetricsCollector(interval=interval)
+        self.chrome = ChromeTraceExporter()
+        self.flight = FlightRecorder(capacity=flight_capacity)
+        backends = [self.intervals, self.chrome, self.flight]
+        if tripwire is not None:
+            backends.append(tripwire)
+        self.tracer = MultiTracer(*backends)
+        self.result = None
+
+
+def run_traced(
+    trace,
+    scheme=None,
+    *,
+    recovery=None,
+    interval: int = DEFAULT_INTERVAL,
+    flight_capacity: int = 256,
+    tripwire: FaultTripwire | None = None,
+    out: str | Path | None = None,
+    journal=None,
+) -> TracedRun:
+    """Simulate ``trace`` with the full observability stack attached.
+
+    Returns the :class:`TracedRun` whose ``result`` carries interval
+    rows.  When the run dies (any exception, including an injected
+    :class:`repro.faults.FaultInjected` from ``tripwire``), the flight
+    recorder tail is written to ``<out>.flight.json`` (when ``out`` is
+    given) and journaled as a ``flight_recorder_dump`` event (when
+    ``journal`` is given); the exception then propagates.
+    """
+    run = TracedRun(
+        interval=interval, flight_capacity=flight_capacity, tripwire=tripwire
+    )
+    kwargs = {"scheme": scheme, "tracer": run.tracer}
+    if recovery is not None:
+        kwargs["recovery"] = recovery
+    try:
+        run.result = simulate(trace, **kwargs)
+    except BaseException as exc:
+        dump_path = None
+        if out is not None:
+            dump_path = Path(out).with_suffix(".flight.json")
+            run.flight.write(dump_path)
+        if journal is not None:
+            journal.event(
+                "flight_recorder_dump",
+                trace=trace.name,
+                scheme=scheme.name if scheme is not None else "baseline",
+                error=f"{type(exc).__name__}: {exc}",
+                events_seen=run.flight.seen,
+                dump_path=str(dump_path) if dump_path is not None else None,
+                tail=run.flight.dump()[-32:],
+            )
+        raise
+    if out is not None:
+        run.chrome.write(out)
+    return run

@@ -1,0 +1,191 @@
+"""Tracer protocol — the event taxonomy of the observability layer.
+
+Every instrumentable component (the timing model, DLVP engine, PAQ,
+LSCD, PVT, memory hierarchy) accepts an optional tracer through an
+``attach_tracer`` method and fires the hooks below behind a single
+``tracer is not None`` guard.  With no tracer attached the simulator
+runs its PR 3 inlined fast paths untouched — zero overhead, bit
+-identical results.  With one attached, the guarded sites dispatch to
+the reference implementations, which are golden-verified to match the
+inlined paths exactly.
+
+:class:`Tracer` is a concrete no-op base, not an ABC: backends override
+only the hooks they care about.  Every default hook forwards to
+:meth:`Tracer.emit` with the event kind and keyword fields, so firehose
+backends (Chrome trace export, the flight recorder) override a single
+method and see every event uniformly.
+
+Event taxonomy
+--------------
+
+==================  ====================================================
+hook                meaning
+==================  ====================================================
+on_run_start        simulation begins (trace, scheme, instruction count)
+on_run_end          simulation finished; receives the ``SimResult``
+on_commit           an instruction committed
+on_fetch_predict    fetch-side prediction attempt for a load
+on_vpe_verdict      value-prediction validation outcome at execute
+on_recovery         pipeline flush (``kind`` is ``branch`` or ``value``)
+on_demand_access    demand load/store reached the memory hierarchy
+on_probe            DLVP speculative L1 probe resolved
+on_paq_enqueue      PAQ accepted a predicted address
+on_paq_reject       PAQ full; prediction dropped at enqueue
+on_paq_drop         PAQ entry aged out before its probe issued
+on_paq_service      PAQ entry's probe issued (``bypass``: queue was
+                    empty when it entered)
+on_paq_flush        pipeline flush cleared the PAQ
+on_lscd_filter      LSCD barred a load from predicting/training
+on_lscd_insert      conflicting load PC recorded in the LSCD
+on_pvt_reject       PVT full; prediction became a no-prediction
+on_apt_train        APT trained (outcome: allocate/evict/decay/
+                    confirm/hold/reset)
+==================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class Tracer:
+    """No-op base tracer; subclass and override what you need."""
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        """Generic sink every default hook forwards to.  No-op here."""
+
+    # ---- run lifecycle --------------------------------------------------
+
+    def on_run_start(self, trace_name: str, scheme_name: str, instructions: int) -> None:
+        self.emit(
+            "run_start",
+            trace=trace_name,
+            scheme=scheme_name,
+            instructions=instructions,
+        )
+
+    def on_run_end(self, result: Any) -> None:
+        self.emit("run_end", cycles=result.cycles, instructions=result.instructions)
+
+    # ---- core pipeline --------------------------------------------------
+
+    def on_commit(self, index: int, cycle: int, op: Any) -> None:
+        self.emit("commit", index=index, cycle=cycle, op=str(op))
+
+    def on_fetch_predict(
+        self, cycle: int, pc: int, slot: int | None, predicted: bool
+    ) -> None:
+        self.emit("fetch_predict", cycle=cycle, pc=pc, slot=slot, predicted=predicted)
+
+    def on_vpe_verdict(self, cycle: int, pc: int, predicted: bool, correct: bool) -> None:
+        self.emit("vpe_verdict", cycle=cycle, pc=pc, predicted=predicted, correct=correct)
+
+    def on_recovery(self, cycle: int, kind: str, pc: int) -> None:
+        # Field named ``reason`` (not ``kind``) so it can't collide with
+        # emit()'s event-kind positional.
+        self.emit("recovery", cycle=cycle, reason=kind, pc=pc)
+
+    # ---- memory hierarchy -----------------------------------------------
+
+    def on_demand_access(
+        self,
+        pc: int,
+        addr: int,
+        is_store: bool,
+        latency: int,
+        l1_hit: bool,
+        tlb_hit: bool,
+    ) -> None:
+        self.emit(
+            "demand_access",
+            pc=pc,
+            addr=addr,
+            is_store=is_store,
+            latency=latency,
+            l1_hit=l1_hit,
+            tlb_hit=tlb_hit,
+        )
+
+    def on_probe(
+        self,
+        cycle: int,
+        pc: int,
+        addr: int,
+        hit: bool,
+        way_predicted: bool,
+        way_mispredicted: bool,
+    ) -> None:
+        self.emit(
+            "probe",
+            cycle=cycle,
+            pc=pc,
+            addr=addr,
+            hit=hit,
+            way_predicted=way_predicted,
+            way_mispredicted=way_mispredicted,
+        )
+
+    # ---- PAQ -------------------------------------------------------------
+
+    def on_paq_enqueue(self, cycle: int, addr: int, occupancy: int) -> None:
+        self.emit("paq_enqueue", cycle=cycle, addr=addr, occupancy=occupancy)
+
+    def on_paq_reject(self, cycle: int, addr: int) -> None:
+        self.emit("paq_reject", cycle=cycle, addr=addr)
+
+    def on_paq_drop(self, cycle: int, addr: int, age: int) -> None:
+        self.emit("paq_drop", cycle=cycle, addr=addr, age=age)
+
+    def on_paq_service(self, cycle: int, addr: int, bypass: bool) -> None:
+        self.emit("paq_service", cycle=cycle, addr=addr, bypass=bypass)
+
+    def on_paq_flush(self, cleared: int) -> None:
+        self.emit("paq_flush", cleared=cleared)
+
+    # ---- LSCD / PVT / APT ------------------------------------------------
+
+    def on_lscd_filter(self, pc: int) -> None:
+        self.emit("lscd_filter", pc=pc)
+
+    def on_lscd_insert(self, pc: int, evicted: int | None, refreshed: bool) -> None:
+        self.emit("lscd_insert", pc=pc, evicted=evicted, refreshed=refreshed)
+
+    def on_pvt_reject(self, cycle: int, registers: int, occupied: int) -> None:
+        self.emit("pvt_reject", cycle=cycle, registers=registers, occupied=occupied)
+
+    def on_apt_train(self, pc: int, index: int, tag: int, outcome: str) -> None:
+        self.emit("apt_train", pc=pc, index=index, tag=tag, outcome=outcome)
+
+
+#: Hook names fanned out by :class:`MultiTracer`, and the full event
+#: surface a backend may override.
+HOOKS = tuple(name for name in vars(Tracer) if name.startswith("on_"))
+
+
+class MultiTracer(Tracer):
+    """Fan a single tracer attachment out to several backends.
+
+    The simulator components hold one tracer reference each; stacking
+    (e.g. interval metrics + Chrome export + flight recorder in one
+    run) goes through this class.
+    """
+
+    def __init__(self, *tracers: Tracer) -> None:
+        self.tracers = [t for t in tracers if t is not None]
+
+    def __iter__(self):
+        return iter(self.tracers)
+
+
+def _make_fanout(name: str):
+    def fanout(self, *args, **kwargs):
+        for tracer in self.tracers:
+            getattr(tracer, name)(*args, **kwargs)
+
+    fanout.__name__ = name
+    return fanout
+
+
+for _name in HOOKS:
+    setattr(MultiTracer, _name, _make_fanout(_name))
+del _name

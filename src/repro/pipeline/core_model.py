@@ -101,6 +101,7 @@ def simulate(
     core_config: CoreConfig | None = None,
     hierarchy_config: HierarchyConfig | None = None,
     recovery: RecoveryMode = RecoveryMode.FLUSH,
+    tracer: "object | None" = None,
 ) -> SimResult:
     """Run one trace through the core model.
 
@@ -110,6 +111,15 @@ def simulate(
         core_config: Core parameters (Table 4 defaults).
         hierarchy_config: Memory-hierarchy parameters.
         recovery: Value-misprediction recovery model (Figure 10).
+        tracer: A :class:`repro.observe.Tracer` (or anything matching
+            its hook protocol) for opt-in instrumentation, or None (the
+            default).  The zero-overhead contract: with ``tracer=None``
+            every hook site below is a single pre-hoisted ``traced``
+            boolean test (or untouched fast-path code), so outcomes and
+            throughput are identical to an untraced build; with a
+            tracer attached the inlined demand-access/DLVP paths route
+            through their reference implementations so component hooks
+            fire, at identical simulated outcomes.
 
     Returns:
         A :class:`SimResult`; compare runs of the same trace with
@@ -122,6 +132,16 @@ def simulate(
     mdp = StoreSetsPredictor()
     if scheme is not None:
         scheme.bind(hierarchy, image, branch_unit)
+    traced = tracer is not None
+    if traced:
+        hierarchy.attach_tracer(tracer)
+        if scheme is not None:
+            scheme.attach_tracer(tracer)
+        tracer.on_run_start(
+            trace.name,
+            scheme.name if scheme is not None else "baseline",
+            len(trace),
+        )
 
     n = len(trace)
     commit_cycles = [0] * n
@@ -200,6 +220,7 @@ def simulate(
     prefetcher = hierarchy.prefetcher
     prefetch_observe = prefetcher.observe if prefetcher is not None else None
     prefetch_fill = hierarchy.prefetch_fill
+    hierarchy_access = hierarchy.access
     image_write = image.write
     branch_resolve = branch_unit.resolve
     mdp_load_dependence = mdp.load_dependence
@@ -293,6 +314,11 @@ def simulate(
             # cycles, so a bubble is essentially always available now;
             # the paper measures <0.1% of PAQ entries aging out.
             sp = scheme_fetch_side(inst, fetch_cycle, load_slot, fetch_cycle + 2)
+            if traced:
+                tracer.on_fetch_predict(
+                    fetch_cycle, pc, load_slot,
+                    sp is not None and sp.values is not None,
+                )
 
         # ---- issue timing -----------------------------------------------
         src_ready = 0
@@ -320,38 +346,49 @@ def simulate(
                 issue += 1
                 count = ls_busy_get(issue, 0)
             ls_busy[issue] = count + 1
-            # hierarchy.access(), inlined: TLB, then L1, then prefetcher.
-            demand_accesses += 1
-            block = addr >> tlb_shift
-            set_idx = block & tlb_mask
-            way = tlb_where[set_idx].get(block)
-            if way is not None:
-                lru = tlb_lru[set_idx]
-                if lru[0] != way:
-                    lru.remove(way)
-                    lru.insert(0, way)
-                tlb_stats.hits += 1
-                acc_latency = l1_latency
+            if traced:
+                # Reference demand access: behaviourally identical to
+                # the inline copy below and fires on_demand_access; the
+                # local demand_accesses mirror keeps the end-of-run
+                # write-back consistent.
+                demand_accesses += 1
+                acc = hierarchy_access(pc, addr)
+                acc_latency = acc.latency
+                acc_way = acc.way
             else:
-                tlb_stats.misses += 1
-                tlb_fill(addr)
-                acc_latency = l1_latency + tlb_penalty
-            block = addr >> l1_shift
-            set_idx = block & l1_mask
-            acc_way = l1_where[set_idx].get(block)
-            if acc_way is not None:
-                lru = l1_lru[set_idx]
-                if lru[0] != acc_way:
-                    lru.remove(acc_way)
-                    lru.insert(0, acc_way)
-                l1_stats.hits += 1
-            else:
-                l1_stats.misses += 1
-                acc_way = l1_fill(addr)
-                acc_latency += fill_from_below(addr)
-            if prefetch_observe is not None:
-                for target in prefetch_observe(pc, addr):
-                    prefetch_fill(target)
+                # hierarchy.access(), inlined: TLB, then L1, then
+                # prefetcher.
+                demand_accesses += 1
+                block = addr >> tlb_shift
+                set_idx = block & tlb_mask
+                way = tlb_where[set_idx].get(block)
+                if way is not None:
+                    lru = tlb_lru[set_idx]
+                    if lru[0] != way:
+                        lru.remove(way)
+                        lru.insert(0, way)
+                    tlb_stats.hits += 1
+                    acc_latency = l1_latency
+                else:
+                    tlb_stats.misses += 1
+                    tlb_fill(addr)
+                    acc_latency = l1_latency + tlb_penalty
+                block = addr >> l1_shift
+                set_idx = block & l1_mask
+                acc_way = l1_where[set_idx].get(block)
+                if acc_way is not None:
+                    lru = l1_lru[set_idx]
+                    if lru[0] != acc_way:
+                        lru.remove(acc_way)
+                        lru.insert(0, acc_way)
+                    l1_stats.hits += 1
+                else:
+                    l1_stats.misses += 1
+                    acc_way = l1_fill(addr)
+                    acc_latency += fill_from_below(addr)
+                if prefetch_observe is not None:
+                    for target in prefetch_observe(pc, addr):
+                        prefetch_fill(target)
             # inst.footprint_bytes, inlined (op is LOAD here).
             nbytes = inst.mem_size * (len(inst.dests) or 1)
             first = addr >> 2
@@ -375,34 +412,38 @@ def simulate(
         elif op is STORE:
             addr = inst.mem_addr
             mdp_store_fetched(pc, i)
-            # hierarchy.access(is_store=True), inlined: TLB then L1, no
-            # prefetcher training on stores.
-            demand_accesses += 1
-            block = addr >> tlb_shift
-            set_idx = block & tlb_mask
-            way = tlb_where[set_idx].get(block)
-            if way is not None:
-                lru = tlb_lru[set_idx]
-                if lru[0] != way:
-                    lru.remove(way)
-                    lru.insert(0, way)
-                tlb_stats.hits += 1
+            if traced:
+                demand_accesses += 1
+                acc_way = hierarchy_access(pc, addr, is_store=True).way
             else:
-                tlb_stats.misses += 1
-                tlb_fill(addr)
-            block = addr >> l1_shift
-            set_idx = block & l1_mask
-            acc_way = l1_where[set_idx].get(block)
-            if acc_way is not None:
-                lru = l1_lru[set_idx]
-                if lru[0] != acc_way:
-                    lru.remove(acc_way)
-                    lru.insert(0, acc_way)
-                l1_stats.hits += 1
-            else:
-                l1_stats.misses += 1
-                acc_way = l1_fill(addr)
-                fill_from_below(addr)
+                # hierarchy.access(is_store=True), inlined: TLB then L1,
+                # no prefetcher training on stores.
+                demand_accesses += 1
+                block = addr >> tlb_shift
+                set_idx = block & tlb_mask
+                way = tlb_where[set_idx].get(block)
+                if way is not None:
+                    lru = tlb_lru[set_idx]
+                    if lru[0] != way:
+                        lru.remove(way)
+                        lru.insert(0, way)
+                    tlb_stats.hits += 1
+                else:
+                    tlb_stats.misses += 1
+                    tlb_fill(addr)
+                block = addr >> l1_shift
+                set_idx = block & l1_mask
+                acc_way = l1_where[set_idx].get(block)
+                if acc_way is not None:
+                    lru = l1_lru[set_idx]
+                    if lru[0] != acc_way:
+                        lru.remove(acc_way)
+                        lru.insert(0, acc_way)
+                    l1_stats.hits += 1
+                else:
+                    l1_stats.misses += 1
+                    acc_way = l1_fill(addr)
+                    fill_from_below(addr)
             issue = ready
             count = ls_busy_get(issue, 0)
             while count >= ls_width:
@@ -447,6 +488,8 @@ def simulate(
                 force_new_group = True
                 if scheme is not None:
                     scheme.on_branch_flush()
+                if traced:
+                    tracer.on_recovery(done, "branch", pc)
 
         # ---- value prediction resolution ---------------------------------
         value_predicted = False
@@ -459,6 +502,8 @@ def simulate(
                 else:
                     vpe_stats.pvt_rejections += 1
             value_correct = scheme_execute_side(inst, sp, acc_way, value_predicted)[1]
+            if traced and sp.values is not None:
+                tracer.on_vpe_verdict(done, pc, value_predicted, value_correct)
             if value_predicted:
                 vpe_stats.value_predictions += 1
                 if value_correct:
@@ -473,6 +518,8 @@ def simulate(
                     pending_redirect = done + 1 + validation_penalty
                     force_new_group = True
                     scheme.on_value_flush()
+                    if traced:
+                        tracer.on_recovery(done, "value", pc)
                     for reg in inst.dests:
                         reg_ready[reg] = done
         if not value_predicted:
@@ -493,6 +540,8 @@ def simulate(
             commits_in_cycle = 1
         last_commit_cycle = cc
         commit_cycles[i] = cc
+        if traced:
+            tracer.on_commit(i, cc, op)
         if op is LOAD:
             load_commits.append(cc)
         elif op is STORE:
@@ -536,7 +585,7 @@ def simulate(
     tlb_miss_rate = (
         tlb_stats.misses / tlb_stats.accesses if tlb_stats.accesses else 0.0
     )
-    return SimResult(
+    result = SimResult(
         trace_name=trace.name,
         scheme_name=scheme_name,
         instructions=n,
@@ -551,3 +600,6 @@ def simulate(
         energy=energy,
         scheme_stats=scheme_stats,
     )
+    if traced:
+        tracer.on_run_end(result)
+    return result

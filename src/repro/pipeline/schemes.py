@@ -78,6 +78,15 @@ class Scheme(abc.ABC):
         self.image = image
         self.branch_unit = branch_unit
 
+    def attach_tracer(self, tracer) -> None:
+        """Propagate a tracer to this scheme's components (after bind).
+
+        The base implementation covers the VPE/PVT every scheme owns;
+        schemes with more machinery (DLVP's engine, the tournament's
+        sub-schemes) extend it.
+        """
+        self.vpe.attach_tracer(tracer)
+
     @abc.abstractmethod
     def fetch_side(
         self,
@@ -184,6 +193,11 @@ class DlvpScheme(Scheme):
         self._fetch_probe_predict = self.engine.fetch_probe_predict
         self._execute_train = self.engine.execute_train
         self._on_unpredicted = self.engine.on_load_fetch_unpredicted
+
+    def attach_tracer(self, tracer) -> None:
+        super().attach_tracer(tracer)
+        if self.engine is not None:
+            self.engine.attach_tracer(tracer)
 
     def fetch_side(self, inst, fetch_cycle, load_slot, probe_cycle):
         if inst.op != OpClass.LOAD:
@@ -396,6 +410,11 @@ class TournamentScheme(Scheme):
         super().bind(hierarchy, image, branch_unit)
         self.dlvp.bind(hierarchy, image, branch_unit)
         self.vtage.bind(hierarchy, image, branch_unit)
+
+    def attach_tracer(self, tracer) -> None:
+        super().attach_tracer(tracer)
+        self.dlvp.attach_tracer(tracer)
+        self.vtage.attach_tracer(tracer)
 
     def fetch_side(self, inst, fetch_cycle, load_slot, probe_cycle):
         if inst.op != OpClass.LOAD:

@@ -16,12 +16,14 @@ from dataclasses import dataclass, field
 from repro.core.dlvp import DlvpStats
 from repro.predictors.base import PredictorStats
 
-RESULT_SCHEMA_VERSION = 2
+RESULT_SCHEMA_VERSION = 3
 
 # Older schemas this build can still read.  v1 payloads predate the
 # way-predicted-probe energy split and the PAQ flush counter; both load
 # as zero via dataclass defaults, which matches the old accounting.
-_COMPATIBLE_SCHEMA_VERSIONS = frozenset({1, RESULT_SCHEMA_VERSION})
+# v2 payloads predate the optional ``intervals`` field (interval
+# metrics from traced runs), which loads as ``None``.
+_COMPATIBLE_SCHEMA_VERSIONS = frozenset({1, 2, RESULT_SCHEMA_VERSION})
 
 _STATS_TYPES: dict[str, type] = {}
 
@@ -124,6 +126,9 @@ class SimResult:
     tlb_miss_rate: float = 0.0
     energy: EnergyEvents = field(default_factory=EnergyEvents)
     scheme_stats: object | None = None
+    # Per-interval metric rows (list of JSON-safe dicts) filled in by
+    # the interval-metrics tracer backend; ``None`` for untraced runs.
+    intervals: list | None = None
 
     @property
     def ipc(self) -> float:
@@ -167,6 +172,7 @@ class SimResult:
             "tlb_miss_rate": self.tlb_miss_rate,
             "energy": dataclasses.asdict(self.energy),
             "scheme_stats": stats_to_dict(self.scheme_stats),
+            "intervals": self.intervals,
         }
 
     @classmethod
@@ -192,6 +198,7 @@ class SimResult:
             tlb_miss_rate=data["tlb_miss_rate"],
             energy=EnergyEvents(**data["energy"]),
             scheme_stats=stats_from_dict(data["scheme_stats"]),
+            intervals=data.get("intervals"),
         )
 
 

@@ -18,6 +18,28 @@ from collections.abc import Sequence
 PAP_FPC_VECTOR: tuple[float, ...] = (1.0, 0.5, 0.25)
 VTAGE_FPC_VECTOR: tuple[float, ...] = (1.0, 0.5, 0.25, 0.125, 0.0625, 0.03125, 0.015625)
 
+# Default stream for counters constructed without an explicit RNG.
+# Shared (module-level) on purpose: a *per-instance* Random(seed) here
+# would hand every default-constructed counter the identical sequence,
+# so they would all fire their probabilistic transitions in lockstep —
+# correlated confidence ramps across APT entries instead of independent
+# geometric saturation.  One seeded stream keeps runs reproducible
+# while decorrelating counters; predictors that own many counters
+# thread their own per-predictor Random through all of them instead.
+_SHARED_DEFAULT_RNG = random.Random(0xF9C)
+
+
+def fpc_advance(rng: random.Random, vector: Sequence[float], level: int) -> bool:
+    """One forward-transition attempt of an FPC sitting at ``level``.
+
+    Strict ``<``: ``rng.random()`` is uniform on [0, 1), so ``< p``
+    fires with probability exactly ``p``, while ``<= p`` adds a 2**-53
+    bias.  Every FPC user (the PAP/APT train path, LVP, VTAGE, D-VTAGE,
+    the stride predictor) goes through this helper so the comparison
+    semantics cannot drift between inlined copies again.
+    """
+    return rng.random() < vector[level]
+
 
 class ForwardProbabilisticCounter:
     """An FPC: forward transitions are probabilistic, resets are certain.
@@ -33,7 +55,7 @@ class ForwardProbabilisticCounter:
         if any(not 0.0 < p <= 1.0 for p in vector):
             raise ValueError("FPC probabilities must be in (0, 1]")
         self.vector = tuple(vector)
-        self._rng = rng or random.Random(0xF9C)
+        self._rng = rng if rng is not None else _SHARED_DEFAULT_RNG
         self.value = 0
 
     @property
@@ -48,7 +70,7 @@ class ForwardProbabilisticCounter:
         """Attempt a forward transition; returns True if it fired."""
         if self.saturated:
             return False
-        if self._rng.random() <= self.vector[self.value]:
+        if fpc_advance(self._rng, self.vector, self.value):
             self.value += 1
             return True
         return False

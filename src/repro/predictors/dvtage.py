@@ -26,7 +26,7 @@ from dataclasses import dataclass
 
 from repro.isa import Instruction, OpClass
 from repro.predictors.base import PredictorStats
-from repro.predictors.confidence import VTAGE_FPC_VECTOR
+from repro.predictors.confidence import VTAGE_FPC_VECTOR, fpc_advance
 from repro.predictors.vtage import _FILTERED_TYPES, instruction_type
 from repro.branch.history import fold_history
 
@@ -178,7 +178,7 @@ class DvtagePredictor:
             _, _, entry = provider
             if observed is not None and entry.stride == observed:
                 if entry.confidence < len(cfg.fpc_vector):
-                    if self._rng.random() <= cfg.fpc_vector[entry.confidence]:
+                    if fpc_advance(self._rng, cfg.fpc_vector, entry.confidence):
                         entry.confidence += 1
                 return
             if entry.confidence == 0 and observed is not None:

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 from repro.isa import Instruction, OpClass
 from repro.predictors.base import PredictorStats
-from repro.predictors.confidence import VTAGE_FPC_VECTOR
+from repro.predictors.confidence import VTAGE_FPC_VECTOR, fpc_advance
 
 
 @dataclass
@@ -71,7 +71,7 @@ class LastValuePredictor:
             return
         if entry.value == value:
             if entry.confidence < len(self.fpc_vector):
-                if self._rng.random() <= self.fpc_vector[entry.confidence]:
+                if fpc_advance(self._rng, self.fpc_vector, entry.confidence):
                     entry.confidence += 1
         else:
             entry.value = value

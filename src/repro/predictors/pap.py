@@ -26,12 +26,21 @@ import random
 from dataclasses import dataclass
 
 from repro.predictors.base import AddressPrediction, PredictorStats
-from repro.predictors.confidence import PAP_FPC_VECTOR
+from repro.predictors.confidence import PAP_FPC_VECTOR, fpc_advance
 from repro.predictors.history import LoadPathHistory
 from repro.branch.history import fold_history
 
 _SIZE_CODES = {4: 0, 8: 1, 16: 2, 32: 3}
 _SIZE_FROM_CODE = {code: size for size, code in _SIZE_CODES.items()}
+
+# Outcome codes returned by PapPredictor.train — what happened to the
+# probed APT entry.  Interned string constants so returning one is free.
+TRAIN_ALLOCATE = "allocate"    # empty slot claimed by this load
+TRAIN_EVICT = "evict"          # zero-confidence victim replaced
+TRAIN_DECAY = "decay"          # confident victim survived; confidence -1
+TRAIN_CONFIRM = "confirm"      # address match; confidence advanced
+TRAIN_HOLD = "hold"            # address match; probabilistic advance missed
+TRAIN_RESET = "reset"          # address mismatch on a hit; retrain in place
 
 
 def encode_size(size_bytes: int) -> int:
@@ -185,11 +194,15 @@ class PapPredictor:
         addr: int,
         size: int,
         way: int | None = None,
-    ) -> None:
+    ) -> str:
         """Train the APT with an executed load (Section 3.1.2).
 
         ``index``/``tag`` must be the key computed when the load was
         fetched, so the update lands on the entry the prediction used.
+
+        Returns one of the ``TRAIN_*`` outcome codes (a module-level
+        string constant — returning one costs nothing on the hot path,
+        which ignores it; the tracer's ``apt_train`` events consume it).
         """
         cfg = self.config
         entry = self._entries[index]
@@ -198,25 +211,29 @@ class PapPredictor:
         if entry is None or entry.tag != tag:
             # APT miss.
             if cfg.allocation_policy == 1 or entry is None or entry.confidence == 0:
+                evicting = entry is not None
                 self._entries[index] = _AptEntry(tag, addr, size_code, way)
                 self.allocations += 1
-            else:
-                entry.confidence -= 1
-            return
+                return TRAIN_EVICT if evicting else TRAIN_ALLOCATE
+            entry.confidence -= 1
+            return TRAIN_DECAY
 
         # APT hit.
         if entry.addr == addr:
+            outcome = TRAIN_HOLD
             if entry.confidence < self._conf_max:
-                if self._rng.random() <= cfg.fpc_vector[entry.confidence]:
+                if fpc_advance(self._rng, cfg.fpc_vector, entry.confidence):
                     entry.confidence += 1
+                    outcome = TRAIN_CONFIRM
             entry.size_code = size_code
             entry.way = way
-        else:
-            self.confidence_resets += 1
-            entry.addr = addr
-            entry.size_code = size_code
-            entry.way = way
-            entry.confidence = 0
+            return outcome
+        self.confidence_resets += 1
+        entry.addr = addr
+        entry.size_code = size_code
+        entry.way = way
+        entry.confidence = 0
+        return TRAIN_RESET
 
     # -- accounting ---------------------------------------------------
 

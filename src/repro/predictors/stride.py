@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 from repro.isa import Instruction, OpClass
 from repro.predictors.base import PredictorStats
-from repro.predictors.confidence import VTAGE_FPC_VECTOR
+from repro.predictors.confidence import VTAGE_FPC_VECTOR, fpc_advance
 
 _MASK = (1 << 64) - 1
 
@@ -75,7 +75,7 @@ class StrideValuePredictor:
             if stride == entry.stride:
                 entry.stride_confirmed = True
                 if entry.confidence < len(self.fpc_vector):
-                    if self._rng.random() <= self.fpc_vector[entry.confidence]:
+                    if fpc_advance(self._rng, self.fpc_vector, entry.confidence):
                         entry.confidence += 1
             else:
                 entry.stride = stride

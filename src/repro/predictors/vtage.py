@@ -33,7 +33,7 @@ from dataclasses import dataclass
 
 from repro.isa import Instruction, OpClass
 from repro.predictors.base import PredictorStats
-from repro.predictors.confidence import VTAGE_FPC_VECTOR
+from repro.predictors.confidence import VTAGE_FPC_VECTOR, fpc_advance
 from repro.branch.history import fold_history
 
 
@@ -351,7 +351,7 @@ class VtagePredictor:
             assert entry is not None and entry.tag == tag
             if entry.value == target:
                 if entry.confidence < len(cfg.fpc_vector):
-                    if self._rng.random() <= cfg.fpc_vector[entry.confidence]:
+                    if fpc_advance(self._rng, cfg.fpc_vector, entry.confidence):
                         entry.confidence += 1
                 return
             if entry.confidence == 0:

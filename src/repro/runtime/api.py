@@ -94,6 +94,12 @@ class Runtime:
         resume_from: A journal path (or pre-read event list) whose
             completed jobs should be skipped and replayed from their
             journaled result payloads.
+        trace_dir: When set, every executed job runs under the full
+            observability stack (:mod:`repro.observe`) and writes its
+            Chrome trace (and, on failure, flight-recorder dump) into
+            this directory.  Traced jobs bypass cache *reads* — the
+            artifacts are the point — but their results are still
+            cached for later untraced sweeps.
     """
 
     def __init__(
@@ -109,8 +115,10 @@ class Runtime:
         timeout_factor: float | None = None,
         faults: FaultPlan | str | None = None,
         resume_from: str | Path | list[dict] | None = None,
+        trace_dir: str | Path | None = None,
     ) -> None:
         self.jobs = max(1, jobs)
+        self.trace_dir = str(trace_dir) if trace_dir is not None else None
         self.cache = (
             ResultCache(
                 cache_dir if cache_dir is not None else default_cache_dir(),
@@ -164,7 +172,11 @@ class Runtime:
                                    workload=job.workload,
                                    scheme=job.scheme_id)
                 continue
-            cached = self.cache.get(key) if self.cache is not None else None
+            cached = (
+                self.cache.get(key)
+                if self.cache is not None and not job.trace_dir
+                else None
+            )
             if cached is not None:
                 outcomes[key] = JobOutcome(job, "ok", result=cached, cache_hit=True)
                 self.journal.event("cache_hit", key=key, workload=job.workload,
@@ -284,7 +296,7 @@ class Runtime:
         jobs = {
             (scheme, workload): make_job(
                 workload, n_instructions, scheme, recovery=recovery,
-                timeout=self.timeout,
+                timeout=self.timeout, trace_dir=self.trace_dir,
             )
             for scheme in schemes
             for workload in workloads

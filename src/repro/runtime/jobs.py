@@ -81,6 +81,10 @@ class Job:
     recovery: str
     salt: str
     timeout: float | None = None
+    # Directory for observability artifacts (Chrome traces, flight
+    # dumps).  Like ``timeout`` it is not part of the key: tracing is
+    # bit-identical to not tracing, so the result is the same cell.
+    trace_dir: str | None = None
 
     @property
     def key(self) -> str:
@@ -112,6 +116,7 @@ def make_job(
     scheme_id: str = BASELINE_ID,
     recovery: RecoveryMode = RecoveryMode.FLUSH,
     timeout: float | None = None,
+    trace_dir: str | None = None,
 ) -> Job:
     """Build a job for a registered scheme id, filling hash metadata."""
     spec = get_scheme(scheme_id)
@@ -124,6 +129,7 @@ def make_job(
         recovery=recovery.value if isinstance(recovery, RecoveryMode) else str(recovery),
         salt=code_version_salt(),
         timeout=timeout,
+        trace_dir=trace_dir,
     )
 
 
@@ -171,6 +177,22 @@ def execute_job(
     cache = ResultCache(cache_dir) if cache_dir else None
     trace = _trace_for(job, cache)
     scheme = spec.build()
+    if job.trace_dir:
+        # Observability path: full tracer stack, Chrome trace written
+        # beside the flight dump.  Results stay bit-identical to the
+        # untraced fast path (golden-verified), just with intervals.
+        from repro.observe import run_traced
+
+        out_dir = Path(job.trace_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        out = out_dir / f"{job.workload}-{job.scheme_id}.trace.json"
+        run = run_traced(
+            trace,
+            scheme=scheme,
+            recovery=RecoveryMode(job.recovery),
+            out=out,
+        )
+        return run.result.to_dict()
     result = simulate(trace, scheme=scheme, recovery=RecoveryMode(job.recovery))
     return result.to_dict()
 

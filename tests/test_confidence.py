@@ -6,7 +6,21 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.predictors import ForwardProbabilisticCounter, SaturatingCounter
-from repro.predictors.confidence import PAP_FPC_VECTOR, VTAGE_FPC_VECTOR
+from repro.predictors.confidence import (
+    PAP_FPC_VECTOR,
+    VTAGE_FPC_VECTOR,
+    fpc_advance,
+)
+
+
+class _FixedRng:
+    """Stub RNG returning a fixed value from ``random()``."""
+
+    def __init__(self, value: float) -> None:
+        self.value = value
+
+    def random(self) -> float:
+        return self.value
 
 
 class TestFpc:
@@ -62,6 +76,46 @@ class TestFpc:
     def test_storage_bits(self):
         assert ForwardProbabilisticCounter(PAP_FPC_VECTOR).storage_bits == 2
         assert ForwardProbabilisticCounter(VTAGE_FPC_VECTOR).storage_bits == 3
+
+    def test_default_rng_counters_not_in_lockstep(self):
+        # Regression: each default-constructed FPC used to seed its own
+        # private Random(0xF9C), so every counter in a predictor bank
+        # drew the *same* stream and advanced in lockstep.  Defaults
+        # must share one RNG so two counters see different draws.
+        a = ForwardProbabilisticCounter(VTAGE_FPC_VECTOR)
+        b = ForwardProbabilisticCounter(VTAGE_FPC_VECTOR)
+        assert a._rng is b._rng
+        # Interleaved increments: with a shared stream the two
+        # trajectories diverge; in lockstep they'd be equal after every
+        # pair of steps.  512 interleaved steps on the 1/64-tail vector
+        # make coincidental equality astronomically unlikely.
+        trajectories_identical = True
+        for _ in range(512):
+            a.increment()
+            b.increment()
+            if a.value != b.value:
+                trajectories_identical = False
+        assert not trajectories_identical
+
+    def test_increment_uses_strict_less_than(self):
+        # Regression: increment() compared random() <= p, inconsistent
+        # with the inlined copies in the predictors, and wrong for
+        # random() in [0, 1): a probability-p transition must advance
+        # exactly when the draw lands in [0, p).
+        fpc = ForwardProbabilisticCounter((1.0, 0.5, 0.25), rng=_FixedRng(0.5))
+        fpc.increment()                 # level 0: p=1.0, always advances
+        assert fpc.value == 1
+        assert not fpc.increment()      # draw 0.5 vs p 0.5: must NOT advance
+        assert fpc.value == 1
+        fpc._rng = _FixedRng(0.49999)
+        assert fpc.increment()          # draw just under p: advances
+        assert fpc.value == 2
+
+    def test_fpc_advance_boundary(self):
+        vector = (1.0, 0.5)
+        assert fpc_advance(_FixedRng(0.0), vector, 1)
+        assert not fpc_advance(_FixedRng(0.5), vector, 1)
+        assert fpc_advance(_FixedRng(0.0), vector, 0)
 
     def test_invalid_vectors(self):
         with pytest.raises(ValueError):

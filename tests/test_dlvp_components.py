@@ -50,10 +50,36 @@ class TestPaq:
         paq.service(100)
         assert paq.drop_rate == 0.5
 
-    def test_bypass_counted_when_empty(self):
+    def test_bypass_counted_only_when_serviced(self):
+        # Regression: push() used to count `bypassed` for every enqueue
+        # into an empty queue, even if the entry later aged out or was
+        # flushed — a probe that never issued can't have bypassed the
+        # queue.  The bypass is real only once the entry is serviced.
         paq = PredictedAddressQueue()
         paq.push(entry())
+        assert paq.bypassed == 0        # not yet serviced
+        paq.service(0)
         assert paq.bypassed == 1
+
+    def test_bypass_not_counted_for_flushed_entry(self):
+        paq = PredictedAddressQueue()
+        paq.push(entry())               # empty-queue enqueue...
+        paq.flush()                     # ...but the probe never issues
+        assert paq.bypassed == 0
+
+    def test_bypass_not_counted_for_dropped_entry(self):
+        paq = PredictedAddressQueue(drop_cycles=2)
+        paq.push(entry(cycle=0))
+        assert paq.service(50) is None  # ages out
+        assert paq.bypassed == 0
+
+    def test_bypass_not_counted_for_non_empty_enqueue(self):
+        paq = PredictedAddressQueue()
+        paq.push(entry(addr=0x1000))
+        paq.push(entry(addr=0x2000))    # queue non-empty: no bypass
+        paq.service(0)
+        paq.service(0)
+        assert paq.bypassed == 1        # only the first entry
 
     def test_flush_empties(self):
         paq = PredictedAddressQueue()
@@ -131,6 +157,10 @@ class TestPaq:
                 paq.flush()
             assert (paq.serviced + paq.dropped + paq.flushed + len(paq)
                     == paq.enqueued)
+            # bypass accounting rides the same conservation: a bypass
+            # is a *serviced* entry that entered an empty queue, so it
+            # can never exceed the serviced count.
+            assert 0 <= paq.bypassed <= paq.serviced
 
 
 class TestLscd:
@@ -174,6 +204,63 @@ class TestLscd:
     def test_invalid_capacity(self):
         with pytest.raises(ValueError):
             LoadStoreConflictDetector(entries=0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=9), max_size=80))
+    def test_fifo_eviction_order_matches_model(self, pcs):
+        # Reference model: an ordered list where re-insertion moves the
+        # PC to the back (youngest) and overflow evicts the front
+        # (oldest).  The LSCD must agree on membership after any
+        # insertion sequence.
+        lscd = LoadStoreConflictDetector(entries=4)
+        model: list[int] = []
+        for pc in pcs:
+            if pc in model:
+                model.remove(pc)
+            elif len(model) >= 4:
+                model.pop(0)
+            model.append(pc)
+            lscd.insert(pc)
+            assert len(lscd) == len(model) <= 4
+            for known in model:
+                assert known in lscd
+        blocked = [pc for pc in range(10) if lscd.blocks(pc)]
+        assert blocked == sorted(model)
+
+    @given(st.lists(st.integers(min_value=0, max_value=9), max_size=80))
+    def test_reinsert_never_double_occupies(self, pcs):
+        lscd = LoadStoreConflictDetector(entries=4)
+        for pc in pcs:
+            lscd.insert(pc)
+            assert len(lscd) <= 4
+        # every present PC appears exactly once: refreshing an existing
+        # PC must not consume a second slot
+        assert len({pc for pc in range(10) if pc in lscd}) == len(lscd)
+
+    def test_tracer_events_on_insert_and_filter(self):
+        from repro.observe import Tracer
+
+        class Recorder(Tracer):
+            def __init__(self):
+                self.events = []
+
+            def emit(self, kind, **fields):
+                self.events.append((kind, fields))
+
+        rec = Recorder()
+        lscd = LoadStoreConflictDetector(entries=2)
+        lscd.attach_tracer(rec)
+        lscd.insert(0x1)
+        lscd.insert(0x2)
+        lscd.insert(0x1)            # refresh
+        lscd.insert(0x3)            # evicts 0x2 (0x1 was refreshed)
+        lscd.blocks(0x3)
+        lscd.blocks(0x999)          # not present: no event
+        kinds = [k for k, _ in rec.events]
+        assert kinds == ["lscd_insert"] * 4 + ["lscd_filter"]
+        inserts = [f for k, f in rec.events if k == "lscd_insert"]
+        assert inserts[2] == {"pc": 0x1, "evicted": None, "refreshed": True}
+        assert inserts[3] == {"pc": 0x3, "evicted": 0x2, "refreshed": False}
+        assert rec.events[-1] == ("lscd_filter", {"pc": 0x3})
 
 
 class TestPvt:
