@@ -1,0 +1,143 @@
+"""Bounded event streaming — live fan-out of journal-style events.
+
+The flight recorder's discipline (bounded buffers, drop-with-accounting,
+never block the producer) applied to *live* subscribers instead of a
+post-mortem ring: an :class:`EventStream` broadcasts event dicts to any
+number of :class:`Subscription` mailboxes, each a bounded deque drained
+by exactly one asyncio consumer.  This is the multiplexing layer behind
+``repro serve watch`` and per-ticket progress streaming — the journal's
+``tap`` publishes every event here, and each connected client pumps its
+own subscription to its socket.
+
+Two delivery classes, chosen per message:
+
+* **droppable** (progress events) — when a subscriber's mailbox is
+  full the message is dropped *for that subscriber only* and its
+  ``dropped`` counter incremented; a slow watcher can never stall the
+  scheduler or other clients.
+* **must-deliver** (results, terminal notices) — always enqueued, even
+  past capacity; protocol messages a client cannot complete without
+  are exempt from the drop policy.
+
+Everything here runs on one event loop thread: producers that live on
+other threads (executor lease callbacks) must hop over with
+``loop.call_soon_threadsafe`` before publishing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from collections.abc import Callable
+
+DEFAULT_CAPACITY = 1024
+
+# Optional per-subscription filter: event dict -> deliver?
+MatchFn = Callable[[dict], bool]
+
+
+class Subscription:
+    """One subscriber's bounded mailbox onto a stream.
+
+    Producers call :meth:`put` (loop thread only); exactly one consumer
+    awaits :meth:`get`, which returns ``None`` once the subscription is
+    closed and drained — the consumer's signal to hang up.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.dropped = 0
+        self.closed = False
+        self._items: deque = deque()
+        self._wakeup = asyncio.Event()
+
+    def put(self, item: dict, droppable: bool = True) -> bool:
+        """Enqueue ``item``; False when dropped (full) or closed.
+
+        ``droppable=False`` bypasses the capacity bound — results and
+        terminal notices must arrive even at a slow consumer.
+        """
+        if self.closed:
+            return False
+        if droppable and len(self._items) >= self.capacity:
+            self.dropped += 1
+            return False
+        self._items.append(item)
+        self._wakeup.set()
+        return True
+
+    def close(self) -> None:
+        """No more items; :meth:`get` drains the backlog then ends."""
+        self.closed = True
+        self._wakeup.set()
+
+    async def get(self) -> dict | None:
+        """Next item, or None when closed and fully drained."""
+        while True:
+            if self._items:
+                return self._items.popleft()
+            if self.closed:
+                return None
+            self._wakeup.clear()
+            await self._wakeup.wait()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class EventStream:
+    """Broadcast registry: publish one event to every live subscriber.
+
+    Subscriptions may carry a ``matches`` predicate to receive only a
+    slice of the stream (e.g. events for one ticket's job keys).
+    :meth:`close` delivers an optional terminal event — must-deliver,
+    so watchers always learn *why* the stream ended — then closes every
+    subscription.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self.capacity = capacity
+        self.closed = False
+        self._subs: dict[Subscription, MatchFn | None] = {}
+
+    def subscribe(self, matches: MatchFn | None = None) -> Subscription:
+        """A new bounded mailbox receiving matching published events.
+
+        Subscribing to a closed stream yields an already-closed mailbox
+        (``get`` returns None immediately) so late consumers hang up
+        instead of waiting forever."""
+        sub = Subscription(self.capacity)
+        if self.closed:
+            sub.close()
+            return sub
+        self._subs[sub] = matches
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        """Detach and close one subscription."""
+        self._subs.pop(sub, None)
+        sub.close()
+
+    def publish(self, event: dict, droppable: bool = True) -> int:
+        """Fan ``event`` out; returns the number of deliveries."""
+        delivered = 0
+        for sub, matches in list(self._subs.items()):
+            if matches is not None and not matches(event):
+                continue
+            if sub.put(event, droppable=droppable):
+                delivered += 1
+        return delivered
+
+    def close(self, terminal: dict | None = None) -> None:
+        """End the stream, delivering ``terminal`` to every subscriber."""
+        self.closed = True
+        for sub in list(self._subs):
+            if terminal is not None:
+                sub.put(terminal, droppable=False)
+            sub.close()
+        self._subs.clear()
+
+    def __len__(self) -> int:
+        return len(self._subs)

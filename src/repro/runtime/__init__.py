@@ -25,6 +25,8 @@ from repro.runtime.cache import (
     result_checksum,
 )
 from repro.runtime.executor import (
+    INTERRUPTED_ERROR,
+    JobLease,
     JobOutcome,
     JobTimeoutError,
     ParallelExecutor,
@@ -52,7 +54,9 @@ __all__ = [
     "Runtime",
     "GridResult",
     "RunInterrupted",
+    "INTERRUPTED_ERROR",
     "Job",
+    "JobLease",
     "JobOutcome",
     "JobTimeoutError",
     "make_job",

@@ -22,6 +22,13 @@ overwritten, so disk-level corruption stays observable and diagnosable.
 A payload whose ``cache_schema`` is simply from an older release is a
 plain miss (stale, not corrupt).  :meth:`ResultCache.verify` audits the
 whole store; :meth:`ResultCache.gc` prunes it by age and size.
+
+Eviction is least-recently-*used*, not least-recently-written: every
+:meth:`ResultCache.get` hit refreshes the entry's atime/mtime with
+``os.utime`` (filesystems mounted ``noatime``/``relatime`` would
+otherwise never record reads), so a long-lived shared store — e.g. one
+behind a :mod:`repro.serve` gateway — keeps its hot entries and
+:meth:`ResultCache.gc` reclaims the ones nobody has asked for.
 """
 
 from __future__ import annotations
@@ -140,10 +147,20 @@ class ResultCache:
             self._quarantine(key, path, "checksum mismatch")
             return None
         try:
-            return SimResult.from_dict(result_payload)
+            result = SimResult.from_dict(result_payload)
         except (KeyError, TypeError, ValueError):
             self._quarantine(key, path, "undecodable result")
             return None
+        self._touch(path)
+        return result
+
+    @staticmethod
+    def _touch(path: Path) -> None:
+        """Record a use: refresh atime+mtime so gc's LRU order is real."""
+        try:
+            os.utime(path)
+        except OSError:
+            pass
 
     def put(self, key: str, result: SimResult, job_fields: dict | None = None) -> None:
         """Store ``result`` under ``key`` atomically, with checksum."""
@@ -213,56 +230,94 @@ class ResultCache:
                 self._quarantine(path.stem, path, "unreadable trace")
         return report
 
+    def _quarantined_files(self) -> list[Path]:
+        quarantine = self.quarantine_dir()
+        return sorted(quarantine.glob("*")) if quarantine.is_dir() else []
+
+    def stats(self) -> dict:
+        """Entry counts and byte totals per store section.
+
+        Returns ``{"results", "traces", "quarantined", "bytes"}`` —
+        cheap enough to answer a serve ``status`` request on every poll.
+        """
+        report = {"results": 0, "traces": 0, "quarantined": 0, "bytes": 0}
+        for section, files in (
+            ("results", self._result_files()),
+            ("traces", self._trace_files()),
+            ("quarantined", self._quarantined_files()),
+        ):
+            for path in files:
+                try:
+                    size = path.stat().st_size
+                except OSError:
+                    continue
+                report[section] += 1
+                report["bytes"] += size
+        return report
+
     def gc(
         self,
         max_age_days: float | None = None,
         max_size_mb: float | None = None,
     ) -> dict:
-        """Prune the store by age and/or total size (oldest first).
+        """Prune the store by age and/or total size, least recently used
+        first.
 
-        Sweeps results, traces and quarantined files.  Entries older
-        than ``max_age_days`` are removed; then, if the remainder still
-        exceeds ``max_size_mb``, the oldest entries go until it fits.
-        Returns ``{"removed", "kept", "bytes_freed", "bytes_kept"}``.
+        Sweeps results, traces and quarantined files.  Entries unused
+        for more than ``max_age_days`` are removed; then, if the
+        remainder still exceeds ``max_size_mb``, the least recently
+        used entries go until it fits.  "Used" means atime/mtime, which
+        :meth:`get` refreshes on every hit — so a size-bounded shared
+        store evicts cold cells, not merely old ones.
+
+        Returns ``{"removed", "kept", "bytes_freed", "bytes_kept"}``
+        plus per-section removal counts ``{"results_removed",
+        "traces_removed", "quarantined_removed"}``.
         """
-        quarantined = (
-            sorted(self.quarantine_dir().glob("*"))
-            if self.quarantine_dir().is_dir()
-            else []
-        )
-        entries = []          # (mtime, size, path)
-        for path in [*self._result_files(), *self._trace_files(), *quarantined]:
-            try:
-                stat = path.stat()
-            except OSError:
-                continue
-            entries.append((stat.st_mtime, stat.st_size, path))
-        entries.sort()        # oldest first
+        entries = []          # (last_used, size, path, section)
+        for section, files in (
+            ("results", self._result_files()),
+            ("traces", self._trace_files()),
+            ("quarantined", self._quarantined_files()),
+        ):
+            for path in files:
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                last_used = max(stat.st_mtime, stat.st_atime)
+                entries.append((last_used, stat.st_size, path, section))
+        entries.sort(key=lambda e: e[:2])     # least recently used first
         now = time.time()
-        doomed: list[tuple[float, int, Path]] = []
+        doomed: list[tuple[float, int, Path, str]] = []
         if max_age_days is not None:
             cutoff = now - max_age_days * 86400.0
             doomed = [e for e in entries if e[0] < cutoff]
             entries = [e for e in entries if e[0] >= cutoff]
         if max_size_mb is not None:
             budget = max_size_mb * 1024 * 1024
-            total = sum(size for _, size, _ in entries)
+            total = sum(size for _, size, _, _ in entries)
             while entries and total > budget:
-                entry = entries.pop(0)          # oldest survivor
+                entry = entries.pop(0)          # coldest survivor
                 doomed.append(entry)
                 total -= entry[1]
         freed = 0
-        for _, size, path in doomed:
+        removed_by_section = {"results": 0, "traces": 0, "quarantined": 0}
+        for _, size, path, section in doomed:
             try:
                 path.unlink()
                 freed += size
+                removed_by_section[section] += 1
             except OSError:
                 pass
         return {
-            "removed": len(doomed),
+            "removed": sum(removed_by_section.values()),
             "kept": len(entries),
             "bytes_freed": freed,
-            "bytes_kept": sum(size for _, size, _ in entries),
+            "bytes_kept": sum(size for _, size, _, _ in entries),
+            "results_removed": removed_by_section["results"],
+            "traces_removed": removed_by_section["traces"],
+            "quarantined_removed": removed_by_section["quarantined"],
         }
 
     # -- traces ----------------------------------------------------------

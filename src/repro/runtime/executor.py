@@ -12,6 +12,11 @@ Two interchangeable drivers with identical semantics and results:
   and the surviving jobs resubmitted, while a job that repeatedly kills
   its worker exhausts its attempts and is reported as failed.
 
+A third driver, :class:`JobLease`, is the leasable unit behind the
+:mod:`repro.serve` scheduler: one dedicated single-worker pool running
+one job at a time, with the same failure policy and a :meth:`cancel`
+hook for graceful server shutdown.
+
 Shared failure policy (both drivers):
 
 * **Deterministic retry backoff** — attempt *n*'s resubmission is
@@ -292,6 +297,126 @@ class SerialExecutor(_FailurePolicy):
                     result=result_from_payload(envelope["result"]),
                     duration=envelope["duration"], attempts=state.attempts,
                 )
+
+
+class JobLease(_FailurePolicy):
+    """One leased worker slot: a dedicated single-worker pool running
+    one job at a time, with the shared failure policy.
+
+    This is the executor-side unit the :mod:`repro.serve` scheduler
+    hands out — it holds ``workers`` leases and feeds each from its
+    fairness queue.  Because every lease owns its own single-worker
+    pool, a crashing job breaks only that pool (rebuilt lazily for the
+    next attempt) and blame is never ambiguous the way it is in a
+    shared pool; a neighbouring tenant's cell is untouchable.
+
+    :meth:`run_one` is synchronous and never raises for job failures —
+    it always returns a terminal :class:`JobOutcome` — so callers can
+    drive it from a thread (``asyncio.to_thread``) without an exception
+    escaping the executor.  :meth:`cancel` is the shutdown hook: it
+    kills the in-flight attempt's worker process, which surfaces in
+    :meth:`run_one` as an ``"interrupted"`` outcome (the same status
+    the batch executors use for SIGINT/SIGTERM).
+    """
+
+    def __init__(
+        self,
+        retries: int = 1,
+        backoff: float = 0.0,
+        timeout_factor: float | None = None,
+    ) -> None:
+        super().__init__(retries=retries, backoff=backoff,
+                         timeout_factor=timeout_factor)
+        self._pool: ProcessPoolExecutor | None = None
+        self._cancelled = False
+
+    def run_one(
+        self,
+        job: Job,
+        cache_dir: str | None = None,
+        events: EventFn | None = None,
+        fault_spec: str | None = None,
+    ) -> JobOutcome:
+        """Run one job to a terminal outcome (never raises job errors)."""
+        events = events or _no_events
+        state = _Attempt(job)
+        while True:
+            if self._cancelled:
+                return JobOutcome(
+                    state.job, "interrupted", error=INTERRUPTED_ERROR,
+                    attempts=state.attempts,
+                )
+            state.attempts += 1
+            self.backoff_before(state.attempts)
+            events("job_started", state.job, {"attempt": state.attempts})
+            if self._pool is None:
+                self._pool = _make_pool(1)
+            started = time.monotonic()
+            try:
+                envelope = self._pool.submit(
+                    _worker_run, state.job, cache_dir, state.attempts,
+                    fault_spec,
+                ).result()
+            except BrokenProcessPool:
+                duration = time.monotonic() - started
+                self.close()    # dead pool; the next attempt gets a new one
+                if self._cancelled:
+                    return JobOutcome(
+                        state.job, "interrupted", error=INTERRUPTED_ERROR,
+                        duration=duration, attempts=state.attempts,
+                    )
+                if state.attempts > self.retries:
+                    return JobOutcome(
+                        state.job, "error",
+                        error="worker process died (crash or kill)",
+                        duration=duration, attempts=state.attempts,
+                    )
+            except JobTimeoutError as exc:
+                if self.escalate_timeout(state):
+                    continue
+                return JobOutcome(
+                    state.job, "timeout", error=str(exc),
+                    duration=time.monotonic() - started,
+                    attempts=state.attempts,
+                )
+            except Exception as exc:
+                if state.attempts > self.retries:
+                    return JobOutcome(
+                        state.job, "error", error=_format_error(exc),
+                        duration=time.monotonic() - started,
+                        attempts=state.attempts,
+                    )
+            else:
+                return JobOutcome(
+                    state.job, "ok",
+                    result=result_from_payload(envelope["result"]),
+                    duration=envelope["duration"], attempts=state.attempts,
+                )
+
+    def cancel(self) -> None:
+        """Abort the in-flight attempt: terminate the worker process.
+
+        Killing the worker breaks the lease's pool, which
+        :meth:`run_one` observes as ``BrokenProcessPool`` and — with
+        the cancel flag latched — reports as ``"interrupted"`` rather
+        than retrying.  ``_processes`` is pool-internal but stable
+        across supported CPythons, and there is no public way to kill
+        a hung worker.
+        """
+        self._cancelled = True
+        pool = self._pool
+        if pool is not None:
+            for proc in list(getattr(pool, "_processes", {}).values()):
+                try:
+                    proc.terminate()
+                except (OSError, AttributeError):
+                    pass
+
+    def close(self) -> None:
+        """Shut the lease's pool down (rebuilt lazily on next use)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
 
 
 class ParallelExecutor(_FailurePolicy):

@@ -1,0 +1,67 @@
+"""repro.serve — a multi-tenant simulation-farm service over the runtime.
+
+A long-running gateway that owns one shared :class:`ResultCache` and a
+pool of crash-isolated single-worker leases, accepting sweep-grid
+submissions from many tenants over a newline-delimited-JSON TCP
+protocol.  What the farm adds over ``Runtime.run_grid``:
+
+* **dedup across tenants** — grid cells are content-hashed jobs; a
+  cell hits the shared cache, joins an identical in-flight execution,
+  or runs exactly once no matter how many clients ask for it;
+* **fairness** — per-tenant bounded queues drained round-robin, so one
+  tenant's flood cannot starve another's two-cell grid;
+* **live progress** — the server's journal is tapped into an event
+  stream multiplexed to submitters and ``watch`` connections;
+* **graceful drain** — SIGINT/SIGTERM (or the ``shutdown`` op) stops
+  intake, finishes or interrupts in-flight work within a grace period,
+  and notifies every connected watcher with a terminal event.
+
+Layering: :mod:`repro.serve.protocol` (wire format + validation),
+:mod:`repro.serve.scheduler` (dedup/fairness/leases),
+:mod:`repro.serve.server` (asyncio gateway),
+:mod:`repro.serve.client` (blocking client + in-process fallback).
+"""
+
+from repro.serve.client import (
+    CellResult,
+    ServeClient,
+    ServeError,
+    ServerShutdown,
+    ServeUnavailable,
+    SweepResponse,
+    submit_or_local,
+)
+from repro.serve.protocol import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    PROTOCOL_VERSION,
+    GridRequest,
+    ProtocolError,
+    addr_file_path,
+    read_addr_file,
+)
+from repro.serve.scheduler import Scheduler, ServerClosing, TenantQueueFull, Ticket
+from repro.serve.server import ServerHandle, SweepServer
+
+__all__ = [
+    "CellResult",
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "GridRequest",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "Scheduler",
+    "ServeClient",
+    "ServeError",
+    "ServeUnavailable",
+    "ServerClosing",
+    "ServerHandle",
+    "ServerShutdown",
+    "SweepResponse",
+    "SweepServer",
+    "TenantQueueFull",
+    "Ticket",
+    "addr_file_path",
+    "read_addr_file",
+    "submit_or_local",
+]

@@ -1,0 +1,366 @@
+"""Client side of the farm: a blocking socket client plus fallback.
+
+:class:`ServeClient` speaks the single-shot NDJSON protocol with plain
+stdlib sockets — no asyncio on the client side, so the CLI, tests and
+notebook users get ordinary synchronous calls.  Address resolution
+order: explicit ``host``/``port`` argument, then the ``serve.addr``
+advertisement under the cache root, then the protocol default.
+
+:func:`submit_or_local` is the degradation path the CLI uses: when no
+server is reachable the same grid runs in-process through
+:class:`~repro.runtime.Runtime` against the same cache root, returning
+the same :class:`SweepResponse` shape — a laptop without a farm and a
+farm-backed deployment share one call site.
+"""
+
+from __future__ import annotations
+
+import socket
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.pipeline import SimResult
+from repro.runtime import Runtime, default_cache_dir
+from repro.serve.protocol import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    GridRequest,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    read_addr_file,
+)
+
+# Called with every streamed progress line (the "event" messages).
+EventFn = Callable[[dict], None]
+
+
+class ServeError(RuntimeError):
+    """The server answered with an error line."""
+
+
+class ServeUnavailable(ServeError):
+    """No server reachable at the resolved address."""
+
+
+class ServerShutdown(ServeError):
+    """The server shut down before the submission completed."""
+
+
+@dataclass
+class CellResult:
+    """One settled cell as the client sees it."""
+
+    workload: str
+    scheme: str
+    key: str
+    status: str
+    cache_hit: bool = False
+    shared: bool = False
+    attempts: int = 0
+    duration: float = 0.0
+    error: str | None = None
+    result: SimResult | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass
+class SweepResponse:
+    """Everything one submission produced.
+
+    ``mode`` records how the grid ran: ``"served"`` through a gateway
+    or ``"local"`` through the in-process fallback.
+    """
+
+    ticket: str
+    tenant: str
+    cells: dict[tuple[str, str], CellResult]
+    summary: dict
+    events: list[dict] = field(default_factory=list)
+    mode: str = "served"
+
+    def result(self, scheme: str, workload: str) -> SimResult:
+        """The cell's result; raises for failed cells."""
+        cell = self.cells[(scheme, workload)]
+        if not cell.ok or cell.result is None:
+            raise RuntimeError(
+                f"cell ({scheme}, {workload}) {cell.status}: {cell.error}"
+            )
+        return cell.result
+
+    def failures(self) -> list[CellResult]:
+        return [c for c in self.cells.values() if not c.ok]
+
+    @property
+    def complete(self) -> bool:
+        return all(c.ok for c in self.cells.values())
+
+    def format_summary(self) -> str:
+        """One-line terminal account of the submission."""
+        s = self.summary
+        return (
+            f"[repro.serve] {s.get('cells', len(self.cells))} cells: "
+            f"{s.get('executed', 0)} executed, {s.get('cached', 0)} cached, "
+            f"{s.get('shared', 0)} shared, {s.get('failed', 0)} failed"
+            + (f", {s['interrupted']} interrupted"
+               if s.get("interrupted") else "")
+            + f" ({self.mode}, tenant {self.tenant}, ticket {self.ticket})"
+        )
+
+
+class ServeClient:
+    """Blocking protocol client; one TCP connection per operation."""
+
+    def __init__(
+        self,
+        host: str | None = None,
+        port: int | None = None,
+        cache_dir: str | Path | None = None,
+        connect_timeout: float = 5.0,
+    ) -> None:
+        if host is None or port is None:
+            advertised = read_addr_file(cache_dir)
+            if advertised is not None:
+                host = host if host is not None else advertised[0]
+                port = port if port is not None else advertised[1]
+        self.host = host if host is not None else DEFAULT_HOST
+        self.port = port if port is not None else DEFAULT_PORT
+        self.cache_dir = cache_dir
+        self.connect_timeout = connect_timeout
+
+    # -- plumbing --------------------------------------------------------
+
+    def _connect(self, timeout: float | None):
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout
+            )
+        except OSError as exc:
+            raise ServeUnavailable(
+                f"no server at {self.host}:{self.port} ({exc})"
+            ) from None
+        sock.settimeout(timeout)
+        return sock
+
+    def _roundtrip(self, request: dict, timeout: float | None = 30.0) -> dict:
+        """Send one request; return the single response line."""
+        try:
+            with self._connect(timeout) as sock:
+                sock.sendall(encode_message(request))
+                with sock.makefile("rb") as reader:
+                    line = reader.readline()
+        except OSError as exc:
+            raise ServeError(f"connection lost: {exc}") from None
+        if not line:
+            raise ServeError("server closed the connection without a reply")
+        response = decode_message(line)
+        if response.get("type") == "error":
+            raise ServeError(response.get("error", "unknown server error"))
+        return response
+
+    # -- operations ------------------------------------------------------
+
+    def ping(self, timeout: float = 5.0) -> dict:
+        """Liveness + protocol version check."""
+        return self._roundtrip({"op": "ping"}, timeout=timeout)
+
+    def status(self, timeout: float = 10.0) -> dict:
+        """The server's queue/worker/cache status snapshot."""
+        return self._roundtrip({"op": "status"}, timeout=timeout)
+
+    def cache(self, action: str, max_age_days: float | None = None,
+              max_size_mb: float | None = None,
+              timeout: float = 60.0) -> dict:
+        """Run ``verify`` or ``gc`` on the server's shared store."""
+        return self._roundtrip(
+            {"op": "cache", "action": action, "max_age_days": max_age_days,
+             "max_size_mb": max_size_mb},
+            timeout=timeout,
+        )
+
+    def shutdown(self, grace: float | None = None,
+                 timeout: float = 10.0) -> dict:
+        """Ask the server to drain and exit."""
+        request: dict = {"op": "shutdown"}
+        if grace is not None:
+            request["grace"] = grace
+        return self._roundtrip(request, timeout=timeout)
+
+    def submit(
+        self,
+        schemes,
+        workloads,
+        n_instructions: int = 8_000,
+        recovery: str = "flush",
+        tenant: str = "default",
+        watch: bool = True,
+        on_event: EventFn | None = None,
+        timeout: float | None = None,
+    ) -> SweepResponse:
+        """Submit a grid and block until every cell settles.
+
+        Streams ``result`` lines into a :class:`SweepResponse` as the
+        farm settles them; ``on_event`` sees every progress line when
+        ``watch`` is on.  Raises :class:`ServerShutdown` if the server
+        drains away mid-submission with cells still unsettled (cells
+        the server marked ``"interrupted"`` do *not* raise — they come
+        back as failed cells the caller can inspect or resubmit).
+        """
+        request = GridRequest(
+            tenant=tenant, schemes=tuple(schemes), workloads=tuple(workloads),
+            n_instructions=n_instructions, recovery=recovery, watch=watch,
+        )
+        cells: dict[tuple[str, str], CellResult] = {}
+        events: list[dict] = []
+        ticket = ""
+        summary: dict = {}
+        try:
+            with self._connect(timeout) as sock:
+                sock.sendall(encode_message(request.to_message()))
+                with sock.makefile("rb") as reader:
+                    for raw in reader:
+                        message = decode_message(raw)
+                        kind = message.get("type")
+                        if kind == "error":
+                            raise ServeError(
+                                message.get("error", "server error")
+                            )
+                        if kind == "submitted":
+                            ticket = message.get("ticket", "")
+                        elif kind == "event":
+                            events.append(message.get("event", {}))
+                            if on_event is not None:
+                                on_event(message["event"])
+                        elif kind == "result":
+                            cell = _decode_cell(message)
+                            cells[(cell.scheme, cell.workload)] = cell
+                        elif kind == "done":
+                            summary = message.get("summary", {})
+                            break
+                        elif kind == "server_shutdown":
+                            raise ServerShutdown(
+                                "server shut down mid-submission "
+                                f"({message.get('reason')})"
+                            )
+        except OSError as exc:
+            raise ServeError(f"connection lost mid-submission: {exc}") \
+                from None
+        if not summary and not cells:
+            raise ServeError("connection ended before any cell settled")
+        return SweepResponse(
+            ticket=ticket, tenant=tenant, cells=cells, summary=summary,
+            events=events, mode="served",
+        )
+
+    def watch(self, on_event: EventFn, timeout: float | None = None) -> dict:
+        """Stream every farm journal event until the server shuts down.
+
+        Returns the terminal ``server_shutdown`` message.  ``on_event``
+        receives each journal event dict as it happens.
+        """
+        try:
+            with self._connect(timeout) as sock:
+                sock.sendall(encode_message({"op": "watch"}))
+                with sock.makefile("rb") as reader:
+                    for raw in reader:
+                        message = decode_message(raw)
+                        kind = message.get("type")
+                        if kind == "watching":
+                            continue
+                        if kind == "server_shutdown":
+                            return message
+                        if kind == "error":
+                            raise ServeError(
+                                message.get("error", "server error")
+                            )
+                        if kind == "event":
+                            on_event(message.get("event", {}))
+        except OSError:
+            pass                    # treat a dropped server as a shutdown
+        return {"type": "server_shutdown", "reason": "connection closed"}
+
+
+def _decode_cell(message: dict) -> CellResult:
+    result_payload = message.get("result")
+    result = None
+    if isinstance(result_payload, dict):
+        try:
+            result = SimResult.from_dict(result_payload)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"undecodable result payload: {exc}") from None
+    return CellResult(
+        workload=message.get("workload", ""),
+        scheme=message.get("scheme", ""),
+        key=message.get("key", ""),
+        status=message.get("status", "error"),
+        cache_hit=bool(message.get("cache_hit")),
+        shared=bool(message.get("shared")),
+        attempts=int(message.get("attempts") or 0),
+        duration=float(message.get("duration") or 0.0),
+        error=message.get("error"),
+        result=result,
+    )
+
+
+def submit_or_local(
+    schemes,
+    workloads,
+    n_instructions: int = 8_000,
+    recovery: str = "flush",
+    tenant: str = "default",
+    host: str | None = None,
+    port: int | None = None,
+    cache_dir: str | Path | None = None,
+    jobs: int = 1,
+    on_event: EventFn | None = None,
+) -> SweepResponse:
+    """Submit through a server when reachable, else run in-process.
+
+    The fallback uses the same cache root, so results computed locally
+    are visible to a server started later (and vice versa); the
+    returned :class:`SweepResponse` is shaped identically with
+    ``mode="local"``.
+    """
+    client = ServeClient(host=host, port=port, cache_dir=cache_dir)
+    try:
+        return client.submit(
+            schemes, workloads, n_instructions=n_instructions,
+            recovery=recovery, tenant=tenant, on_event=on_event,
+        )
+    except ServeUnavailable:
+        pass
+    root = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    runtime = Runtime(jobs=jobs, cache_dir=root)
+    from repro.pipeline import RecoveryMode
+
+    grid = runtime.run_grid(
+        list(schemes), list(workloads), n_instructions,
+        recovery=RecoveryMode(recovery),
+    )
+    cells: dict[tuple[str, str], CellResult] = {}
+    counters = {"cells": 0, "executed": 0, "cached": 0, "shared": 0,
+                "failed": 0, "interrupted": 0}
+    for (scheme, workload), outcome in grid.cells.items():
+        counters["cells"] += 1
+        if outcome.cache_hit or outcome.resumed:
+            counters["cached"] += 1
+        else:
+            counters["executed"] += 1
+        if outcome.status == "interrupted":
+            counters["interrupted"] += 1
+        elif not outcome.ok:
+            counters["failed"] += 1
+        cells[(scheme, workload)] = CellResult(
+            workload=workload, scheme=scheme, key=outcome.job.key,
+            status=outcome.status, cache_hit=outcome.cache_hit,
+            attempts=outcome.attempts, duration=outcome.duration,
+            error=outcome.error, result=outcome.result,
+        )
+    return SweepResponse(
+        ticket="local", tenant=tenant, cells=cells, summary=counters,
+        events=list(runtime.journal.events), mode="local",
+    )

@@ -1,0 +1,220 @@
+"""The serve wire protocol: newline-delimited JSON over TCP.
+
+One connection carries **one request and its response stream**: the
+client sends a single JSON object on one line, the server answers with
+one or more JSON objects, one per line, and closes (or the client hangs
+up).  Keeping connections single-shot makes message ordering trivial —
+the acknowledgement always precedes the stream — and lets a dumb client
+(``nc``, a shell script) speak the protocol.
+
+Requests (``op`` selects the verb)::
+
+    {"op": "ping"}
+    {"op": "submit", "tenant": "alice", "schemes": [...],
+     "workloads": [...], "n_instructions": 8000, "recovery": "flush",
+     "watch": true}
+    {"op": "watch"}                       # stream every journal event
+    {"op": "status"}
+    {"op": "cache", "action": "gc"|"verify", "max_size_mb": ...,
+     "max_age_days": ...}
+    {"op": "shutdown", "grace": 5.0}
+
+Responses (``type`` tags each line)::
+
+    {"type": "pong", "version": 1, "server": <run_id>}
+    {"type": "submitted", "ticket": ..., "cells": N, "executing": n,
+     "cached": n, "shared": n}
+    {"type": "event", "event": {...journal event...}}     # watch only
+    {"type": "result", "workload": ..., "scheme": ..., "key": ...,
+     "status": ..., "cache_hit": ..., "shared": ..., "attempts": ...,
+     "error": ..., "result": {SimResult payload, ok only}}
+    {"type": "done", "ticket": ..., "summary": {...}}
+    {"type": "status", ...}  /  {"type": "cache_report", ...}
+    {"type": "shutting_down"}  /  {"type": "server_shutdown", ...}
+    {"type": "error", "error": "..."}
+
+Every ``submit`` settles each cell with exactly one ``result`` line and
+ends with exactly one ``done`` (or terminal ``server_shutdown``) line —
+that contract is what the client blocks on.
+
+Discovery: a running server records ``host port pid`` as JSON in
+``<cache-dir>/serve.addr``; clients without an explicit address read it
+from the same cache root they would simulate against, which is also
+what makes the "no server reachable -> run in-process" fallback cheap
+to decide.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.pipeline import RecoveryMode
+from repro.runtime import Job, default_cache_dir, make_job, scheme_ids
+from repro.workloads import workload_names
+
+PROTOCOL_VERSION = 1
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8790
+ADDR_FILE = "serve.addr"
+# Requests are small; this bounds the server-side readline buffer.
+MAX_REQUEST_BYTES = 1 << 20
+MAX_GRID_CELLS = 4096
+MAX_INSTRUCTIONS = 10_000_000
+
+
+class ProtocolError(ValueError):
+    """A malformed or invalid protocol message."""
+
+
+def encode_message(message: dict) -> bytes:
+    """One protocol message as a single newline-terminated JSON line."""
+    return (json.dumps(message, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_message(line: str | bytes) -> dict:
+    """Parse one line into a message dict or raise :class:`ProtocolError`."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        message = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError(f"not JSON: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError("message must be a JSON object")
+    return message
+
+
+def error_message(error: str) -> dict:
+    """The standard error response line."""
+    return {"type": "error", "error": error}
+
+
+@dataclass(frozen=True)
+class GridRequest:
+    """A validated sweep-grid submission.
+
+    Validation happens at the protocol edge — scheme ids and workload
+    names are checked against the registries, sizes are bounded — so
+    the scheduler behind it only ever sees well-formed grids.
+    """
+
+    tenant: str
+    schemes: tuple[str, ...]
+    workloads: tuple[str, ...]
+    n_instructions: int
+    recovery: str
+    watch: bool = True
+
+    @classmethod
+    def from_message(cls, message: dict) -> "GridRequest":
+        """Validate a ``submit`` request; raises :class:`ProtocolError`."""
+        tenant = message.get("tenant", "default")
+        if not isinstance(tenant, str) or not tenant or len(tenant) > 128:
+            raise ProtocolError("tenant must be a short non-empty string")
+        schemes = message.get("schemes")
+        workloads = message.get("workloads")
+        if not isinstance(schemes, list) or not schemes:
+            raise ProtocolError("schemes must be a non-empty list")
+        if not isinstance(workloads, list) or not workloads:
+            raise ProtocolError("workloads must be a non-empty list")
+        known_schemes = scheme_ids()
+        unknown = [s for s in schemes if s not in known_schemes]
+        if unknown:
+            raise ProtocolError(f"unknown scheme(s) {unknown}")
+        known_workloads = workload_names()
+        unknown = [w for w in workloads if w not in known_workloads]
+        if unknown:
+            raise ProtocolError(f"unknown workload(s) {unknown}")
+        if len(schemes) * len(workloads) > MAX_GRID_CELLS:
+            raise ProtocolError(
+                f"grid exceeds {MAX_GRID_CELLS} cells"
+            )
+        n_instructions = message.get("n_instructions", 8_000)
+        if (
+            not isinstance(n_instructions, int)
+            or isinstance(n_instructions, bool)
+            or not 1 <= n_instructions <= MAX_INSTRUCTIONS
+        ):
+            raise ProtocolError(
+                f"n_instructions must be an int in [1, {MAX_INSTRUCTIONS}]"
+            )
+        recovery = message.get("recovery", RecoveryMode.FLUSH.value)
+        try:
+            recovery = RecoveryMode(recovery).value
+        except ValueError:
+            raise ProtocolError(f"unknown recovery mode {recovery!r}") from None
+        return cls(
+            tenant=tenant,
+            schemes=tuple(dict.fromkeys(schemes)),
+            workloads=tuple(dict.fromkeys(workloads)),
+            n_instructions=n_instructions,
+            recovery=recovery,
+            watch=bool(message.get("watch", True)),
+        )
+
+    def to_message(self) -> dict:
+        """This request as a ``submit`` wire message."""
+        return {
+            "op": "submit",
+            "tenant": self.tenant,
+            "schemes": list(self.schemes),
+            "workloads": list(self.workloads),
+            "n_instructions": self.n_instructions,
+            "recovery": self.recovery,
+            "watch": self.watch,
+        }
+
+    def jobs(self, timeout: float | None = None) -> list[Job]:
+        """Expand the grid into content-hashed runtime jobs."""
+        return [
+            make_job(
+                workload, self.n_instructions, scheme,
+                recovery=RecoveryMode(self.recovery), timeout=timeout,
+            )
+            for scheme in self.schemes
+            for workload in self.workloads
+        ]
+
+
+# -- server discovery ----------------------------------------------------
+
+
+def addr_file_path(cache_dir: str | Path | None = None) -> Path:
+    """Where a server advertising on ``cache_dir`` records its address."""
+    root = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    return root / ADDR_FILE
+
+
+def write_addr_file(
+    cache_dir: str | Path | None, host: str, port: int
+) -> Path:
+    """Advertise a listening server for clients sharing this cache."""
+    path = addr_file_path(cache_dir)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps({"host": host, "port": port, "pid": os.getpid()}) + "\n"
+    )
+    return path
+
+
+def read_addr_file(
+    cache_dir: str | Path | None = None,
+) -> tuple[str, int] | None:
+    """The advertised (host, port), or None when absent/unreadable."""
+    path = addr_file_path(cache_dir)
+    try:
+        payload = json.loads(path.read_text())
+        return str(payload["host"]), int(payload["port"])
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def clear_addr_file(cache_dir: str | Path | None = None) -> None:
+    """Withdraw the advertisement (clean shutdown)."""
+    try:
+        addr_file_path(cache_dir).unlink()
+    except OSError:
+        pass

@@ -1,0 +1,465 @@
+"""The farm scheduler: dedup, fairness, and worker-lease dispatch.
+
+One :class:`Scheduler` sits between the gateway's connections and the
+runtime's executors.  Every submitted grid is expanded into
+content-hashed :class:`~repro.runtime.Job` cells and each cell takes
+exactly one of three paths:
+
+* **cache hit** — the shared :class:`~repro.runtime.ResultCache`
+  already holds the result; it is returned immediately (and the entry's
+  LRU clock refreshed) without touching a worker.
+* **in-flight join** — another tenant's identical cell is already
+  queued or executing; this ticket *subscribes* to that execution
+  instead of scheduling a second one.  Two users asking for the same
+  (workload, scheme, config) cell pay for one simulation.
+* **miss** — the cell is queued on its tenant's queue and eventually
+  dispatched to a :class:`~repro.runtime.JobLease` worker slot.
+
+Fairness is round-robin **across tenants, not across jobs**: each
+dispatch takes the head of the next non-empty tenant queue, so a tenant
+flooding thousands of cells delays its own backlog, not a neighbour's
+two-cell grid.  Queues are bounded per tenant (`max_pending_per_tenant`)
+and a submission that would overflow is rejected atomically — partial
+grids never enter the farm.
+
+Progress multiplexing reuses the journal: every event the scheduler
+journals is tapped into an :class:`~repro.observe.EventStream` (for
+``watch`` connections) and routed to the tickets subscribed to that
+job key (for ``submit --watch`` progress), so the wire stream and the
+on-disk journal can never disagree.
+
+Shutdown reuses the PR 2 interruption machinery: queued-but-unstarted
+cells settle as ``"interrupted"`` (:data:`~repro.runtime.executor.
+INTERRUPTED_ERROR`) immediately, running cells get a grace period and
+are then cancelled via :meth:`JobLease.cancel`, and every subscribed
+client still receives a terminal line for every cell it asked about.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+import uuid
+from collections import Counter, deque
+from dataclasses import dataclass, field
+
+from repro.observe import EventStream, Subscription
+from repro.runtime import (
+    INTERRUPTED_ERROR,
+    Job,
+    JobLease,
+    JobOutcome,
+    ResultCache,
+    RunJournal,
+)
+from repro.serve.protocol import GridRequest
+
+DEFAULT_MAX_PENDING = 512
+
+
+class TenantQueueFull(RuntimeError):
+    """A submission would overflow its tenant's bounded queue."""
+
+
+class ServerClosing(RuntimeError):
+    """The scheduler is draining and accepts no new submissions."""
+
+
+@dataclass
+class Ticket:
+    """One client submission's view of the farm.
+
+    A ticket owns the connection's :class:`Subscription` mailbox; the
+    scheduler posts ``result`` lines (must-deliver), optional progress
+    ``event`` lines (droppable), and finally one ``done`` line before
+    closing the mailbox.
+    """
+
+    id: str
+    tenant: str
+    watch: bool
+    sub: Subscription
+    jobs: dict[str, Job]                     # key -> unique cell
+    pending: set[str] = field(default_factory=set)
+    shared_keys: set[str] = field(default_factory=set)
+    counters: Counter = field(default_factory=Counter)
+    created: float = field(default_factory=time.time)
+
+    @property
+    def done(self) -> bool:
+        return not self.pending
+
+    def summary(self) -> dict:
+        """The ``done`` line's accounting for this submission."""
+        return {
+            "cells": len(self.jobs),
+            "executed": self.counters["executed"],
+            "cached": self.counters["cached"],
+            "shared": self.counters["shared"],
+            "failed": self.counters["failed"],
+            "interrupted": self.counters["interrupted"],
+        }
+
+
+@dataclass
+class _InFlight:
+    """One queued-or-executing unique cell and its subscribers."""
+
+    job: Job
+    tenant: str                              # who queued it first
+    tickets: list[Ticket]
+    running: bool = False
+    lease: JobLease | None = None
+
+
+class Scheduler:
+    """Expand, dedup, queue fairly, dispatch, and settle sweep cells.
+
+    All methods run on the owning event loop's thread; executor lease
+    work happens in worker threads via ``asyncio.to_thread`` with
+    events hopped back onto the loop.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 2,
+        cache: ResultCache | None,
+        journal: RunJournal,
+        stream: EventStream,
+        timeout: float | None = None,
+        retries: int = 1,
+        backoff: float = 0.0,
+        timeout_factor: float | None = None,
+        fault_spec: str | None = None,
+        max_pending_per_tenant: int = DEFAULT_MAX_PENDING,
+        max_cache_mb: float | None = None,
+    ) -> None:
+        self.cache = cache
+        self.journal = journal
+        self.stream = stream
+        self.timeout = timeout
+        self.fault_spec = fault_spec
+        self.max_pending_per_tenant = max(1, max_pending_per_tenant)
+        self.max_cache_mb = max_cache_mb
+        self.leases = [
+            JobLease(retries=retries, backoff=backoff,
+                     timeout_factor=timeout_factor)
+            for _ in range(max(1, workers))
+        ]
+        self.counters: Counter = Counter()
+        self.closing = False
+        self._inflight: dict[str, _InFlight] = {}
+        self._queues: dict[str, deque[str]] = {}
+        self._rr: deque[str] = deque()       # tenant rotation order
+        self._work: asyncio.Condition = asyncio.Condition()
+        self._tasks: list[asyncio.Task] = []
+        self._busy = 0
+        # journal tap -> live stream: one event pathway, two sinks
+        self.journal.tap = self._on_journal_event
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn one dispatch task per worker lease."""
+        for lease in self.leases:
+            self._tasks.append(asyncio.create_task(self._worker(lease)))
+
+    async def shutdown(self, grace: float = 10.0) -> dict:
+        """Drain the farm: PR 2 interruption semantics, farm-wide.
+
+        Queued cells settle ``"interrupted"`` immediately; running
+        cells get ``grace`` seconds, then their leases are cancelled
+        (worker process terminated) and they settle ``"interrupted"``
+        too.  Returns ``{"completed", "interrupted"}`` counts.
+        """
+        if not self.closing:
+            self.closing = True
+            async with self._work:
+                self._work.notify_all()
+            queued = [key for q in self._queues.values() for key in q]
+            for q in self._queues.values():
+                q.clear()
+            for key in queued:
+                entry = self._inflight.get(key)
+                if entry is not None:
+                    self._settle(key, JobOutcome(
+                        entry.job, "interrupted", error=INTERRUPTED_ERROR,
+                        attempts=0,
+                    ))
+        if self._tasks:
+            _, still_running = await asyncio.wait(self._tasks, timeout=grace)
+            if still_running:
+                for entry in list(self._inflight.values()):
+                    if entry.lease is not None:
+                        entry.lease.cancel()
+                await asyncio.wait(self._tasks, timeout=10.0)
+            self._tasks = []
+        for lease in self.leases:
+            lease.close()
+        return {
+            "completed": self.counters["ok"],
+            "interrupted": self.counters["interrupted"],
+        }
+
+    # -- submission ------------------------------------------------------
+
+    async def submit(self, request: GridRequest, sub: Subscription) -> Ticket:
+        """Admit one grid: dedup against cache and in-flight, queue misses.
+
+        Raises :class:`ServerClosing` while draining and
+        :class:`TenantQueueFull` when the tenant's bounded queue cannot
+        take the grid's cache-missing cells (nothing is admitted in
+        that case — admission is all-or-nothing).
+        """
+        if self.closing:
+            raise ServerClosing("server is shutting down")
+        unique = {job.key: job for job in request.jobs(timeout=self.timeout)}
+        ticket = Ticket(
+            id=uuid.uuid4().hex[:8], tenant=request.tenant,
+            watch=request.watch, sub=sub, jobs=unique,
+        )
+        # Classify without mutating shared state so the queue bound can
+        # reject the whole submission atomically.  No awaits here: the
+        # classification cannot go stale under the single-threaded loop.
+        shared: list[str] = []
+        hits: list[tuple[str, object]] = []
+        misses: list[str] = []
+        for key, job in unique.items():
+            if key in self._inflight:
+                shared.append(key)
+                continue
+            cached = self.cache.get(key) if self.cache is not None else None
+            if cached is not None:
+                hits.append((key, cached))
+            else:
+                misses.append(key)
+        queue = self._queues.setdefault(request.tenant, deque())
+        if len(queue) + len(misses) > self.max_pending_per_tenant:
+            self.journal.event(
+                "submit_rejected", tenant=request.tenant, ticket=ticket.id,
+                queued=len(queue), cells=len(misses),
+                bound=self.max_pending_per_tenant,
+            )
+            raise TenantQueueFull(
+                f"tenant {request.tenant!r} queue is full "
+                f"({len(queue)} queued, bound {self.max_pending_per_tenant})"
+            )
+        self.journal.event(
+            "grid_submitted", tenant=request.tenant, ticket=ticket.id,
+            cells=len(unique), executing=len(misses), cached=len(hits),
+            shared=len(shared),
+        )
+        for key, job in unique.items():
+            self.journal.event("job_submitted", tenant=request.tenant,
+                               ticket=ticket.id, **job.identity())
+        for key in shared:
+            entry = self._inflight[key]
+            entry.tickets.append(ticket)
+            ticket.pending.add(key)
+            ticket.shared_keys.add(key)
+            ticket.counters["shared"] += 1
+            self.counters["shared"] += 1
+            self.journal.event(
+                "job_shared", key=key, workload=unique[key].workload,
+                scheme=unique[key].scheme_id, tenant=request.tenant,
+                first_tenant=entry.tenant,
+            )
+        for key, result in hits:
+            job = unique[key]
+            ticket.counters["cached"] += 1
+            self.counters["cache_hits"] += 1
+            self.journal.event("cache_hit", key=key, workload=job.workload,
+                               scheme=job.scheme_id, tenant=request.tenant)
+            sub.put(self._result_message(
+                JobOutcome(job, "ok", result=result, cache_hit=True),
+                shared=False,
+            ), droppable=False)
+        for key in misses:
+            job = unique[key]
+            self.journal.event("cache_miss", key=key, workload=job.workload,
+                               scheme=job.scheme_id, tenant=request.tenant)
+            self._inflight[key] = _InFlight(
+                job=job, tenant=request.tenant, tickets=[ticket],
+            )
+            ticket.pending.add(key)
+            queue.append(key)
+        if request.tenant not in self._rr:
+            self._rr.append(request.tenant)
+        self.counters["submitted"] += len(unique)
+        if ticket.done:
+            self._finish_ticket(ticket)
+        if misses:
+            async with self._work:
+                self._work.notify_all()
+        return ticket
+
+    # -- dispatch --------------------------------------------------------
+
+    async def _worker(self, lease: JobLease) -> None:
+        """One worker slot: pull fairly, execute on the lease, settle."""
+        loop = asyncio.get_running_loop()
+        while True:
+            key = await self._next_key()
+            if key is None:
+                return
+            entry = self._inflight.get(key)
+            if entry is None:          # settled while queued (shutdown race)
+                continue
+            entry.running = True
+            entry.lease = lease
+            self._busy += 1
+
+            def on_event(kind: str, job: Job, fields: dict,
+                         _key: str = key) -> None:
+                # lease thread -> loop thread; journal+stream stay
+                # single-threaded
+                loop.call_soon_threadsafe(self._job_event, kind, _key, fields)
+
+            try:
+                outcome = await asyncio.to_thread(
+                    lease.run_one, entry.job, self._cache_dir(), on_event,
+                    self.fault_spec,
+                )
+            finally:
+                self._busy -= 1
+            self._settle(key, outcome)
+            if outcome.ok and self.max_cache_mb is not None:
+                await self._enforce_cache_bound()
+
+    async def _next_key(self) -> str | None:
+        """The next job key, round-robin across tenants; None to exit."""
+        async with self._work:
+            while True:
+                for _ in range(len(self._rr)):
+                    tenant = self._rr[0]
+                    self._rr.rotate(-1)
+                    queue = self._queues.get(tenant)
+                    if queue:
+                        return queue.popleft()
+                if self.closing:
+                    return None
+                await self._work.wait()
+
+    def _cache_dir(self) -> str | None:
+        return str(self.cache.root) if self.cache is not None else None
+
+    def _job_event(self, kind: str, key: str, fields: dict) -> None:
+        entry = self._inflight.get(key)
+        if entry is None:
+            return
+        self.journal.event(kind, key=key, workload=entry.job.workload,
+                           scheme=entry.job.scheme_id, **fields)
+
+    # -- settlement ------------------------------------------------------
+
+    def _settle(self, key: str, outcome: JobOutcome) -> None:
+        """Resolve one unique cell for every ticket subscribed to it."""
+        entry = self._inflight.pop(key, None)
+        if entry is None:
+            return
+        job = entry.job
+        fields = dict(
+            key=key, workload=job.workload, scheme=job.scheme_id,
+            status=outcome.status, duration=round(outcome.duration, 6),
+            attempts=outcome.attempts, error=outcome.error,
+            tenants=sorted({t.tenant for t in entry.tickets}),
+        )
+        if outcome.ok:
+            assert outcome.result is not None
+            # journaled payload keeps the farm journal resume-compatible
+            fields["result"] = outcome.result.to_dict()
+            if outcome.attempts > 0 and self.cache is not None:
+                self.cache.put(key, outcome.result, job.identity())
+        self.journal.event("job_finished", **fields)
+        self.counters["executed"] += 1 if outcome.attempts else 0
+        self.counters[outcome.status if not outcome.ok else "ok"] += 1
+        for ticket in entry.tickets:
+            shared = key in ticket.shared_keys
+            if outcome.attempts and not shared:
+                ticket.counters["executed"] += 1
+            if not outcome.ok:
+                ticket.counters[
+                    "interrupted" if outcome.status == "interrupted"
+                    else "failed"
+                ] += 1
+            ticket.sub.put(self._result_message(outcome, shared=shared),
+                           droppable=False)
+            ticket.pending.discard(key)
+            if ticket.done:
+                self._finish_ticket(ticket)
+
+    def _finish_ticket(self, ticket: Ticket) -> None:
+        self.journal.event("grid_finished", tenant=ticket.tenant,
+                           ticket=ticket.id, **ticket.summary())
+        ticket.sub.put(
+            {"type": "done", "ticket": ticket.id,
+             "summary": ticket.summary()},
+            droppable=False,
+        )
+        ticket.sub.close()
+
+    @staticmethod
+    def _result_message(outcome: JobOutcome, shared: bool) -> dict:
+        job = outcome.job
+        message = {
+            "type": "result",
+            "workload": job.workload,
+            "scheme": job.scheme_id,
+            "key": job.key,
+            "status": outcome.status,
+            "cache_hit": outcome.cache_hit,
+            "shared": shared,
+            "attempts": outcome.attempts,
+            "duration": round(outcome.duration, 6),
+            "error": outcome.error,
+        }
+        if outcome.ok:
+            assert outcome.result is not None
+            message["result"] = outcome.result.to_dict()
+        return message
+
+    # -- event multiplexing ---------------------------------------------
+
+    def _on_journal_event(self, entry: dict) -> None:
+        """Journal tap: broadcast + route to the key's watching tickets."""
+        self.stream.publish(entry)
+        key = entry.get("key")
+        if not key:
+            return
+        inflight = self._inflight.get(key)
+        if inflight is None:
+            return
+        for ticket in inflight.tickets:
+            if ticket.watch:
+                ticket.sub.put({"type": "event", "event": entry},
+                               droppable=True)
+
+    # -- cache lifecycle -------------------------------------------------
+
+    async def _enforce_cache_bound(self) -> None:
+        """Size-bound the shared store (LRU) after a fresh result lands."""
+        if self.cache is None or self.max_cache_mb is None:
+            return
+        report = await asyncio.to_thread(
+            self.cache.gc, None, self.max_cache_mb
+        )
+        if report["removed"]:
+            self.journal.event("cache_gc", **report)
+
+    # -- introspection ---------------------------------------------------
+
+    def status(self) -> dict:
+        """Queue depths, worker occupancy and lifetime counters."""
+        return {
+            "workers": len(self.leases),
+            "busy": self._busy,
+            "inflight": len(self._inflight),
+            "queued": sum(len(q) for q in self._queues.values()),
+            "tenants": {
+                tenant: len(queue)
+                for tenant, queue in self._queues.items() if queue
+            },
+            "counters": dict(self.counters),
+            "closing": self.closing,
+        }

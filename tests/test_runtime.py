@@ -170,6 +170,78 @@ class TestResultCache:
         assert list(loaded) == list(trace)
 
 
+class TestCacheLifecycle:
+    """LRU accounting behind ``cache gc`` and the serve store bound."""
+
+    @staticmethod
+    def _fill(cache, keys):
+        trace = build_workload("gzip", N)
+        result = simulate(trace, scheme=DlvpScheme())
+        for key in keys:
+            cache.put(key, result)
+        return result
+
+    @staticmethod
+    def _age(cache, key, seconds):
+        when = time.time() - seconds
+        os.utime(cache.result_path(key), (when, when))
+
+    def test_get_refreshes_last_used(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        a, b = "a" * 64, "b" * 64
+        self._fill(cache, [a, b])
+        self._age(cache, a, 3600)
+        self._age(cache, b, 7200)
+        assert cache.get(b) is not None      # touch: b becomes the MRU
+        size = cache.result_path(a).stat().st_size
+        report = cache.gc(max_size_mb=size * 1.5 / (1024 * 1024))
+        assert report["results_removed"] == 1
+        assert cache.get(b) is not None      # recently used survives
+        assert cache.get(a) is None          # cold entry evicted
+
+    def test_gc_evicts_least_recently_used_first(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = ["a" * 64, "b" * 64, "c" * 64]
+        self._fill(cache, keys)
+        for key, age in zip(keys, (30, 7200, 3600)):
+            self._age(cache, key, age)
+        size = cache.result_path(keys[0]).stat().st_size
+        report = cache.gc(max_size_mb=size * 1.5 / (1024 * 1024))
+        assert report["removed"] == 2 and report["kept"] == 1
+        assert cache.get(keys[0]) is not None
+        assert cache.get(keys[1]) is None and cache.get(keys[2]) is None
+
+    def test_gc_reports_per_category_counts_and_bytes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._fill(cache, ["a" * 64])
+        cache.put_trace(trace_cache_key("nat", N), build_workload("nat", N))
+        expected = sum(
+            p.stat().st_size
+            for p in (tmp_path / "results").rglob("*") if p.is_file()
+        ) + sum(
+            p.stat().st_size
+            for p in (tmp_path / "traces").rglob("*") if p.is_file()
+        )
+        report = cache.gc(max_age_days=0.0)
+        assert report["results_removed"] == 1
+        assert report["traces_removed"] == 1
+        assert report["bytes_freed"] == expected
+        assert report["kept"] == 0 and report["bytes_kept"] == 0
+
+    def test_stats_counts_sections(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._fill(cache, ["a" * 64, "b" * 64])
+        empty_quarantine = cache.stats()["quarantined"]
+        path = cache.result_path("c" * 64)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{ corrupt")
+        assert cache.get("c" * 64) is None   # quarantines the entry
+        stats = cache.stats()
+        assert stats["results"] == 2
+        assert stats["quarantined"] == empty_quarantine + 1
+        assert stats["bytes"] > 0
+
+
 class TestCacheSemantics:
     def test_cold_then_warm(self, tmp_path):
         cold = Runtime(jobs=1, cache_dir=tmp_path)
@@ -284,6 +356,44 @@ class TestJournal:
         runtime = Runtime(jobs=1, use_cache=False, retries=0)
         runtime.run_jobs([make_job("gzip", N, "test/raises")])
         assert "FAILED" in runtime.journal.format_summary()
+
+    def test_concurrent_appends_never_tear_lines(self, tmp_path):
+        """Many processes appending to one journal: every line intact.
+
+        The serve gateway and any number of CLI runs may share a
+        journal path; each event must be a single ``O_APPEND`` write so
+        concurrent writers interleave whole lines, never fragments."""
+        path = tmp_path / "shared.jsonl"
+        writers, events_each = 4, 200
+        script = (
+            "import sys\n"
+            "from repro.runtime import RunJournal\n"
+            "journal = RunJournal(sys.argv[1])\n"
+            "writer = sys.argv[2]\n"
+            f"for i in range({events_each}):\n"
+            "    journal.event('torn_line_probe', writer=writer, seq=i,\n"
+            "                  pad='x' * 2048)\n"
+            "journal.close()\n"
+        )
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, str(path), f"w{i}"], env=env
+            )
+            for i in range(writers)
+        ]
+        assert all(proc.wait(timeout=120) == 0 for proc in procs)
+        lines = path.read_bytes().decode("utf-8").splitlines()
+        assert len(lines) == writers * events_each
+        parsed = [json.loads(line) for line in lines]   # no torn JSON
+        per_writer = {}
+        for entry in parsed:
+            per_writer.setdefault(entry["writer"], []).append(entry["seq"])
+        assert set(per_writer) == {f"w{i}" for i in range(writers)}
+        for seqs in per_writer.values():
+            assert seqs == list(range(events_each))     # per-writer order
 
 
 class TestRegistry:
