@@ -152,7 +152,9 @@ def cmd_list(args: argparse.Namespace) -> int:
         for spec in sorted(SUITE.values(), key=lambda s: (s.group, s.name))
     ]
     print(format_table(["workload", "group", "kernel"], rows))
-    print(f"\n{len(SUITE)} workloads")
+    n_paper = len(workload_names())
+    print(f"\n{len(SUITE)} workloads ({n_paper} paper, "
+          f"{len(SUITE) - n_paper} adversarial)")
     return 0
 
 
@@ -552,6 +554,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
             fault_spec=args.fault,
             max_cache_mb=args.max_cache_mb,
             max_pending_per_tenant=args.max_pending,
+            max_pending_total=args.max_queued,
+            max_pending_cost=args.max_queued_cost,
+            lease_timeout=args.lease_timeout,
+            heartbeat=args.heartbeat,
             grace=args.grace,
         )
 
@@ -569,6 +575,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
                  if event.get("workload") else event.get("tenant", ""))
         print(f"  [{kind}] {where} {key}", file=sys.stderr)
 
+    def show_response(response) -> int:
+        rows = [
+            [cell.workload, cell.scheme, cell.status,
+             "resumed" if cell.resumed else
+             ("hit" if cell.cache_hit else
+              ("shared" if cell.shared else f"x{cell.attempts}")),
+             f"{cell.result.ipc:5.2f}" if cell.result else "-",
+             (cell.error or "")[:48]]
+            for cell in response.cells.values()
+        ]
+        print(format_table(
+            ["workload", "scheme", "status", "via", "ipc", "error"], rows
+        ))
+        print(response.format_summary())
+        return 0 if response.complete else 1
+
     try:
         if args.verb == "submit":
             on_event = None if args.quiet else show_event
@@ -579,6 +601,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
                     args.schemes, args.workloads or workload_names(),
                     n_instructions=args.instructions, recovery=args.recovery,
                     tenant=args.tenant, on_event=on_event,
+                    reconnects=args.reconnects,
                 )
             else:
                 response = serve.submit_or_local(
@@ -586,21 +609,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
                     n_instructions=args.instructions, recovery=args.recovery,
                     tenant=args.tenant, host=args.host, port=args.port,
                     cache_dir=cache_dir, jobs=args.local_jobs,
-                    on_event=on_event,
+                    on_event=on_event, reconnects=args.reconnects,
                 )
-            rows = [
-                [cell.workload, cell.scheme, cell.status,
-                 "hit" if cell.cache_hit else
-                 ("shared" if cell.shared else f"x{cell.attempts}"),
-                 f"{cell.result.ipc:5.2f}" if cell.result else "-",
-                 (cell.error or "")[:48]]
-                for cell in response.cells.values()
-            ]
-            print(format_table(
-                ["workload", "scheme", "status", "via", "ipc", "error"], rows
-            ))
-            print(response.format_summary())
-            return 0 if response.complete else 1
+            return show_response(response)
+        if args.verb == "resume":
+            client = serve.ServeClient(host=args.host, port=args.port,
+                                       cache_dir=cache_dir)
+            response = client.resume(
+                args.ticket,
+                on_event=None if args.quiet else show_event,
+                reconnects=args.reconnects,
+            )
+            return show_response(response)
         if args.verb == "watch":
             client = serve.ServeClient(host=args.host, port=args.port,
                                        cache_dir=cache_dir)
@@ -620,7 +640,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
                   f"{status.get('busy')}/{status.get('workers')} workers busy, "
                   f"{status.get('queued')} queued, "
                   f"{status.get('inflight')} in flight, "
-                  f"{status.get('watchers')} watchers")
+                  f"{status.get('watchers')} watchers, "
+                  f"{status.get('tickets', 0)} live tickets")
+            overload = status.get("overload") or {}
+            if overload.get("overloaded"):
+                print(f"OVERLOADED: {overload.get('queued')} cells queued "
+                      f"(bound {overload.get('bound')}), retry_after "
+                      f"{overload.get('retry_after')}s, "
+                      f"{overload.get('rejected', 0)} rejected so far")
             cache_stats = status.get("cache") or {}
             if cache_stats:
                 print(f"cache: {cache_stats.get('results', 0)} results, "
@@ -672,7 +699,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list the workload suite")
 
     run = sub.add_parser("run", help="simulate workloads under a scheme")
-    run.add_argument("workloads", nargs="+", choices=workload_names(),
+    run.add_argument("workloads", nargs="+", choices=sorted(SUITE),
                      metavar="workload")
     run.add_argument("--scheme", default="dlvp",
                      help="dlvp | cap | vtage | dvtage | tournament")
@@ -699,7 +726,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="registered scheme ids (see also: figure modules "
                             "register their sweep points on import)")
     sweep.add_argument("--workloads", nargs="*", default=None,
-                       choices=workload_names(), metavar="workload",
+                       choices=sorted(SUITE), metavar="workload",
                        help="workload subset (default: whole suite)")
     sweep.add_argument("--recovery", default="flush",
                        choices=[m.value for m in RecoveryMode])
@@ -720,7 +747,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--schemes", nargs="+", default=["baseline", "dlvp"],
                        metavar="scheme")
     chaos.add_argument("--workloads", nargs="*", default=None,
-                       choices=workload_names(), metavar="workload")
+                       choices=sorted(SUITE), metavar="workload")
     chaos.add_argument("--instructions", type=int, default=2_000)
     _add_runtime_flags(chaos)
 
@@ -743,7 +770,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("target", choices=["throughput"],
                        help="what to benchmark")
     bench.add_argument("--workload", default="gzip",
-                       choices=workload_names())
+                       choices=sorted(SUITE))
     bench.add_argument("--instructions", type=int, default=24_000)
     bench.add_argument("--schemes", nargs="+", metavar="scheme",
                        default=["baseline"] + list(_RUN_SCHEMES),
@@ -764,7 +791,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run one traced simulation (Chrome trace + interval metrics "
              "+ flight recorder)",
     )
-    tr.add_argument("workload", choices=workload_names(), metavar="workload")
+    tr.add_argument("workload", choices=sorted(SUITE), metavar="workload")
     tr.add_argument("--scheme", default="dlvp",
                     help="dlvp | cap | vtage | dvtage | tournament | baseline")
     tr.add_argument("--out", default="trace.json", metavar="FILE",
@@ -828,6 +855,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="LRU-evict the shared store past this size")
     start.add_argument("--max-pending", type=int, default=512, metavar="N",
                        help="per-tenant queue bound (default 512)")
+    start.add_argument("--max-queued", type=int, default=None, metavar="N",
+                       help="global queued-cell bound; submissions past it "
+                            "are shed with a retry_after hint")
+    start.add_argument("--max-queued-cost", type=int, default=None,
+                       metavar="INSTRUCTIONS",
+                       help="global queued-work bound in simulated "
+                            "instructions (admission control)")
+    start.add_argument("--lease-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="watchdog: reap a worker attempt running "
+                            "longer than this (hung-worker recovery)")
+    start.add_argument("--heartbeat", type=float, default=None,
+                       metavar="SECONDS",
+                       help="journal a worker_heartbeat at this interval "
+                            "while an attempt runs")
     start.add_argument("--grace", type=float, default=10.0, metavar="SECONDS",
                        help="shutdown drain window before in-flight work "
                             "is interrupted (default 10)")
@@ -839,7 +881,7 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--schemes", nargs="+", required=True,
                         metavar="scheme")
     submit.add_argument("--workloads", nargs="*", default=None,
-                        choices=workload_names(), metavar="workload",
+                        choices=sorted(SUITE), metavar="workload",
                         help="workload subset (default: whole suite)")
     submit.add_argument("--instructions", type=int, default=8_000)
     submit.add_argument("--recovery", default="flush",
@@ -854,7 +896,22 @@ def build_parser() -> argparse.ArgumentParser:
                              "server is reachable")
     submit.add_argument("--local-jobs", type=int, default=1, metavar="N",
                         help="worker processes for the in-process fallback")
-    for verb in (submit,):
+    submit.add_argument("--reconnects", type=int, default=0, metavar="N",
+                        help="on a dropped connection, reconnect and resume "
+                             "by ticket up to N times (jittered backoff)")
+
+    resume = srv_sub.add_parser(
+        "resume", help="re-attach to a submitted ticket: replay settled "
+                       "cells and stream the rest (survives client drops "
+                       "and gateway restarts)"
+    )
+    resume.add_argument("ticket", help="ticket id from a prior submit")
+    resume.add_argument("--quiet", action="store_true",
+                        help="do not stream per-job progress to stderr")
+    resume.add_argument("--reconnects", type=int, default=0, metavar="N",
+                        help="further reconnect attempts while resuming")
+
+    for verb in (submit, resume):
         verb.add_argument("--host", default=None)
         verb.add_argument("--port", type=int, default=None)
         verb.add_argument("--cache-dir", default=None, metavar="DIR")
@@ -874,7 +931,7 @@ def build_parser() -> argparse.ArgumentParser:
                               help="override the server's drain window")
 
     prof = sub.add_parser("profile", help="Figure 1/2 trace profiles")
-    prof.add_argument("workloads", nargs="+", choices=workload_names(),
+    prof.add_argument("workloads", nargs="+", choices=sorted(SUITE),
                       metavar="workload")
     prof.add_argument("--instructions", type=int, default=16_000)
     return parser

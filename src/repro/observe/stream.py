@@ -130,6 +130,20 @@ class EventStream:
                 delivered += 1
         return delivered
 
+    def stats(self) -> dict:
+        """Live fan-out health: subscriber count, backlog, drops.
+
+        ``dropped`` sums every subscriber's drop counter — nonzero
+        means at least one slow consumer is shedding progress events
+        (results are must-deliver and never counted here).  Surfaced
+        in ``serve status`` so overload shows up before it bites.
+        """
+        return {
+            "subscribers": len(self._subs),
+            "backlog": sum(len(sub) for sub in self._subs),
+            "dropped": sum(sub.dropped for sub in self._subs),
+        }
+
     def close(self, terminal: dict | None = None) -> None:
         """End the stream, delivering ``terminal`` to every subscriber."""
         self.closed = True

@@ -37,6 +37,7 @@ from repro.runtime.jobs import (
     Job,
     code_version_salt,
     execute_job,
+    job_from_identity,
     make_job,
     trace_cache_key,
 )
@@ -60,6 +61,7 @@ __all__ = [
     "JobOutcome",
     "JobTimeoutError",
     "make_job",
+    "job_from_identity",
     "execute_job",
     "code_version_salt",
     "trace_cache_key",

@@ -48,6 +48,7 @@ import traceback
 import warnings
 from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import TimeoutError as PoolWaitTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 
@@ -316,7 +317,16 @@ class JobLease(_FailurePolicy):
     escaping the executor.  :meth:`cancel` is the shutdown hook: it
     kills the in-flight attempt's worker process, which surfaces in
     :meth:`run_one` as an ``"interrupted"`` outcome (the same status
-    the batch executors use for SIGINT/SIGTERM).
+    the batch executors use for SIGINT/SIGTERM).  :meth:`reap` is the
+    *watchdog* hook: same worker kill, but without latching the cancel
+    flag, so the cell flows down the ordinary retry/backoff path
+    instead of settling interrupted.
+
+    With ``heartbeat`` set, :meth:`run_one` emits a
+    ``worker_heartbeat`` event every ``heartbeat`` seconds while an
+    attempt is executing — proof of life for the lease itself, and the
+    signal a serve-side watchdog contrasts with wall-clock silence to
+    spot a wedged slot.
     """
 
     def __init__(
@@ -324,9 +334,11 @@ class JobLease(_FailurePolicy):
         retries: int = 1,
         backoff: float = 0.0,
         timeout_factor: float | None = None,
+        heartbeat: float | None = None,
     ) -> None:
         super().__init__(retries=retries, backoff=backoff,
                          timeout_factor=timeout_factor)
+        self.heartbeat = heartbeat if heartbeat and heartbeat > 0 else None
         self._pool: ProcessPoolExecutor | None = None
         self._cancelled = False
 
@@ -353,10 +365,23 @@ class JobLease(_FailurePolicy):
                 self._pool = _make_pool(1)
             started = time.monotonic()
             try:
-                envelope = self._pool.submit(
+                future = self._pool.submit(
                     _worker_run, state.job, cache_dir, state.attempts,
                     fault_spec,
-                ).result()
+                )
+                if self.heartbeat is None:
+                    envelope = future.result()
+                else:
+                    while True:
+                        try:
+                            envelope = future.result(timeout=self.heartbeat)
+                            break
+                        except PoolWaitTimeout:
+                            events("worker_heartbeat", state.job, {
+                                "attempt": state.attempts,
+                                "elapsed": round(
+                                    time.monotonic() - started, 3),
+                            })
             except BrokenProcessPool:
                 duration = time.monotonic() - started
                 self.close()    # dead pool; the next attempt gets a new one
@@ -404,6 +429,18 @@ class JobLease(_FailurePolicy):
         a hung worker.
         """
         self._cancelled = True
+        self.reap()
+
+    def reap(self) -> None:
+        """Kill the in-flight attempt's worker *without* cancelling.
+
+        The lease-watchdog hook: unlike :meth:`cancel`, the cancel flag
+        stays clear, so :meth:`run_one` observes the resulting
+        ``BrokenProcessPool`` as an ordinary worker death — the attempt
+        is retried on a fresh pool (lazily rebuilt) under the bounded
+        retry/backoff policy, or settles ``"error"`` once attempts are
+        exhausted.  A hang therefore costs the cell, never the slot.
+        """
         pool = self._pool
         if pool is not None:
             for proc in list(getattr(pool, "_processes", {}).values()):

@@ -19,7 +19,7 @@ import hashlib
 import importlib
 import json
 import os
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, fields as dataclass_fields
 from pathlib import Path
 
 from repro import faults
@@ -108,6 +108,30 @@ class Job:
         fields = asdict(self)
         fields["key"] = self.key
         return fields
+
+
+def job_from_identity(fields: dict) -> Job:
+    """Rebuild a :class:`Job` from a persisted :meth:`Job.identity` dict.
+
+    The stored ``salt`` is used verbatim — *not* recomputed from the
+    current source tree — so a job journaled or ticketed by an earlier
+    server process hashes to the same key after a restart, which is the
+    property gateway crash recovery depends on.  When the record also
+    carries the original ``key`` it is cross-checked; a mismatch means
+    the record was hand-edited or torn and raises :class:`ValueError`.
+    """
+    known = {f.name for f in dataclass_fields(Job)}
+    try:
+        job = Job(**{k: v for k, v in fields.items() if k in known})
+    except TypeError as exc:
+        raise ValueError(f"incomplete job identity: {exc}") from None
+    expected = fields.get("key")
+    if expected is not None and job.key != expected:
+        raise ValueError(
+            f"job identity key mismatch: recorded {expected}, "
+            f"recomputed {job.key}"
+        )
+    return job
 
 
 def make_job(

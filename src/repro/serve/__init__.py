@@ -14,21 +14,32 @@ protocol.  What the farm adds over ``Runtime.run_grid``:
   stream multiplexed to submitters and ``watch`` connections;
 * **graceful drain** — SIGINT/SIGTERM (or the ``shutdown`` op) stops
   intake, finishes or interrupts in-flight work within a grace period,
-  and notifies every connected watcher with a terminal event.
+  and notifies every connected watcher with a terminal event;
+* **crash survivability** — tickets are durable records under the
+  cache root; a disconnected client (or a SIGKILL'd gateway restarted
+  on the same root) re-attaches with ``resume``, settled cells replay
+  from journal/cache and the rest re-execute exactly once.  A lease
+  watchdog reaps attempts that outlive their bound, and global
+  admission control sheds load with ``retry_after`` hints instead of
+  queueing without bound.
 
 Layering: :mod:`repro.serve.protocol` (wire format + validation),
-:mod:`repro.serve.scheduler` (dedup/fairness/leases),
+:mod:`repro.serve.tickets` (durable ticket records),
+:mod:`repro.serve.scheduler` (dedup/fairness/leases/recovery),
 :mod:`repro.serve.server` (asyncio gateway),
-:mod:`repro.serve.client` (blocking client + in-process fallback).
+:mod:`repro.serve.client` (blocking client + reconnect + fallback).
 """
 
 from repro.serve.client import (
     CellResult,
+    ConnectionLost,
     ServeClient,
     ServeError,
+    ServerOverloadedError,
     ServerShutdown,
     ServeUnavailable,
     SweepResponse,
+    UnknownTicketError,
     submit_or_local,
 )
 from repro.serve.protocol import (
@@ -38,13 +49,24 @@ from repro.serve.protocol import (
     GridRequest,
     ProtocolError,
     addr_file_path,
+    clear_addr_file,
     read_addr_file,
+    read_addr_record,
 )
-from repro.serve.scheduler import Scheduler, ServerClosing, TenantQueueFull, Ticket
+from repro.serve.scheduler import (
+    Scheduler,
+    ServerClosing,
+    ServerOverloaded,
+    TenantQueueFull,
+    Ticket,
+    UnknownTicket,
+)
 from repro.serve.server import ServerHandle, SweepServer
+from repro.serve.tickets import TicketRecordError, TicketStore
 
 __all__ = [
     "CellResult",
+    "ConnectionLost",
     "DEFAULT_HOST",
     "DEFAULT_PORT",
     "GridRequest",
@@ -56,12 +78,20 @@ __all__ = [
     "ServeUnavailable",
     "ServerClosing",
     "ServerHandle",
+    "ServerOverloaded",
+    "ServerOverloadedError",
     "ServerShutdown",
     "SweepResponse",
     "SweepServer",
     "TenantQueueFull",
     "Ticket",
+    "TicketRecordError",
+    "TicketStore",
+    "UnknownTicket",
+    "UnknownTicketError",
     "addr_file_path",
+    "clear_addr_file",
     "read_addr_file",
+    "read_addr_record",
     "submit_or_local",
 ]

@@ -4,7 +4,21 @@
 stdlib sockets — no asyncio on the client side, so the CLI, tests and
 notebook users get ordinary synchronous calls.  Address resolution
 order: explicit ``host``/``port`` argument, then the ``serve.addr``
-advertisement under the cache root, then the protocol default.
+advertisement under the cache root (pid-validated — a crashed server's
+stale record is deleted, not trusted), then the protocol default.
+Streaming reads stay on a short timeout until the server's first ack
+line arrives, so a dead-but-accepting address degrades into
+:class:`ServeUnavailable` (and thence the local fallback) instead of a
+hang.
+
+Crash survivability: :meth:`ServeClient.submit` accepts ``reconnects``
+— on a dropped connection it sleeps a jittered exponential backoff and
+*resumes by ticket* (the server replays settled cells and streams the
+rest), falling back to a safe resubmit when the drop predated the
+ticket ack (server-side dedup makes resubmission idempotent).  Overload
+rejections (:class:`ServerOverloadedError`) honour the server's
+``retry_after`` hint the same way.  :meth:`ServeClient.resume` is the
+standalone re-attach — ``repro serve resume <ticket>`` in CLI form.
 
 :func:`submit_or_local` is the degradation path the CLI uses: when no
 server is reachable the same grid runs in-process through
@@ -15,7 +29,9 @@ farm-backed deployment share one call site.
 
 from __future__ import annotations
 
+import random
 import socket
+import time
 from collections.abc import Callable
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -41,11 +57,59 @@ class ServeError(RuntimeError):
 
 
 class ServeUnavailable(ServeError):
-    """No server reachable at the resolved address."""
+    """No server reachable (or responsive) at the resolved address."""
 
 
 class ServerShutdown(ServeError):
     """The server shut down before the submission completed."""
+
+
+class ConnectionLost(ServeError):
+    """The connection dropped mid-stream (reconnectable by ticket)."""
+
+
+class ServerOverloadedError(ServeError):
+    """The farm shed this submission; retry after ``retry_after`` s."""
+
+    def __init__(self, message: str, retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class UnknownTicketError(ServeError):
+    """``resume`` named a ticket the server has no state or record for."""
+
+
+def _raise_error_line(message: dict) -> None:
+    """Map an error response line onto the typed exception hierarchy."""
+    error = message.get("error", "unknown server error")
+    code = message.get("code")
+    if code == "overloaded":
+        retry_after = message.get("retry_after")
+        raise ServerOverloadedError(
+            error,
+            retry_after=float(retry_after)
+            if isinstance(retry_after, (int, float)) else None,
+        )
+    if code == "unknown_ticket":
+        raise UnknownTicketError(error)
+    raise ServeError(error)
+
+
+@dataclass
+class _StreamState:
+    """What survives across reconnect attempts of one submission.
+
+    Replayed results simply overwrite their earlier copies (keyed by
+    (scheme, workload)), so however many times the stream drops, the
+    final response holds each cell exactly once.
+    """
+
+    ticket: str = ""
+    tenant: str = ""
+    cells: dict = field(default_factory=dict)
+    events: list = field(default_factory=list)
+    summary: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -58,6 +122,7 @@ class CellResult:
     status: str
     cache_hit: bool = False
     shared: bool = False
+    resumed: bool = False
     attempts: int = 0
     duration: float = 0.0
     error: str | None = None
@@ -159,7 +224,7 @@ class ServeClient:
             raise ServeError("server closed the connection without a reply")
         response = decode_message(line)
         if response.get("type") == "error":
-            raise ServeError(response.get("error", "unknown server error"))
+            _raise_error_line(response)
         return response
 
     # -- operations ------------------------------------------------------
@@ -167,6 +232,15 @@ class ServeClient:
     def ping(self, timeout: float = 5.0) -> dict:
         """Liveness + protocol version check."""
         return self._roundtrip({"op": "ping"}, timeout=timeout)
+
+    def probe(self, timeout: float = 2.0) -> bool:
+        """Connect-probe the resolved address: True iff a live farm
+        gateway answers a ping within ``timeout`` — the validation step
+        before trusting a discovered advertisement."""
+        try:
+            return self.ping(timeout=timeout).get("type") == "pong"
+        except ServeError:
+            return False
 
     def status(self, timeout: float = 10.0) -> dict:
         """The server's queue/worker/cache status snapshot."""
@@ -200,6 +274,9 @@ class ServeClient:
         watch: bool = True,
         on_event: EventFn | None = None,
         timeout: float | None = None,
+        reconnects: int = 0,
+        backoff: float = 0.5,
+        max_backoff: float = 30.0,
     ) -> SweepResponse:
         """Submit a grid and block until every cell settles.
 
@@ -209,52 +286,148 @@ class ServeClient:
         drains away mid-submission with cells still unsettled (cells
         the server marked ``"interrupted"`` do *not* raise — they come
         back as failed cells the caller can inspect or resubmit).
+
+        ``reconnects`` enables the crash-survivable path: when the
+        connection drops mid-stream the client sleeps a jittered
+        exponential backoff and **resumes by ticket** — the server
+        replays settled cells and streams the rest.  A drop before the
+        ticket ack resubmits the grid instead (idempotent: the farm
+        dedups against cache and in-flight work).  An
+        :class:`ServerOverloadedError` rejection is retried after the
+        server's ``retry_after`` hint (capped at ``max_backoff``).
         """
         request = GridRequest(
             tenant=tenant, schemes=tuple(schemes), workloads=tuple(workloads),
             n_instructions=n_instructions, recovery=recovery, watch=watch,
         )
-        cells: dict[tuple[str, str], CellResult] = {}
-        events: list[dict] = []
-        ticket = ""
-        summary: dict = {}
+        state = _StreamState(tenant=tenant)
+        message = request.to_message()
+        attempt = 0
+        while True:
+            try:
+                return self._stream_grid(message, state, on_event, timeout)
+            except ServerOverloadedError as exc:
+                if attempt >= reconnects:
+                    raise
+                attempt += 1
+                hint = exc.retry_after if exc.retry_after else backoff
+                self._backoff_sleep(hint, max_backoff)
+            except (ConnectionLost, ServeUnavailable) as exc:
+                if isinstance(exc, ServeUnavailable) and attempt == 0 \
+                        and not state.ticket:
+                    raise          # nothing reached: let callers fall back
+                if attempt >= reconnects:
+                    raise
+                attempt += 1
+                self._backoff_sleep(backoff * 2 ** (attempt - 1),
+                                    max_backoff)
+                if state.ticket:
+                    message = {"op": "resume", "ticket": state.ticket,
+                               "watch": watch}
+
+    def resume(
+        self,
+        ticket: str,
+        watch: bool = True,
+        on_event: EventFn | None = None,
+        timeout: float | None = None,
+        reconnects: int = 0,
+        backoff: float = 0.5,
+        max_backoff: float = 30.0,
+        tenant: str = "",
+    ) -> SweepResponse:
+        """Re-attach to a ticket and block until every cell settles.
+
+        The server replays every already-settled cell (from live state,
+        the journal, or the cache) and streams the rest — after a
+        client disconnect *or* a gateway restart against the same cache
+        root.  Raises :class:`UnknownTicketError` when no state or
+        record exists for ``ticket``.
+        """
+        state = _StreamState(ticket=ticket, tenant=tenant)
+        message: dict = {"op": "resume", "ticket": ticket, "watch": watch}
+        attempt = 0
+        while True:
+            try:
+                return self._stream_grid(message, state, on_event, timeout)
+            except (ConnectionLost, ServeUnavailable):
+                if attempt >= reconnects:
+                    raise
+                attempt += 1
+                self._backoff_sleep(backoff * 2 ** (attempt - 1),
+                                    max_backoff)
+
+    def _stream_grid(
+        self,
+        message: dict,
+        state: "_StreamState",
+        on_event: EventFn | None,
+        timeout: float | None,
+    ) -> SweepResponse:
+        """One connection's worth of the submit/resume response stream.
+
+        ``state`` accumulates across reconnect attempts: replayed
+        results overwrite their earlier copies keyed by (scheme,
+        workload), so a resumed stream converges on the same response
+        an uninterrupted one would have produced.
+        """
+        acked = False
         try:
-            with self._connect(timeout) as sock:
-                sock.sendall(encode_message(request.to_message()))
+            with self._connect(self.connect_timeout) as sock:
+                sock.sendall(encode_message(message))
                 with sock.makefile("rb") as reader:
                     for raw in reader:
-                        message = decode_message(raw)
-                        kind = message.get("type")
+                        response = decode_message(raw)
+                        kind = response.get("type")
                         if kind == "error":
-                            raise ServeError(
-                                message.get("error", "server error")
-                            )
-                        if kind == "submitted":
-                            ticket = message.get("ticket", "")
+                            _raise_error_line(response)
+                        if kind in ("submitted", "resumed"):
+                            # ack received: switch from the short probe
+                            # timeout to the caller's streaming timeout
+                            acked = True
+                            sock.settimeout(timeout)
+                            state.ticket = response.get("ticket",
+                                                        state.ticket)
+                            state.tenant = response.get("tenant",
+                                                        state.tenant)
                         elif kind == "event":
-                            events.append(message.get("event", {}))
+                            state.events.append(response.get("event", {}))
                             if on_event is not None:
-                                on_event(message["event"])
+                                on_event(response["event"])
                         elif kind == "result":
-                            cell = _decode_cell(message)
-                            cells[(cell.scheme, cell.workload)] = cell
+                            cell = _decode_cell(response)
+                            state.cells[(cell.scheme, cell.workload)] = cell
                         elif kind == "done":
-                            summary = message.get("summary", {})
-                            break
+                            state.summary = response.get("summary", {})
+                            return SweepResponse(
+                                ticket=state.ticket, tenant=state.tenant,
+                                cells=state.cells, summary=state.summary,
+                                events=state.events, mode="served",
+                            )
                         elif kind == "server_shutdown":
                             raise ServerShutdown(
                                 "server shut down mid-submission "
-                                f"({message.get('reason')})"
+                                f"({response.get('reason')})"
                             )
+        except socket.timeout:
+            if not acked:
+                # accepting but mute: a hijacked port or wedged server
+                # must degrade like an absent one, not hang the client
+                raise ServeUnavailable(
+                    f"server at {self.host}:{self.port} accepted but did "
+                    "not answer"
+                ) from None
+            raise ConnectionLost("read timed out mid-stream") from None
         except OSError as exc:
-            raise ServeError(f"connection lost mid-submission: {exc}") \
-                from None
-        if not summary and not cells:
-            raise ServeError("connection ended before any cell settled")
-        return SweepResponse(
-            ticket=ticket, tenant=tenant, cells=cells, summary=summary,
-            events=events, mode="served",
-        )
+            raise ConnectionLost(
+                f"connection lost mid-submission: {exc}"
+            ) from None
+        raise ConnectionLost("connection ended before the grid settled")
+
+    @staticmethod
+    def _backoff_sleep(seconds: float, cap: float) -> None:
+        """Jittered sleep: +-50% around ``seconds``, capped at ``cap``."""
+        time.sleep(min(cap, max(0.0, seconds)) * random.uniform(0.5, 1.5))
 
     def watch(self, on_event: EventFn, timeout: float | None = None) -> dict:
         """Stream every farm journal event until the server shuts down.
@@ -299,6 +472,7 @@ def _decode_cell(message: dict) -> CellResult:
         status=message.get("status", "error"),
         cache_hit=bool(message.get("cache_hit")),
         shared=bool(message.get("shared")),
+        resumed=bool(message.get("resumed")),
         attempts=int(message.get("attempts") or 0),
         duration=float(message.get("duration") or 0.0),
         error=message.get("error"),
@@ -317,19 +491,23 @@ def submit_or_local(
     cache_dir: str | Path | None = None,
     jobs: int = 1,
     on_event: EventFn | None = None,
+    reconnects: int = 0,
 ) -> SweepResponse:
     """Submit through a server when reachable, else run in-process.
 
     The fallback uses the same cache root, so results computed locally
     are visible to a server started later (and vice versa); the
     returned :class:`SweepResponse` is shaped identically with
-    ``mode="local"``.
+    ``mode="local"``.  A first-contact :class:`ServeUnavailable` falls
+    back; once a ticket exists the reconnect loop (``reconnects``) owns
+    recovery — falling back *then* would run settled work twice.
     """
     client = ServeClient(host=host, port=port, cache_dir=cache_dir)
     try:
         return client.submit(
             schemes, workloads, n_instructions=n_instructions,
             recovery=recovery, tenant=tenant, on_event=on_event,
+            reconnects=reconnects,
         )
     except ServeUnavailable:
         pass

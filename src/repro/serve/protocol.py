@@ -13,6 +13,7 @@ Requests (``op`` selects the verb)::
     {"op": "submit", "tenant": "alice", "schemes": [...],
      "workloads": [...], "n_instructions": 8000, "recovery": "flush",
      "watch": true}
+    {"op": "resume", "ticket": "ab12cd34", "watch": true}
     {"op": "watch"}                       # stream every journal event
     {"op": "status"}
     {"op": "cache", "action": "gc"|"verify", "max_size_mb": ...,
@@ -21,27 +22,43 @@ Requests (``op`` selects the verb)::
 
 Responses (``type`` tags each line)::
 
-    {"type": "pong", "version": 1, "server": <run_id>}
+    {"type": "pong", "version": 2, "server": <run_id>}
     {"type": "submitted", "ticket": ..., "cells": N, "executing": n,
      "cached": n, "shared": n}
+    {"type": "resumed", "ticket": ..., "cells": N, "settled": n,
+     "pending": n, "revived": bool}
     {"type": "event", "event": {...journal event...}}     # watch only
     {"type": "result", "workload": ..., "scheme": ..., "key": ...,
-     "status": ..., "cache_hit": ..., "shared": ..., "attempts": ...,
-     "error": ..., "result": {SimResult payload, ok only}}
+     "status": ..., "cache_hit": ..., "shared": ..., "resumed": ...,
+     "attempts": ..., "error": ..., "result": {SimResult payload,
+     ok only}}
     {"type": "done", "ticket": ..., "summary": {...}}
     {"type": "status", ...}  /  {"type": "cache_report", ...}
     {"type": "shutting_down"}  /  {"type": "server_shutdown", ...}
-    {"type": "error", "error": "..."}
+    {"type": "error", "error": "...", "code": ..., "retry_after": ...}
 
 Every ``submit`` settles each cell with exactly one ``result`` line and
 ends with exactly one ``done`` (or terminal ``server_shutdown``) line —
-that contract is what the client blocks on.
+that contract is what the client blocks on.  ``resume`` re-enters the
+same stream by ticket id: settled cells are replayed, unsettled ones
+stream as they finish.  Error lines may carry a machine-readable
+``code`` (``"overloaded"``, ``"unknown_ticket"``, ``"ticket_corrupt"``)
+and, for overload shedding, a ``retry_after`` hint in seconds.
+
+Version history: v1 had no ``resume`` op, no error codes, and no
+``resumed`` field on result lines; a v2 client talking to a v1 server
+sees ``unknown op 'resume'`` and should treat the ticket as
+unresumable.
 
 Discovery: a running server records ``host port pid`` as JSON in
 ``<cache-dir>/serve.addr``; clients without an explicit address read it
 from the same cache root they would simulate against, which is also
 what makes the "no server reachable -> run in-process" fallback cheap
-to decide.
+to decide.  The advertisement is trust-but-verify: readers drop (and
+delete) a record whose pid is no longer alive, writers only withdraw
+their *own* record (pid-guarded), and clients still probe before
+relying on it — a crashed server must degrade discovery into the
+in-process fallback, never into a hang.
 """
 
 from __future__ import annotations
@@ -53,9 +70,9 @@ from pathlib import Path
 
 from repro.pipeline import RecoveryMode
 from repro.runtime import Job, default_cache_dir, make_job, scheme_ids
-from repro.workloads import workload_names
+from repro.workloads import SUITE
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 8790
 ADDR_FILE = "serve.addr"
@@ -87,9 +104,19 @@ def decode_message(line: str | bytes) -> dict:
     return message
 
 
-def error_message(error: str) -> dict:
-    """The standard error response line."""
-    return {"type": "error", "error": error}
+def error_message(error: str, code: str | None = None,
+                  **extra: object) -> dict:
+    """The standard error response line.
+
+    ``code`` is the optional machine-readable discriminator clients
+    dispatch on (``"overloaded"``, ``"unknown_ticket"``, ...); ``extra``
+    carries code-specific fields such as ``retry_after``.
+    """
+    message: dict = {"type": "error", "error": error}
+    if code is not None:
+        message["code"] = code
+    message.update(extra)
+    return message
 
 
 @dataclass(frozen=True)
@@ -124,8 +151,9 @@ class GridRequest:
         unknown = [s for s in schemes if s not in known_schemes]
         if unknown:
             raise ProtocolError(f"unknown scheme(s) {unknown}")
-        known_workloads = workload_names()
-        unknown = [w for w in workloads if w not in known_workloads]
+        # validate against the full registry (adversarial stress
+        # workloads included), not just the paper's default suite
+        unknown = [w for w in workloads if w not in SUITE]
         if unknown:
             raise ProtocolError(f"unknown workload(s) {unknown}")
         if len(schemes) * len(workloads) > MAX_GRID_CELLS:
@@ -200,20 +228,69 @@ def write_addr_file(
     return path
 
 
-def read_addr_file(
+def read_addr_record(
     cache_dir: str | Path | None = None,
-) -> tuple[str, int] | None:
-    """The advertised (host, port), or None when absent/unreadable."""
+) -> dict | None:
+    """The raw advertisement record, or None when absent/unreadable."""
     path = addr_file_path(cache_dir)
     try:
         payload = json.loads(path.read_text())
-        return str(payload["host"]), int(payload["port"])
-    except (OSError, ValueError, KeyError, TypeError):
+        if not isinstance(payload, dict):
+            return None
+        return payload
+    except (OSError, ValueError):
         return None
 
 
-def clear_addr_file(cache_dir: str | Path | None = None) -> None:
-    """Withdraw the advertisement (clean shutdown)."""
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (OSError, PermissionError):
+        # EPERM et al.: the pid exists but isn't ours — treat as alive
+        return True
+    return True
+
+
+def read_addr_file(
+    cache_dir: str | Path | None = None,
+) -> tuple[str, int] | None:
+    """The advertised (host, port), or None when absent/unreadable.
+
+    Staleness guard: an advertisement whose recorded pid is provably
+    dead is a crashed server's leftover — it is deleted on sight and
+    ``None`` is returned, so discovery degrades into the in-process
+    fallback instead of pointing clients at a corpse (or worse, at an
+    unrelated process that later reused the port).
+    """
+    payload = read_addr_record(cache_dir)
+    if payload is None:
+        return None
+    try:
+        host, port = str(payload["host"]), int(payload["port"])
+    except (KeyError, TypeError, ValueError):
+        return None
+    pid = payload.get("pid")
+    if isinstance(pid, int) and not _pid_alive(pid):
+        clear_addr_file(cache_dir, pid=pid)
+        return None
+    return host, port
+
+
+def clear_addr_file(
+    cache_dir: str | Path | None = None, pid: int | None = None
+) -> None:
+    """Withdraw the advertisement (clean shutdown).
+
+    With ``pid`` given, the file is only removed when its record names
+    that pid — so a slow old server shutting down *after* a replacement
+    started cannot withdraw the new server's advertisement.
+    """
+    if pid is not None:
+        record = read_addr_record(cache_dir)
+        if record is not None and record.get("pid") not in (None, pid):
+            return
     try:
         addr_file_path(cache_dir).unlink()
     except OSError:

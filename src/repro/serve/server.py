@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import os
 import signal
 import threading
 import time
@@ -43,7 +44,14 @@ from repro.serve.protocol import (
     error_message,
     write_addr_file,
 )
-from repro.serve.scheduler import Scheduler, ServerClosing, TenantQueueFull
+from repro.serve.scheduler import (
+    Scheduler,
+    ServerClosing,
+    ServerOverloaded,
+    TenantQueueFull,
+    UnknownTicket,
+)
+from repro.serve.tickets import TICKETS_DIRNAME, TicketRecordError, TicketStore
 
 DEFAULT_GRACE = 10.0
 
@@ -111,6 +119,10 @@ class SweepServer:
         fault_spec: str | None = None,
         max_cache_mb: float | None = None,
         max_pending_per_tenant: int = 512,
+        max_pending_total: int | None = None,
+        max_pending_cost: int | None = None,
+        lease_timeout: float | None = None,
+        heartbeat: float | None = None,
         grace: float = DEFAULT_GRACE,
     ) -> None:
         self.host = host
@@ -131,6 +143,10 @@ class SweepServer:
         self.fault_spec = fault_spec
         self.max_cache_mb = max_cache_mb
         self.max_pending_per_tenant = max_pending_per_tenant
+        self.max_pending_total = max_pending_total
+        self.max_pending_cost = max_pending_cost
+        self.lease_timeout = lease_timeout
+        self.heartbeat = heartbeat
         self.grace = grace
         self.started = 0.0
         self.journal: RunJournal | None = None
@@ -163,7 +179,12 @@ class SweepServer:
             timeout_factor=self.timeout_factor,
             fault_spec=self.fault_spec,
             max_pending_per_tenant=self.max_pending_per_tenant,
+            max_pending_total=self.max_pending_total,
+            max_pending_cost=self.max_pending_cost,
             max_cache_mb=self.max_cache_mb,
+            tickets=TicketStore(self.cache_dir / TICKETS_DIRNAME),
+            lease_timeout=self.lease_timeout,
+            heartbeat=self.heartbeat,
         )
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port,
@@ -171,6 +192,10 @@ class SweepServer:
         )
         self.port = self._server.sockets[0].getsockname()[1]
         self.scheduler.start()
+        # Crash recovery happens *before* the advertisement goes up:
+        # unfinished ticket records from a killed predecessor re-enter
+        # the queues, so a grid survives its gateway.
+        await self.scheduler.recover()
         write_addr_file(self.cache_dir, self.host, self.port)
         self.journal.event(
             "server_started", host=self.host, port=self.port,
@@ -192,7 +217,9 @@ class SweepServer:
         self._shutting_down = True
         assert self.journal is not None and self.scheduler is not None
         assert self.stream is not None and self._closed is not None
-        clear_addr_file(self.cache_dir)     # stop advertising first
+        # stop advertising first — pid-guarded, so if a replacement
+        # server already advertised itself we leave its record alone
+        clear_addr_file(self.cache_dir, pid=os.getpid())
         self.journal.event("server_shutdown_started", reason=reason,
                            **self.scheduler.status())
         counts = await self.scheduler.shutdown(self.grace)
@@ -296,6 +323,8 @@ class SweepServer:
             })
         elif op == "submit":
             await self._op_submit(message, writer)
+        elif op == "resume":
+            await self._op_resume(message, writer)
         elif op == "watch":
             await self._op_watch(writer)
         elif op == "status":
@@ -316,7 +345,17 @@ class SweepServer:
         sub = Subscription()
         try:
             ticket = await self.scheduler.submit(request, sub)
-        except (TenantQueueFull, ServerClosing) as exc:
+        except ServerOverloaded as exc:
+            await self._send(writer, error_message(
+                str(exc), code="overloaded", retry_after=exc.retry_after,
+            ))
+            return
+        except TenantQueueFull as exc:
+            await self._send(writer, error_message(
+                str(exc), code="tenant_queue_full",
+            ))
+            return
+        except ServerClosing as exc:
             await self._send(writer, error_message(str(exc)))
             return
         await self._send(writer, {
@@ -326,6 +365,33 @@ class SweepServer:
             "cached": ticket.counters["cached"],
             "shared": ticket.counters["shared"],
         })
+        await self._pump(sub, writer)
+
+    async def _op_resume(self, message: dict, writer) -> None:
+        """Re-attach by ticket id; replay settled cells, stream the rest."""
+        ticket_id = message.get("ticket")
+        if not isinstance(ticket_id, str) or not ticket_id:
+            raise ProtocolError("resume requires a ticket id")
+        sub = Subscription()
+        try:
+            ack = await self.scheduler.resume(
+                ticket_id, sub, watch=bool(message.get("watch", True)),
+            )
+        except UnknownTicket as exc:
+            await self._send(writer, error_message(
+                str(exc.args[0] if exc.args else exc),
+                code="unknown_ticket",
+            ))
+            return
+        except TicketRecordError as exc:
+            await self._send(writer, error_message(
+                str(exc), code="ticket_corrupt",
+            ))
+            return
+        except ServerClosing as exc:
+            await self._send(writer, error_message(str(exc)))
+            return
+        await self._send(writer, {"type": "resumed", **ack})
         await self._pump(sub, writer)
 
     async def _op_watch(self, writer) -> None:
@@ -387,6 +453,8 @@ class SweepServer:
             "port": self.port,
             "journal": str(self.journal_path),
             "watchers": len(self.stream) if self.stream is not None else 0,
+            "stream": self.stream.stats() if self.stream is not None
+            else {},
             **self.scheduler.status(),
         }
         if self.scheduler.cache is not None:

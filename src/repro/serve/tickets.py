@@ -1,0 +1,135 @@
+"""Durable ticket records — the farm's crash-survivable submission state.
+
+Every admitted submission is persisted as one small JSON file under
+``<cache-root>/tickets/<ticket-id>.json`` holding enough to reconstruct
+the grid after *any* participant dies: the tenant, the full cell list
+as :meth:`~repro.runtime.Job.identity` dicts (including each job's
+content key and the code salt it was hashed with), and a ``finished``
+flag with the final summary once the grid settles.
+
+The record is deliberately **not** updated per settlement — the farm
+journal already holds every ``job_finished`` line (with the result
+payload for ok cells), so the settled-set is derived from the journal
+at resume time instead of being double-written on the hot path.  A
+ticket file is written exactly twice: once at admission, once at
+completion, each via write-to-temp + ``os.replace`` so readers never
+see a torn record from a *clean* writer.  A record torn by a crash
+mid-``replace`` (or corrupted on disk) fails validation and is
+reported, never trusted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.runtime import Job, job_from_identity
+
+TICKETS_DIRNAME = "tickets"
+
+
+class TicketRecordError(ValueError):
+    """A ticket record exists but cannot be trusted (torn/corrupt)."""
+
+
+class TicketStore:
+    """Atomic load/save of ticket records under one directory."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def path(self, ticket_id: str) -> Path:
+        return self.root / f"{ticket_id}.json"
+
+    def save(
+        self,
+        ticket_id: str,
+        *,
+        tenant: str,
+        watch: bool,
+        cells: list[dict],
+        finished: bool = False,
+        summary: dict | None = None,
+        created: float | None = None,
+    ) -> Path:
+        """Persist one record atomically (temp file + ``os.replace``)."""
+        record = {
+            "ticket": ticket_id,
+            "tenant": tenant,
+            "watch": watch,
+            "created": created if created is not None else time.time(),
+            "cells": cells,
+            "finished": finished,
+            "summary": summary,
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path(ticket_id)
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(record) + "\n")
+        os.replace(tmp, path)
+        return path
+
+    def load(self, ticket_id: str) -> dict | None:
+        """One validated record, None when absent; raises
+        :class:`TicketRecordError` for an unreadable/torn record."""
+        path = self.path(ticket_id)
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            raise TicketRecordError(f"unreadable ticket record {path}: {exc}") \
+                from None
+        return self._validate(path, text)
+
+    def load_all(self) -> tuple[list[dict], list[Path]]:
+        """Every record on disk: ``(valid records, corrupt paths)``."""
+        records: list[dict] = []
+        corrupt: list[Path] = []
+        if not self.root.is_dir():
+            return records, corrupt
+        for path in sorted(self.root.glob("*.json")):
+            try:
+                records.append(self._validate(path, path.read_text()))
+            except (OSError, TicketRecordError):
+                corrupt.append(path)
+        return records, corrupt
+
+    @staticmethod
+    def _validate(path: Path, text: str) -> dict:
+        try:
+            record = json.loads(text)
+        except ValueError as exc:
+            raise TicketRecordError(
+                f"torn ticket record {path}: {exc}"
+            ) from None
+        if (
+            not isinstance(record, dict)
+            or not isinstance(record.get("ticket"), str)
+            or not isinstance(record.get("tenant"), str)
+            or not isinstance(record.get("cells"), list)
+            or not all(isinstance(c, dict) for c in record["cells"])
+        ):
+            raise TicketRecordError(f"invalid ticket record {path}")
+        return record
+
+    @staticmethod
+    def jobs(record: dict) -> dict[str, Job]:
+        """key -> reconstructed :class:`Job` for every cell in a record.
+
+        Raises :class:`TicketRecordError` when any cell's identity is
+        incomplete or fails its key cross-check — a record that cannot
+        name its cells exactly must not be resumed approximately.
+        """
+        jobs: dict[str, Job] = {}
+        for cell in record["cells"]:
+            try:
+                job = job_from_identity(cell)
+            except ValueError as exc:
+                raise TicketRecordError(
+                    f"ticket {record.get('ticket')!r}: {exc}"
+                ) from None
+            jobs[job.key] = job
+        return jobs

@@ -16,6 +16,7 @@ real, not annotated.
 
 from repro.workloads.base import WorkloadBuilder, WorkloadSpec
 from repro.workloads.suite import (
+    PAPER_GROUPS,
     SUITE,
     SUITE_GROUPS,
     workload_names,
@@ -26,6 +27,7 @@ from repro.workloads.suite import (
 __all__ = [
     "WorkloadBuilder",
     "WorkloadSpec",
+    "PAPER_GROUPS",
     "SUITE",
     "SUITE_GROUPS",
     "workload_names",

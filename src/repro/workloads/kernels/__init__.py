@@ -16,6 +16,7 @@ from repro.workloads.kernels.state_machine import table_state_machine
 from repro.workloads.kernels.vector_kernel import vector_filter
 from repro.workloads.kernels.string_ops import string_scan
 from repro.workloads.kernels.producer_consumer import producer_consumer
+from repro.workloads.kernels.store_flood import conflicting_store_flood
 from repro.workloads.kernels.flag_loop import flag_check_loop
 from repro.workloads.kernels.object_graph import object_graph
 from repro.workloads.kernels.mixed import mixed_phases
@@ -31,6 +32,7 @@ __all__ = [
     "vector_filter",
     "string_scan",
     "producer_consumer",
+    "conflicting_store_flood",
     "flag_check_loop",
     "object_graph",
     "mixed_phases",

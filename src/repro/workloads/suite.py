@@ -1,4 +1,5 @@
-"""The 78-workload suite (the paper's Table 3 stand-in).
+"""The workload registry: the paper's 78-benchmark suite plus stress
+workloads.
 
 Names follow the paper's benchmark pool — SPEC2K, SPEC2K6, EEMBC and a
 set of JS/media/other applications — and each maps to a kernel family
@@ -20,6 +21,7 @@ from repro.trace import Trace
 from repro.workloads.base import WorkloadSpec
 from repro.workloads.kernels import (
     bytecode_interpreter,
+    conflicting_store_flood,
     flag_check_loop,
     hash_lookup,
     matrix_multiply,
@@ -192,19 +194,43 @@ _OTHER = [
     for i, (name, kernel, params) in enumerate(_OTHER_DEFS)
 ]
 
+# Stress workloads *outside* the paper's pool: adversarial patterns the
+# chaos/robustness tests lean on.  They live in the registry (so the
+# serve farm, caching and goldens cover them) but are excluded from the
+# default `workload_names()` selection — figures, sweeps and Table 3
+# stay the paper's 78 benchmarks, byte for byte.
+_ADVERSARIAL = [
+    _spec("storeflood", "adversarial", conflicting_store_flood, 500,
+          slots=32, store_rate=0.75, gap_instructions=3),
+    _spec("storeflood_lite", "adversarial", conflicting_store_flood, 501,
+          slots=48, store_rate=0.15, gap_instructions=8),
+]
+
 SUITE: dict[str, WorkloadSpec] = {
-    spec.name: spec for spec in (*_SPEC2K, *_SPEC2K6, *_EEMBC, *_OTHER)
+    spec.name: spec
+    for spec in (*_SPEC2K, *_SPEC2K6, *_EEMBC, *_OTHER, *_ADVERSARIAL)
 }
 
 SUITE_GROUPS: dict[str, list[str]] = {}
 for _spec_obj in SUITE.values():
     SUITE_GROUPS.setdefault(_spec_obj.group, []).append(_spec_obj.name)
 
+# The paper's own benchmark pool (Table 3's denominator).
+PAPER_GROUPS: tuple[str, ...] = ("spec2k", "spec2k6", "eembc", "other")
+
 
 def workload_names(group: str | None = None) -> list[str]:
-    """All workload names, optionally restricted to one suite group."""
+    """Workload names for one group, or the paper's default pool.
+
+    With no ``group`` this returns only the 78 paper benchmarks
+    (:data:`PAPER_GROUPS`) — the default selection every figure and
+    sweep reproduces.  Adversarial stress workloads must be asked for
+    by group (``workload_names("adversarial")``) or by name.
+    """
     if group is None:
-        return list(SUITE)
+        return [
+            name for g in PAPER_GROUPS for name in SUITE_GROUPS.get(g, [])
+        ]
     if group not in SUITE_GROUPS:
         raise KeyError(f"unknown suite group: {group!r} (have {sorted(SUITE_GROUPS)})")
     return list(SUITE_GROUPS[group])

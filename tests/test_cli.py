@@ -30,7 +30,7 @@ class TestCommands:
     def test_list(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
-        assert "perlbmk" in out and "78 workloads" in out
+        assert "perlbmk" in out and "80 workloads (78 paper" in out
 
     def test_run(self, capsys):
         assert main(["run", "aifirf", "--instructions", "2000"]) == 0

@@ -384,7 +384,7 @@ class TestProtocolEdges:
         try:
             client = ServeClient(host=handle.host, port=handle.port)
             pong = client.ping()
-            assert pong["type"] == "pong" and pong["version"] == 1
+            assert pong["type"] == "pong" and pong["version"] == 2
             status = client.status()
             for field in ("workers", "busy", "queued", "inflight",
                           "uptime_s", "cache", "counters"):

@@ -5,6 +5,7 @@ import pytest
 from repro.isa import OpClass
 from repro.memory import MemoryImage
 from repro.workloads import (
+    PAPER_GROUPS,
     SUITE,
     SUITE_GROUPS,
     build_suite,
@@ -14,11 +15,24 @@ from repro.workloads import (
 
 
 class TestSuiteRegistry:
-    def test_seventy_eight_workloads(self):
-        assert len(SUITE) == 78
+    def test_registry_size(self):
+        # 78 paper benchmarks + the adversarial stress workloads
+        assert len(SUITE) == 80
+        assert len(workload_names()) == 78
 
     def test_groups_cover_paper_suites(self):
-        assert set(SUITE_GROUPS) == {"spec2k", "spec2k6", "eembc", "other"}
+        assert set(SUITE_GROUPS) == {
+            "spec2k", "spec2k6", "eembc", "other", "adversarial",
+        }
+        assert set(PAPER_GROUPS) == set(SUITE_GROUPS) - {"adversarial"}
+
+    def test_default_names_exclude_adversarial(self):
+        default = set(workload_names())
+        assert "storeflood" not in default
+        assert set(workload_names("adversarial")) == {
+            "storeflood", "storeflood_lite",
+        }
+        assert default | set(workload_names("adversarial")) == set(SUITE)
 
     def test_paper_headliners_present(self):
         for name in ("perlbmk", "nat", "aifirf", "bzip2", "pdfjs", "gcc",
