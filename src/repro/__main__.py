@@ -48,7 +48,7 @@ Examples::
     python -m repro trace aifirf --scheme dlvp --out trace.json
     python -m repro observe report
     python -m repro run aifirf --scheme dlvp --trace traces/
-    python -m repro bench throughput --output BENCH_pr3.json
+    python -m repro bench throughput --output BENCH_pr8.json
     python -m repro cache verify
     python -m repro cache gc --max-age-days 30 --max-size-mb 512
     python -m repro serve start --workers 4 --max-cache-mb 512
@@ -128,6 +128,7 @@ def _runtime_from_args(
         faults=faults,
         resume_from=args.resume,
         trace_dir=getattr(args, "trace", None),
+        trace_format="columnar" if getattr(args, "columnar", False) else "object",
     )
 
 
@@ -373,24 +374,37 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(f"unknown scheme(s) {unknown}; registered: {scheme_ids()}",
               file=sys.stderr)
         return 2
+    if args.columnar and args.object:
+        engines = ("object", "columnar")
+    elif args.columnar:
+        engines = ("columnar",)
+    elif args.object:
+        engines = ("object",)
+    else:
+        engines = bench.DEFAULT_ENGINES
     print(f"bench throughput — {args.workload} x {args.instructions} "
-          f"instructions, best of {args.repeats}", file=sys.stderr)
+          f"instructions, best of {args.repeats}, "
+          f"engines: {'+'.join(engines)}", file=sys.stderr)
     report = bench.run_throughput(
         workload=args.workload,
         instructions=args.instructions,
         schemes=args.schemes,
         repeats=args.repeats,
+        engines=engines,
         progress=lambda sid, entry: print(
-            f"  {sid:<12} {entry['inst_per_s']:>9,} inst/s "
+            f"  {sid:<21} {entry['inst_per_s']:>9,} inst/s "
             f"({entry['wall_s']:.2f}s)", file=sys.stderr),
     )
-    rows = [
-        [sid, f"{entry['inst_per_s']:,}", f"{entry['inst_per_s_mean']:,}",
-         f"{entry['wall_s']:.2f}"]
-        for sid, entry in report["schemes"].items()
-    ]
+    rows = []
+    for engine in engines:
+        section = "schemes" if engine == "object" else "columnar_schemes"
+        for sid, entry in report.get(section, {}).items():
+            rows.append([
+                engine, sid, f"{entry['inst_per_s']:,}",
+                f"{entry['inst_per_s_mean']:,}", f"{entry['wall_s']:.2f}",
+            ])
     print(format_table(
-        ["scheme", "inst/s (best)", "inst/s (mean)", "wall s"], rows
+        ["engine", "scheme", "inst/s (best)", "inst/s (mean)", "wall s"], rows
     ))
     print(f"peak RSS {report['peak_rss_kib']} KiB, "
           f"total wall {report['wall_s']:.1f}s")
@@ -709,6 +723,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--trace", default=None, metavar="DIR",
                      help="run under the observability stack; write Chrome "
                           "traces (and flight dumps on failure) into DIR")
+    run.add_argument("--columnar", action="store_true",
+                     help="simulate from the struct-of-arrays trace engine "
+                          "(bit-identical results, bounded memory)")
     _add_runtime_flags(run)
 
     fig = sub.add_parser("figure", help="regenerate one figure or table")
@@ -734,6 +751,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--trace", default=None, metavar="DIR",
                        help="run under the observability stack; write Chrome "
                             "traces (and flight dumps on failure) into DIR")
+    sweep.add_argument("--columnar", action="store_true",
+                       help="simulate from the struct-of-arrays trace engine "
+                            "(bit-identical results, bounded memory)")
     _add_runtime_flags(sweep)
 
     chaos = sub.add_parser(
@@ -777,14 +797,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="scheme ids to time (default: all built-ins)")
     bench.add_argument("--repeats", type=int, default=3,
                        help="simulate() runs per scheme; best is reported")
+    bench.add_argument("--columnar", action="store_true",
+                       help="time the columnar (struct-of-arrays) engine "
+                            "(default: both engines)")
+    bench.add_argument("--object", action="store_true",
+                       help="time the object (Instruction-list) engine "
+                            "(default: both engines)")
     bench.add_argument("--output", default=None, metavar="FILE",
-                       help="write the JSON report (e.g. BENCH_pr3.json)")
+                       help="write the JSON report (e.g. BENCH_pr8.json)")
     bench.add_argument("--check", default=None, metavar="FILE",
                        help="fail if inst/s regresses versus this "
                             "committed report")
-    bench.add_argument("--max-regression", type=float, default=0.30,
+    bench.add_argument("--max-regression", type=float, default=0.20,
                        metavar="FRACTION",
-                       help="allowed inst/s drop for --check (default 0.30)")
+                       help="allowed best-of-N inst/s drop for --check "
+                            "(default 0.20, the same value CI enforces)")
 
     tr = sub.add_parser(
         "trace",

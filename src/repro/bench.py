@@ -1,20 +1,26 @@
 """Simulator throughput benchmark — ``python -m repro bench throughput``.
 
 Measures how many *simulated* instructions per second ``simulate()``
-sustains for each registered scheme on one workload trace, and writes
-the numbers to a ``BENCH_*.json`` report (inst/s per scheme, wall time,
-peak RSS) so the simulator's own performance trajectory is tracked in
-the repository alongside its accuracy.
+sustains for each registered scheme on one workload trace — through
+both trace engines (the object path over ``Instruction`` lists and the
+columnar struct-of-arrays path) — and writes the numbers to a
+``BENCH_*.json`` report (inst/s per scheme and engine, wall time, peak
+RSS) so the simulator's own performance trajectory is tracked in the
+repository alongside its accuracy.
 
 The committed report doubles as a regression baseline:
-``--check BENCH_pr3.json`` re-measures and fails when any scheme's
-inst/s falls more than ``--max-regression`` (default 30%) below the
-committed number — loose enough to absorb machine-to-machine variance,
-tight enough to catch an accidental O(n) regression on the hot path.
+``--check BENCH_pr8.json`` re-measures and fails when any scheme's
+best-of-N inst/s falls more than ``--max-regression`` below the
+committed number.  The gate is **coherent by construction**: the
+default here, the CI invocation and this docstring all say the same
+20% — best-of-N absorbs scheduler noise (which only ever slows a run
+down), and the remaining machine-to-machine variance on the hosted
+runners measures well under that margin at ``--repeats 5``.
 
 Simulated *outcomes* are deliberately out of scope here: bit-identical
-``SimResult``\\ s are locked by ``tests/test_golden_simresults.py``, so
-this module only has to care about speed.
+``SimResult``\\ s are locked by ``tests/test_golden_simresults.py``
+(which exercises both engines), so this module only has to care about
+speed.
 """
 
 from __future__ import annotations
@@ -27,14 +33,21 @@ import time
 from pathlib import Path
 from typing import Sequence
 
-BENCH_REPORT_NAME = "BENCH_pr3.json"
+BENCH_REPORT_NAME = "BENCH_pr8.json"
 DEFAULT_WORKLOAD = "gzip"
 DEFAULT_INSTRUCTIONS = 24_000
 DEFAULT_REPEATS = 3
-DEFAULT_MAX_REGRESSION = 0.30
+# One number, used everywhere: the default for --max-regression AND the
+# value CI passes explicitly.  Keep the docstring above in sync.
+DEFAULT_MAX_REGRESSION = 0.20
 # Every registered scheme id, cheapest first; ``tournament`` runs two
 # sub-predictors per load and dominates the wall time.
 DEFAULT_SCHEMES = ("baseline", "dlvp", "cap", "vtage", "dvtage", "tournament")
+DEFAULT_ENGINES = ("object", "columnar")
+
+# report section per engine; "object" keeps the historical "schemes"
+# key so older reports stay comparable.
+_ENGINE_SECTIONS = {"object": "schemes", "columnar": "columnar_schemes"}
 
 
 def peak_rss_kib() -> int:
@@ -52,7 +65,10 @@ def peak_rss_kib() -> int:
 def measure_scheme(trace, scheme_id: str, repeats: int = DEFAULT_REPEATS) -> dict:
     """Time ``simulate(trace, scheme)`` ``repeats`` times; report best.
 
-    A fresh scheme instance is built per repeat so no predictor state
+    ``trace`` may be a :class:`~repro.trace.Trace` or a
+    :class:`~repro.trace.ColumnarTrace` — ``simulate()`` dispatches on
+    the type, so the same timing harness measures either engine.  A
+    fresh scheme instance is built per repeat so no predictor state
     leaks between rounds; best-of-N is reported as the headline inst/s
     because scheduler noise only ever slows a run down.
     """
@@ -83,31 +99,51 @@ def run_throughput(
     instructions: int = DEFAULT_INSTRUCTIONS,
     schemes: Sequence[str] = DEFAULT_SCHEMES,
     repeats: int = DEFAULT_REPEATS,
+    engines: Sequence[str] = DEFAULT_ENGINES,
     progress=None,
 ) -> dict:
-    """Run the full throughput bench; returns the JSON-safe report."""
+    """Run the full throughput bench; returns the JSON-safe report.
+
+    ``engines`` selects which trace representations to time: the
+    object path fills the report's ``"schemes"`` section (its
+    historical home), the columnar path ``"columnar_schemes"``.  The
+    trace is generated once and converted, so both engines measure the
+    exact same instruction stream.
+    """
+    from repro.trace import ColumnarTrace
     from repro.workloads import build_workload
 
+    unknown = [e for e in engines if e not in _ENGINE_SECTIONS]
+    if unknown:
+        raise ValueError(f"unknown engine(s): {unknown}")
     t0 = time.perf_counter()
     trace = build_workload(workload, instructions)
     trace_s = time.perf_counter() - t0
-    results = {}
-    for scheme_id in schemes:
-        results[scheme_id] = measure_scheme(trace, scheme_id, repeats)
-        if progress is not None:
-            progress(scheme_id, results[scheme_id])
-    return {
+    traces = {"object": trace}
+    if "columnar" in engines:
+        traces["columnar"] = ColumnarTrace.from_trace(trace)
+    report = {
         "bench": "throughput",
         "workload": workload,
         "instructions": instructions,
         "trace_length": len(trace),
         "trace_build_s": round(trace_s, 3),
-        "wall_s": round(time.perf_counter() - t0, 3),
-        "peak_rss_kib": peak_rss_kib(),
+        "engines": list(engines),
         "python": platform.python_version(),
         "platform": platform.platform(),
-        "schemes": results,
     }
+    for engine in engines:
+        results = {}
+        for scheme_id in schemes:
+            results[scheme_id] = measure_scheme(
+                traces[engine], scheme_id, repeats
+            )
+            if progress is not None:
+                progress(f"{engine}/{scheme_id}", results[scheme_id])
+        report[_ENGINE_SECTIONS[engine]] = results
+    report["wall_s"] = round(time.perf_counter() - t0, 3)
+    report["peak_rss_kib"] = peak_rss_kib()
+    return report
 
 
 def write_report(report: dict, path: str | Path) -> Path:
@@ -130,25 +166,27 @@ def check_regression(
     """Compare a fresh report against a committed one.
 
     Returns a list of human-readable failures — empty means every
-    scheme present in both reports is within ``max_regression`` of its
-    committed inst/s.  Schemes only on one side are skipped (adding a
-    scheme must not break CI retroactively).
+    (engine, scheme) present in both reports is within
+    ``max_regression`` of its committed best-of-N inst/s.  Cells only
+    on one side are skipped (adding a scheme or an engine must not
+    break CI retroactively).
     """
     failures = []
-    committed_schemes = committed.get("schemes", {})
-    for scheme_id, entry in current.get("schemes", {}).items():
-        base = committed_schemes.get(scheme_id)
-        if base is None:
-            continue
-        baseline_rate = base.get("inst_per_s", 0)
-        if baseline_rate <= 0:
-            continue
-        rate = entry["inst_per_s"]
-        floor = baseline_rate * (1.0 - max_regression)
-        if rate < floor:
-            failures.append(
-                f"{scheme_id}: {rate:.0f} inst/s is "
-                f"{1 - rate / baseline_rate:.0%} below the committed "
-                f"{baseline_rate:.0f} inst/s (allowed: {max_regression:.0%})"
-            )
+    for engine, section in _ENGINE_SECTIONS.items():
+        committed_schemes = committed.get(section) or {}
+        for scheme_id, entry in (current.get(section) or {}).items():
+            base = committed_schemes.get(scheme_id)
+            if base is None:
+                continue
+            baseline_rate = base.get("inst_per_s", 0)
+            if baseline_rate <= 0:
+                continue
+            rate = entry["inst_per_s"]
+            floor = baseline_rate * (1.0 - max_regression)
+            if rate < floor:
+                failures.append(
+                    f"{engine}/{scheme_id}: {rate:.0f} inst/s is "
+                    f"{1 - rate / baseline_rate:.0%} below the committed "
+                    f"{baseline_rate:.0f} inst/s (allowed: {max_regression:.0%})"
+                )
     return failures

@@ -15,6 +15,12 @@ from repro.branch.tage import Tage, TageConfig
 from repro.branch.ittage import Ittage, IttageConfig
 from repro.branch.ras import ReturnAddressStack
 
+_BRANCH = int(OpClass.BRANCH)
+_JUMP = int(OpClass.JUMP)
+_CALL = int(OpClass.CALL)
+_RETURN = int(OpClass.RETURN)
+_INDIRECT = int(OpClass.INDIRECT)
+
 
 @dataclass
 class BranchUnitStats:
@@ -101,6 +107,55 @@ class BranchUnit:
             return mispredicted
 
         raise ValueError(f"not a control instruction: {inst.op!r}")
+
+    def resolve_fields(
+        self, op: int, pc: int, taken: bool | None, target: int | None
+    ) -> bool:
+        """Scalar-field twin of :meth:`resolve` for the columnar loop.
+
+        ``op`` is the plain integer opcode class — the columnar
+        simulate() path resolves branches straight from the trace
+        columns without materializing an :class:`Instruction`.  Same
+        predictor updates, same return value, pinned together by the
+        golden-equivalence suite.
+        """
+        if op == _BRANCH:
+            self.stats.conditional += 1
+            assert taken is not None
+            mispredicted = self.tage.update(pc, taken)
+            self.tage.update_history(taken)
+            if mispredicted:
+                self.stats.conditional_mispredicted += 1
+            return mispredicted
+
+        if op == _JUMP:
+            self.stats.jumps += 1
+            return False
+
+        if op == _CALL:
+            self.stats.calls += 1
+            self.ras.push(pc + INSTRUCTION_BYTES)
+            self.tage.update_history(True)
+            return False
+
+        if op == _RETURN:
+            self.stats.returns += 1
+            predicted = self.ras.pop()
+            mispredicted = predicted != target
+            if mispredicted:
+                self.stats.returns_mispredicted += 1
+            return mispredicted
+
+        if op == _INDIRECT:
+            self.stats.indirect += 1
+            assert target is not None
+            mispredicted = self.ittage.update(pc, target)
+            self.ittage.update_history(target)
+            if mispredicted:
+                self.stats.indirect_mispredicted += 1
+            return mispredicted
+
+        raise ValueError(f"not a control instruction: op={op}")
 
     @property
     def global_history(self):

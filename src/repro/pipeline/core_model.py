@@ -46,7 +46,13 @@ from repro.pipeline.config import CoreConfig
 from repro.pipeline.recovery import RecoveryMode
 from repro.pipeline.schemes import Scheme
 from repro.pipeline.stats import EnergyEvents, FlushStats, SimResult
-from repro.trace import Trace
+from repro.trace import ColumnarTrace, Trace
+from repro.trace.columnar import (
+    F_TAKEN,
+    F_TAKEN_KNOWN,
+    F_TARGET,
+    OPCLASS_BY_VALUE,
+)
 
 _LS_OPS = frozenset({OpClass.LOAD, OpClass.STORE, OpClass.ATOMIC})
 
@@ -125,6 +131,14 @@ def simulate(
         A :class:`SimResult`; compare runs of the same trace with
         :meth:`SimResult.speedup_over`.
     """
+    if isinstance(trace, ColumnarTrace):
+        if tracer is None:
+            return _simulate_columnar(
+                trace, scheme, core_config, hierarchy_config, recovery
+            )
+        # Traced runs take the reference object path (the tracer hooks
+        # live there); observability runs are rare and not hot.
+        trace = trace.to_trace()
     cfg = core_config or CoreConfig()
     hierarchy = MemoryHierarchy(hierarchy_config)
     image = MemoryImage()
@@ -555,7 +569,25 @@ def simulate(
     cycles = last_commit_cycle
     hierarchy.demand_accesses = demand_accesses
 
-    # ---- assemble the result -------------------------------------------
+    result = _assemble_result(
+        trace.name, n, cycles, scheme, hierarchy, branch_unit, flushes, loads
+    )
+    if traced:
+        tracer.on_run_end(result)
+    return result
+
+
+def _assemble_result(
+    trace_name: str,
+    n: int,
+    cycles: int,
+    scheme: Scheme | None,
+    hierarchy: MemoryHierarchy,
+    branch_unit: BranchUnit,
+    flushes: FlushStats,
+    loads: int,
+) -> SimResult:
+    """Shared end-of-run accounting for both simulate() loops."""
     energy = EnergyEvents(
         cycles=cycles,
         instructions=n,
@@ -585,8 +617,8 @@ def simulate(
     tlb_miss_rate = (
         tlb_stats.misses / tlb_stats.accesses if tlb_stats.accesses else 0.0
     )
-    result = SimResult(
-        trace_name=trace.name,
+    return SimResult(
+        trace_name=trace_name,
         scheme_name=scheme_name,
         instructions=n,
         cycles=cycles,
@@ -600,6 +632,417 @@ def simulate(
         energy=energy,
         scheme_stats=scheme_stats,
     )
-    if traced:
-        tracer.on_run_end(result)
-    return result
+
+
+def _simulate_columnar(
+    trace: ColumnarTrace,
+    scheme: Scheme | None,
+    core_config: CoreConfig | None,
+    hierarchy_config: HierarchyConfig | None,
+    recovery: RecoveryMode,
+) -> SimResult:
+    """The columnar fast loop: simulate() reading struct-of-arrays.
+
+    A line-for-line twin of the object loop in :func:`simulate`, with
+    every per-instruction attribute read replaced by an array index and
+    opcode tests on plain integers.  An :class:`~repro.isa.Instruction`
+    view is materialized only where a scheme inspects one (predicted
+    loads, or every instruction for fetch-all-ops schemes); scheme
+    dispatch goes through the flattened tuple protocol
+    (``Scheme.flat_fetch``/``flat_execute``), so the common path
+    allocates no per-instruction objects at all.  Outcomes are pinned
+    bit-identical to the object path by the golden-equivalence suite's
+    columnar leg.
+    """
+    cfg = core_config or CoreConfig()
+    hierarchy = MemoryHierarchy(hierarchy_config)
+    image = MemoryImage()
+    branch_unit = BranchUnit()
+    mdp = StoreSetsPredictor()
+    if scheme is not None:
+        scheme.bind(hierarchy, image, branch_unit)
+
+    n = len(trace)
+    commit_cycles = [0] * n
+    reg_ready: dict[int, int] = {}
+    ls_ports = _IssuePorts(cfg.ls_lanes)
+    gen_ports = _IssuePorts(cfg.generic_lanes)
+    word_store: dict[int, tuple[int, int, int]] = {}
+    store_done: dict[int, int] = {}
+
+    fetch_cycle = 0
+    pending_redirect = 0
+    force_new_group = True
+    slots_used = 0
+    current_group = -1
+    prev_pc = -5                       # sentinel: never matches prev_pc + 4
+    loads_in_group = 0
+
+    commit_ptr = 0
+    last_commit_cycle = 0
+    commits_in_cycle = 0
+    load_commits: list[int] = []
+    store_commits: list[int] = []
+
+    flushes = FlushStats()
+    loads = 0
+
+    # ---- hot-loop local aliases (columns + config + substrate) --------
+    # Columns are snapshotted into plain lists: indexing an array.array
+    # boxes a fresh int every read, while list indexing returns the
+    # already-boxed object.  tolist() converts at C speed once; the
+    # lists live only for the duration of this run.
+    pcs = trace.pc.tolist()
+    ops = trace.op.tolist()
+    flags_col = trace.flags.tolist()
+    mem_addr_col = trace.mem_addr.tolist()
+    mem_size_col = trace.mem_size.tolist()
+    target_col = trace.target
+    srcs_index = trace.srcs_index.tolist()
+    srcs_flat = trace.srcs.tolist()
+    dests_index = trace.dests_index.tolist()
+    dests_flat = trace.dests.tolist()
+    values_index = trace.values_index
+    values_lo = trace.values_lo
+    values_hi = trace.values_hi
+    inst_view = trace.instruction
+
+    LOAD = int(OpClass.LOAD)
+    STORE = int(OpClass.STORE)
+    ls_ops = frozenset(int(op) for op in _LS_OPS)
+    branch_ops = frozenset(int(op) for op in OpClass if is_branch_op(op))
+    exec_latency = [EXECUTION_LATENCY[op] for op in OPCLASS_BY_VALUE]
+    fga_mask = ~(FETCH_GROUP_BYTES - 1)
+    fetch_width = cfg.fetch_width
+    rob_entries = cfg.rob_entries
+    ldq_entries = cfg.ldq_entries
+    stq_entries = cfg.stq_entries
+    fetch_to_execute = cfg.fetch_to_execute
+    rename_depth = cfg.rename_depth
+    commit_width = cfg.commit_width
+    branch_latency = cfg.branch_resolution_latency
+    validation_penalty = cfg.value_validation_penalty
+    forward_latency = cfg.store_forward_latency
+    ls_busy = ls_ports._busy
+    ls_busy_get = ls_busy.get
+    ls_width = ls_ports.width
+    gen_busy = gen_ports._busy
+    gen_busy_get = gen_busy.get
+    gen_width = gen_ports.width
+    demand_accesses = hierarchy.demand_accesses
+    l1_latency = hierarchy._l1_latency
+    tlb_penalty = hierarchy._tlb_penalty
+    tlb_shift = hierarchy._tlb_shift
+    tlb_mask = hierarchy._tlb_mask
+    tlb_where = hierarchy._tlb_where
+    tlb_lru = hierarchy._tlb_lru
+    tlb_stats = hierarchy._tlb_stats
+    tlb_fill = hierarchy._tlb_array.fill
+    l1_shift = hierarchy._l1_shift
+    l1_mask = hierarchy._l1_mask
+    l1_where = hierarchy._l1_where
+    l1_lru = hierarchy._l1_lru
+    l1_stats = hierarchy._l1_stats
+    l1_fill = hierarchy.l1d.fill
+    fill_from_below = hierarchy._fill_from_below
+    prefetcher = hierarchy.prefetcher
+    prefetch_observe = prefetcher.observe if prefetcher is not None else None
+    prefetch_fill = hierarchy.prefetch_fill
+    image_write = image.write
+    branch_resolve_fields = branch_unit.resolve_fields
+    mdp_load_dependence = mdp.load_dependence
+    mdp_store_fetched = mdp.store_fetched
+    mdp_store_executed = mdp.store_executed
+    mdp_report_violation = mdp.report_violation
+    reg_ready_get = reg_ready.get
+    word_store_get = word_store.get
+    oracle_replay = recovery == RecoveryMode.ORACLE_REPLAY
+    fetch_all_ops = scheme is not None and not scheme.fetch_loads_only
+    if scheme is not None:
+        scheme_flat_fetch = scheme.flat_fetch
+        scheme_flat_execute = scheme.flat_execute
+        vpe_stats = scheme.vpe.stats
+        pvt_try_allocate = scheme.vpe.pvt.try_allocate
+        pvt_note_read = scheme.vpe.pvt.note_consumer_read
+
+    for i in range(n):
+        op = ops[i]
+        pc = pcs[i]
+
+        # ---- fetch grouping --------------------------------------------
+        if (
+            force_new_group
+            or slots_used >= fetch_width
+            or pc != prev_pc + 4
+            or (pc & fga_mask) != current_group
+        ):
+            fetch_cycle = max(fetch_cycle + 1, pending_redirect)
+            slots_used = 0
+            loads_in_group = 0
+            current_group = pc & fga_mask
+            force_new_group = False
+        slots_used += 1
+        prev_pc = pc
+
+        # ---- structural stalls (ROB / LDQ / STQ) ------------------------
+        if i >= rob_entries:
+            stall = commit_cycles[i - rob_entries]
+            if stall > fetch_cycle:
+                fetch_cycle = stall
+        if op == LOAD:
+            if len(load_commits) >= ldq_entries:
+                stall = load_commits[-ldq_entries]
+                if stall > fetch_cycle:
+                    fetch_cycle = stall
+        elif op == STORE:
+            if len(store_commits) >= stq_entries:
+                stall = store_commits[-stq_entries]
+                if stall > fetch_cycle:
+                    fetch_cycle = stall
+
+        # ---- retire committed stores into the memory image --------------
+        while commit_ptr < i and commit_cycles[commit_ptr] <= fetch_cycle:
+            if ops[commit_ptr] == STORE:
+                caddr = mem_addr_col[commit_ptr]
+                csize = mem_size_col[commit_ptr]
+                k = values_index[commit_ptr]
+                vhi = values_hi[k]
+                cval = (vhi << 64) | values_lo[k] if vhi else values_lo[k]
+                image_write(caddr, csize, cval)
+                store_done.pop(commit_ptr, None)
+                first = caddr >> 2
+                last = (caddr + csize - 1) >> 2
+                for word in range(first, last + 1):
+                    entry = word_store_get(word)
+                    if entry is not None and entry[0] == commit_ptr:
+                        del word_store[word]
+            commit_ptr += 1
+
+        # ---- scheme fetch side ------------------------------------------
+        load_slot = None
+        if op == LOAD:
+            loads += 1
+            if loads_in_group < 2:
+                load_slot = loads_in_group
+            loads_in_group += 1
+        fp = None
+        if scheme is not None and (op == LOAD or fetch_all_ops):
+            inst = inst_view(i)
+            fp = scheme_flat_fetch(inst, fetch_cycle, load_slot, fetch_cycle + 2)
+
+        # ---- issue timing -----------------------------------------------
+        src_ready = 0
+        for k in range(srcs_index[i], srcs_index[i + 1]):
+            ready = reg_ready_get(srcs_flat[k], 0)
+            if ready > src_ready:
+                src_ready = ready
+        ready = fetch_cycle + fetch_to_execute
+        if src_ready > ready:
+            ready = src_ready
+
+        acc_way = None
+        if op == LOAD:
+            addr = mem_addr_col[i]
+            dep_seq = mdp_load_dependence(pc)
+            if dep_seq is not None and dep_seq in store_done:
+                if commit_cycles[dep_seq] > ready:
+                    dep_done = store_done[dep_seq]
+                    if dep_done > ready:
+                        ready = dep_done
+            issue = ready
+            count = ls_busy_get(issue, 0)
+            while count >= ls_width:
+                issue += 1
+                count = ls_busy_get(issue, 0)
+            ls_busy[issue] = count + 1
+            # hierarchy.access(), inlined: TLB, then L1, then prefetcher.
+            demand_accesses += 1
+            block = addr >> tlb_shift
+            set_idx = block & tlb_mask
+            way = tlb_where[set_idx].get(block)
+            if way is not None:
+                lru = tlb_lru[set_idx]
+                if lru[0] != way:
+                    lru.remove(way)
+                    lru.insert(0, way)
+                tlb_stats.hits += 1
+                acc_latency = l1_latency
+            else:
+                tlb_stats.misses += 1
+                tlb_fill(addr)
+                acc_latency = l1_latency + tlb_penalty
+            block = addr >> l1_shift
+            set_idx = block & l1_mask
+            acc_way = l1_where[set_idx].get(block)
+            if acc_way is not None:
+                lru = l1_lru[set_idx]
+                if lru[0] != acc_way:
+                    lru.remove(acc_way)
+                    lru.insert(0, acc_way)
+                l1_stats.hits += 1
+            else:
+                l1_stats.misses += 1
+                acc_way = l1_fill(addr)
+                acc_latency += fill_from_below(addr)
+            if prefetch_observe is not None:
+                for target in prefetch_observe(pc, addr):
+                    prefetch_fill(target)
+            ndests = dests_index[i + 1] - dests_index[i]
+            nbytes = mem_size_col[i] * (ndests or 1)
+            first = addr >> 2
+            last = (addr + (nbytes if nbytes > 0 else 1) - 1) >> 2
+            if first == last:
+                newest = word_store_get(first)
+            else:
+                newest = None
+                for word in range(first, last + 1):
+                    entry = word_store_get(word)
+                    if entry is not None and (newest is None or entry[0] > newest[0]):
+                        newest = entry
+            if newest is not None and commit_cycles[newest[0]] > issue:
+                if newest[1] > issue and (dep_seq is None or dep_seq < newest[0]):
+                    mdp_report_violation(pc, newest[2])
+                done = max(issue, newest[1]) + forward_latency
+            else:
+                done = issue + 1 + acc_latency
+        elif op == STORE:
+            addr = mem_addr_col[i]
+            mdp_store_fetched(pc, i)
+            # hierarchy.access(is_store=True), inlined.
+            demand_accesses += 1
+            block = addr >> tlb_shift
+            set_idx = block & tlb_mask
+            way = tlb_where[set_idx].get(block)
+            if way is not None:
+                lru = tlb_lru[set_idx]
+                if lru[0] != way:
+                    lru.remove(way)
+                    lru.insert(0, way)
+                tlb_stats.hits += 1
+            else:
+                tlb_stats.misses += 1
+                tlb_fill(addr)
+            block = addr >> l1_shift
+            set_idx = block & l1_mask
+            acc_way = l1_where[set_idx].get(block)
+            if acc_way is not None:
+                lru = l1_lru[set_idx]
+                if lru[0] != acc_way:
+                    lru.remove(acc_way)
+                    lru.insert(0, acc_way)
+                l1_stats.hits += 1
+            else:
+                l1_stats.misses += 1
+                acc_way = l1_fill(addr)
+                fill_from_below(addr)
+            issue = ready
+            count = ls_busy_get(issue, 0)
+            while count >= ls_width:
+                issue += 1
+                count = ls_busy_get(issue, 0)
+            ls_busy[issue] = count + 1
+            done = issue + 1
+            entry = (i, done, pc)
+            nbytes = mem_size_col[i]
+            first = addr >> 2
+            last = (addr + (nbytes if nbytes > 0 else 1) - 1) >> 2
+            if first == last:
+                word_store[first] = entry
+            else:
+                for word in range(first, last + 1):
+                    word_store[word] = entry
+            store_done[i] = done
+            mdp_store_executed(pc)
+        elif op in ls_ops:
+            issue = ready
+            count = ls_busy_get(issue, 0)
+            while count >= ls_width:
+                issue += 1
+                count = ls_busy_get(issue, 0)
+            ls_busy[issue] = count + 1
+            done = issue + exec_latency[op]
+        else:
+            issue = ready
+            count = gen_busy_get(issue, 0)
+            while count >= gen_width:
+                issue += 1
+                count = gen_busy_get(issue, 0)
+            gen_busy[issue] = count + 1
+            done = issue + exec_latency[op]
+
+        # ---- branches ----------------------------------------------------
+        if op in branch_ops:
+            done = issue + branch_latency
+            fl = flags_col[i]
+            taken = bool(fl & F_TAKEN) if fl & F_TAKEN_KNOWN else None
+            target = target_col[i] if fl & F_TARGET else None
+            if branch_resolve_fields(op, pc, taken, target):
+                flushes.branch += 1
+                pending_redirect = done + 1
+                force_new_group = True
+                if scheme is not None:
+                    scheme.on_branch_flush()
+
+        # ---- value prediction resolution ---------------------------------
+        value_predicted = False
+        if fp is not None:
+            fp_values = fp[0]
+            if fp_values is not None:
+                if oracle_replay and not fp[1]:
+                    pass        # oracle replay: treat as never predicted
+                elif pvt_try_allocate(fp[3], fetch_cycle, done):
+                    value_predicted = True
+                else:
+                    vpe_stats.pvt_rejections += 1
+            value_correct = scheme_flat_execute(
+                inst, fp[2], fp_values, acc_way, value_predicted
+            )[1]
+            if value_predicted:
+                vpe_stats.value_predictions += 1
+                if value_correct:
+                    vpe_stats.value_correct += 1
+                pvt_note_read(fp[3])
+                if value_correct:
+                    ready_time = fetch_cycle + rename_depth
+                    for k in range(dests_index[i], dests_index[i + 1]):
+                        reg_ready[dests_flat[k]] = ready_time
+                else:
+                    flushes.value += 1
+                    pending_redirect = done + 1 + validation_penalty
+                    force_new_group = True
+                    scheme.on_value_flush()
+                    for k in range(dests_index[i], dests_index[i + 1]):
+                        reg_ready[dests_flat[k]] = done
+        if not value_predicted:
+            for k in range(dests_index[i], dests_index[i + 1]):
+                reg_ready[dests_flat[k]] = done
+
+        # ---- in-order commit ---------------------------------------------
+        cc = done + 1
+        if cc < last_commit_cycle:
+            cc = last_commit_cycle
+        if cc == last_commit_cycle:
+            if commits_in_cycle >= commit_width:
+                cc += 1
+                commits_in_cycle = 1
+            else:
+                commits_in_cycle += 1
+        else:
+            commits_in_cycle = 1
+        last_commit_cycle = cc
+        commit_cycles[i] = cc
+        if op == LOAD:
+            load_commits.append(cc)
+        elif op == STORE:
+            store_commits.append(cc)
+
+        # ---- bounded busy-map pruning ------------------------------------
+        if not i & 1023:
+            ls_ports.prune_below(fetch_cycle)
+            gen_ports.prune_below(fetch_cycle)
+
+    cycles = last_commit_cycle
+    hierarchy.demand_accesses = demand_accesses
+    return _assemble_result(
+        trace.name, n, cycles, scheme, hierarchy, branch_unit, flushes, loads
+    )

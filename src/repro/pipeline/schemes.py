@@ -119,6 +119,39 @@ class Scheme(abc.ABC):
         object is allocated.
         """
 
+    # -- flattened dispatch (columnar simulate() path) -------------------
+    #
+    # The columnar loop avoids one SchemePrediction allocation per
+    # fetched load by speaking a tuple protocol: ``flat_fetch`` returns
+    # ``(values, correct, handle, registers)`` (or None) and
+    # ``flat_execute`` receives the handle and values back as plain
+    # arguments.  The defaults below adapt any third-party scheme by
+    # wrapping its object API — the SchemePrediction itself becomes the
+    # handle — so only the built-in schemes carry native overrides.
+    # Outcomes are pinned to the object path by the golden suite.
+
+    def flat_fetch(
+        self,
+        inst: Instruction,
+        fetch_cycle: int,
+        load_slot: int | None,
+        probe_cycle: int,
+    ) -> tuple | None:
+        sp = self.fetch_side(inst, fetch_cycle, load_slot, probe_cycle)
+        if sp is None:
+            return None
+        return (sp.values, sp.correct, sp, sp.registers)
+
+    def flat_execute(
+        self,
+        inst: Instruction,
+        handle: object,
+        values: tuple[int, ...] | None,
+        way: int | None,
+        value_predicted: bool,
+    ) -> tuple[bool, bool]:
+        return self.execute_side(inst, handle, way, value_predicted)
+
     def on_value_flush(self) -> None:
         """A value misprediction flushed the pipeline."""
         self.vpe.flush()
@@ -220,6 +253,23 @@ class DlvpScheme(Scheme):
             sp.values if value_predicted else None,
         )
 
+    def flat_fetch(self, inst, fetch_cycle, load_slot, probe_cycle):
+        if inst.op != OpClass.LOAD:
+            return None
+        if load_slot is None:
+            self._on_unpredicted(inst)
+            return None
+        handle, values = self._fetch_probe_predict(
+            inst, fetch_cycle, load_slot, probe_cycle
+        )
+        correct = values is not None and values == _masked_values(inst)
+        return (values, correct, handle, len(inst.dests))
+
+    def flat_execute(self, inst, handle, values, way, value_predicted):
+        return self._execute_train(
+            handle, inst, way, value_predicted, values if value_predicted else None
+        )
+
     def on_value_flush(self) -> None:
         super().on_value_flush()
         assert self.engine is not None
@@ -288,6 +338,25 @@ class VtageScheme(Scheme):
         correct = self.predictor.finish(sp.handle, inst)
         return value_predicted, correct
 
+    def flat_fetch(self, inst, fetch_cycle, load_slot, probe_cycle):
+        if not inst.dests or not inst.values:
+            return None
+        if self.config.loads_only and inst.op != OpClass.LOAD:
+            return None
+        handle = self.predictor.begin(inst, self.branch_unit.global_history.value)
+        if handle is None:
+            return None
+        values = handle.prediction
+        if inst.op == OpClass.LOAD and load_slot is None:
+            values = None              # per-cycle prediction-port limit
+        correct = values is not None and values == tuple(
+            v & _MASK64 if not inst.is_vector else v for v in inst.values
+        )
+        return (values, correct, handle, inst.value_prediction_slots())
+
+    def flat_execute(self, inst, handle, values, way, value_predicted):
+        return value_predicted, self.predictor.finish(handle, inst)
+
     def result_stats(self):
         return self.predictor.stats
 
@@ -340,6 +409,31 @@ class DvtageScheme(Scheme):
     def execute_side(self, inst, sp, way, value_predicted):
         history = sp.handle
         prediction = self.predictor.train(inst, history)
+        correct = prediction is not None and (prediction,) == tuple(
+            v & _MASK64 for v in inst.values
+        )
+        return value_predicted, correct
+
+    def flat_fetch(self, inst, fetch_cycle, load_slot, probe_cycle):
+        if inst.op != OpClass.LOAD:
+            return None
+        history = self.branch_unit.global_history.value
+        prediction = self.predictor.predict(inst, history)
+        if load_slot is None:
+            prediction = None
+        correct = (
+            prediction is not None
+            and (prediction,) == tuple(v & _MASK64 for v in inst.values)
+        )
+        return (
+            (prediction,) if prediction is not None else None,
+            correct,
+            history,
+            len(inst.dests),
+        )
+
+    def flat_execute(self, inst, handle, values, way, value_predicted):
+        prediction = self.predictor.train(inst, handle)
         correct = prediction is not None and (prediction,) == tuple(
             v & _MASK64 for v in inst.values
         )
@@ -472,6 +566,56 @@ class TournamentScheme(Scheme):
             if handle.sp_vtage.values is not None:
                 b_correct = handle.sp_vtage.correct
             if value_predicted and not handle.final_is_dlvp:
+                value_correct = v_correct
+        self.chooser.update(inst.pc, a_correct, b_correct)
+        return value_predicted, value_correct
+
+    def flat_fetch(self, inst, fetch_cycle, load_slot, probe_cycle):
+        if inst.op != OpClass.LOAD:
+            return None
+        d = self.dlvp.flat_fetch(inst, fetch_cycle, load_slot, probe_cycle)
+        v = self.vtage.flat_fetch(inst, fetch_cycle, load_slot, probe_cycle)
+        self.stats.loads += 1
+
+        prefer_dlvp = self.chooser.choose_a(inst.pc)
+        d_values = d[0] if d is not None else None
+        v_values = v[0] if v is not None else None
+        if d_values is None and v_values is None:
+            return (None, False, (d, v, prefer_dlvp), len(inst.dests))
+        # Candidate preference, flattened: the chooser's pick when that
+        # side predicted, else whichever side did (DLVP first — the
+        # same order the object path's candidate list encodes).
+        if d_values is not None and (prefer_dlvp or v_values is None):
+            final_is_dlvp, chosen = True, d
+        else:
+            final_is_dlvp, chosen = False, v
+        self.chooser.record_choice(final_is_dlvp)
+        self.stats.final_predictions += 1
+        if final_is_dlvp:
+            self.stats.final_by_dlvp += 1
+        else:
+            self.stats.final_by_vtage += 1
+        return (chosen[0], chosen[1], (d, v, final_is_dlvp), chosen[3])
+
+    def flat_execute(self, inst, handle, values, way, value_predicted):
+        d, v, final_is_dlvp = handle
+        a_correct: bool | None = None
+        b_correct: bool | None = None
+        value_correct = False
+        if d is not None:
+            d_values = d[0]
+            dlvp_used = value_predicted and final_is_dlvp
+            _, d_correct = self.dlvp.flat_execute(inst, d[2], d_values, way, dlvp_used)
+            if d_values is not None:
+                a_correct = d[1]
+            if dlvp_used:
+                value_correct = d_correct
+        if v is not None:
+            v_values = v[0]
+            _, v_correct = self.vtage.flat_execute(inst, v[2], v_values, way, False)
+            if v_values is not None:
+                b_correct = v[1]
+            if value_predicted and not final_is_dlvp:
                 value_correct = v_correct
         self.chooser.update(inst.pc, a_correct, b_correct)
         return value_predicted, value_correct

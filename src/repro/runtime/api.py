@@ -94,6 +94,10 @@ class Runtime:
         resume_from: A journal path (or pre-read event list) whose
             completed jobs should be skipped and replayed from their
             journaled result payloads.
+        trace_format: In-memory trace representation for executed jobs:
+            ``"object"`` (default) or ``"columnar"`` (struct-of-arrays
+            fast loop).  Results are bit-identical either way, so the
+            choice does not enter the cache key.
         trace_dir: When set, every executed job runs under the full
             observability stack (:mod:`repro.observe`) and writes its
             Chrome trace (and, on failure, flight-recorder dump) into
@@ -116,9 +120,11 @@ class Runtime:
         faults: FaultPlan | str | None = None,
         resume_from: str | Path | list[dict] | None = None,
         trace_dir: str | Path | None = None,
+        trace_format: str = "object",
     ) -> None:
         self.jobs = max(1, jobs)
         self.trace_dir = str(trace_dir) if trace_dir is not None else None
+        self.trace_format = trace_format
         self.cache = (
             ResultCache(
                 cache_dir if cache_dir is not None else default_cache_dir(),
@@ -297,6 +303,7 @@ class Runtime:
             (scheme, workload): make_job(
                 workload, n_instructions, scheme, recovery=recovery,
                 timeout=self.timeout, trace_dir=self.trace_dir,
+                trace_format=self.trace_format,
             )
             for scheme in schemes
             for workload in workloads

@@ -42,7 +42,8 @@ from collections.abc import Callable
 from pathlib import Path
 
 from repro.pipeline.stats import RESULT_SCHEMA_VERSION, SimResult
-from repro.trace.serialization import load_trace, save_trace
+from repro.trace.columnar import ColumnarTrace
+from repro.trace.serialization import load_trace, load_trace_columnar, save_trace
 from repro.trace.trace import Trace
 
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -326,7 +327,11 @@ class ResultCache:
         return self.root / "traces" / f"{key}.trace"
 
     def get_trace(self, key: str) -> Trace | None:
-        """The cached trace for ``key``, or None on miss/corruption."""
+        """The cached trace for ``key``, or None on miss/corruption.
+
+        Reads either serialization format (v1 text or v2 columnar) —
+        the loader sniffs the file.
+        """
         path = self.trace_path(key)
         if not path.is_file():
             return None
@@ -335,14 +340,35 @@ class ResultCache:
         except (OSError, ValueError):
             return None
 
-    def put_trace(self, key: str, trace: Trace) -> None:
-        """Store ``trace`` under ``key`` atomically."""
+    def get_trace_columnar(self, key: str) -> ColumnarTrace | None:
+        """The cached trace for ``key`` as a :class:`ColumnarTrace`.
+
+        v2 entries decode straight into columns; v1 entries are
+        converted on read.  None on miss/corruption.
+        """
+        path = self.trace_path(key)
+        if not path.is_file():
+            return None
+        try:
+            return load_trace_columnar(path)
+        except (OSError, ValueError):
+            return None
+
+    def put_trace(self, key: str, trace: Trace | ColumnarTrace) -> None:
+        """Store ``trace`` under ``key`` atomically.
+
+        A :class:`ColumnarTrace` is stored in the v2 binary columnar
+        format, a :class:`Trace` in v1 text; :meth:`get_trace` and
+        :meth:`get_trace_columnar` both read either, so object and
+        columnar jobs share one cache entry per trace key.
+        """
         path = self.trace_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         os.close(fd)
         try:
-            save_trace(trace, tmp)
+            fmt = "v2" if isinstance(trace, ColumnarTrace) else "v1"
+            save_trace(trace, tmp, format=fmt)
             os.replace(tmp, path)
         except BaseException:
             try:

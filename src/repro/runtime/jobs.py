@@ -26,7 +26,7 @@ from repro import faults
 from repro.pipeline import RecoveryMode, SimResult, simulate
 from repro.runtime.cache import ResultCache
 from repro.runtime.registry import BASELINE_ID, get_scheme
-from repro.workloads import build_workload
+from repro.workloads import build_workload, build_workload_columnar
 
 CODE_SALT_ENV = "REPRO_CODE_SALT"
 
@@ -85,6 +85,12 @@ class Job:
     # dumps).  Like ``timeout`` it is not part of the key: tracing is
     # bit-identical to not tracing, so the result is the same cell.
     trace_dir: str | None = None
+    # In-memory trace representation the worker simulates against:
+    # "object" (a Trace of Instruction objects) or "columnar" (a
+    # ColumnarTrace through the struct-of-arrays fast loop).  Not part
+    # of the key — the two engines are golden-verified bit-identical,
+    # so either way it is the same result.
+    trace_format: str = "object"
 
     @property
     def key(self) -> str:
@@ -141,9 +147,12 @@ def make_job(
     recovery: RecoveryMode = RecoveryMode.FLUSH,
     timeout: float | None = None,
     trace_dir: str | None = None,
+    trace_format: str = "object",
 ) -> Job:
     """Build a job for a registered scheme id, filling hash metadata."""
     spec = get_scheme(scheme_id)
+    if trace_format not in ("object", "columnar"):
+        raise ValueError(f"unknown trace format: {trace_format!r}")
     return Job(
         workload=workload,
         n_instructions=n_instructions,
@@ -154,13 +163,23 @@ def make_job(
         salt=code_version_salt(),
         timeout=timeout,
         trace_dir=trace_dir,
+        trace_format=trace_format,
     )
 
 
 def _trace_for(job: Job, cache: ResultCache | None):
+    columnar = job.trace_format == "columnar"
     if cache is None:
+        if columnar:
+            return build_workload_columnar(job.workload, job.n_instructions)
         return build_workload(job.workload, job.n_instructions)
     key = trace_cache_key(job.workload, job.n_instructions, job.salt)
+    if columnar:
+        trace = cache.get_trace_columnar(key)
+        if trace is None:
+            trace = build_workload_columnar(job.workload, job.n_instructions)
+            cache.put_trace(key, trace)
+        return trace
     trace = cache.get_trace(key)
     if trace is None:
         trace = build_workload(job.workload, job.n_instructions)

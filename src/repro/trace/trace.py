@@ -20,6 +20,7 @@ class TraceSummary:
     multi_dest_loads: int
     vector_loads: int
     static_loads: int
+    atomics: int = 0
 
     @property
     def load_fraction(self) -> float:
@@ -60,7 +61,7 @@ class Trace:
                 yield i, inst
 
     def summary(self) -> TraceSummary:
-        loads = stores = branches = multi = vec = 0
+        loads = stores = branches = multi = vec = atomics = 0
         static_load_pcs: set[int] = set()
         for inst in self.instructions:
             if inst.op == OpClass.LOAD:
@@ -72,6 +73,11 @@ class Trace:
                     vec += 1
             elif inst.op == OpClass.STORE:
                 stores += 1
+            elif inst.op == OpClass.ATOMIC:
+                # is_memory_op() counts atomics as memory traffic; the
+                # summary must too, or ATOMIC-bearing traces under-report
+                # their memory-op totals.
+                atomics += 1
             elif inst.is_branch:
                 branches += 1
         return TraceSummary(
@@ -83,4 +89,5 @@ class Trace:
             multi_dest_loads=multi,
             vector_loads=vec,
             static_loads=len(static_load_pcs),
+            atomics=atomics,
         )

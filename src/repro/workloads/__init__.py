@@ -21,6 +21,7 @@ from repro.workloads.suite import (
     SUITE_GROUPS,
     workload_names,
     build_workload,
+    build_workload_columnar,
     build_suite,
 )
 
@@ -32,5 +33,6 @@ __all__ = [
     "SUITE_GROUPS",
     "workload_names",
     "build_workload",
+    "build_workload_columnar",
     "build_suite",
 ]

@@ -10,8 +10,10 @@ speculative probes can observe stale data for in-flight conflicts.
 
 from __future__ import annotations
 
+import queue
 import random
-from collections.abc import Callable
+import threading
+from collections.abc import Callable, Iterator
 from dataclasses import dataclass, field
 
 from repro.isa import (
@@ -21,9 +23,11 @@ from repro.isa import (
     RegisterFile,
 )
 from repro.memory import MemoryImage
-from repro.trace import Trace
+from repro.trace import ColumnarTrace, Trace
 
 _MASK64 = (1 << 64) - 1
+
+DEFAULT_STREAM_CHUNK = 8192
 
 
 @dataclass(frozen=True)
@@ -54,6 +58,196 @@ class WorkloadSpec:
         if self.cold_fraction > 0.0:
             _sprinkle_cold_code(builder, n_instructions)
         return builder.build()
+
+    def build_stream(
+        self, n_instructions: int, chunk_size: int = DEFAULT_STREAM_CHUNK
+    ) -> Iterator[ColumnarTrace]:
+        """Yield the exact :meth:`build` trace as fixed-size columnar chunks.
+
+        Memory stays O(chunk): the kernel runs with a flushing sink
+        instead of accumulating its instruction list, and the cold-code
+        bursts are interleaved on the fly (see
+        :class:`_ColdInterleaver` for why that is bit-identical to the
+        post-hoc sprinkle).  Generation runs on a producer thread with a
+        bounded hand-off queue so this is a true pull-based generator —
+        the kernel only runs ahead by a couple of chunks.
+
+        Equivalence with :meth:`build` is pinned by
+        ``tests/test_columnar.py`` across every kernel.
+        """
+        q: queue.Queue = queue.Queue(maxsize=2)
+        abandoned = threading.Event()
+
+        def emit(chunk: ColumnarTrace) -> None:
+            while True:
+                if abandoned.is_set():
+                    raise _StreamAbandoned()
+                try:
+                    q.put(chunk, timeout=0.1)
+                    return
+                except queue.Full:
+                    continue
+
+        def produce() -> None:
+            try:
+                self._generate_streaming(n_instructions, chunk_size, emit)
+            except _StreamAbandoned:
+                return
+            except BaseException as exc:  # surfaced on the consumer side
+                q.put(exc)
+                return
+            q.put(None)
+
+        thread = threading.Thread(
+            target=produce, name=f"workload-stream-{self.name}", daemon=True
+        )
+        thread.start()
+        try:
+            while True:
+                item = q.get()
+                if item is None:
+                    break
+                if isinstance(item, BaseException):
+                    raise item
+                yield item
+        finally:
+            abandoned.set()
+            while thread.is_alive():
+                try:
+                    q.get_nowait()
+                except queue.Empty:
+                    pass
+                thread.join(timeout=0.05)
+
+    def build_columnar(
+        self, n_instructions: int, chunk_size: int = DEFAULT_STREAM_CHUNK
+    ) -> ColumnarTrace:
+        """The full trace as one :class:`ColumnarTrace` (streamed build)."""
+        out: ColumnarTrace | None = None
+        for chunk in self.build_stream(n_instructions, chunk_size):
+            if out is None:
+                out = chunk
+            else:
+                out.extend(chunk)
+        return out if out is not None else ColumnarTrace(self.name)
+
+    def _generate_streaming(
+        self,
+        n_instructions: int,
+        chunk_size: int,
+        emit: Callable[[ColumnarTrace], None],
+    ) -> None:
+        hot_budget = int(n_instructions * (1.0 - self.cold_fraction))
+        # Pass 1: run the kernel against a discarding sink to learn the
+        # hot-stream length (the cold-burst schedule depends on it) and
+        # to advance the builder RNG to the exact state `build()` draws
+        # the first cold-block id from.
+        counter = WorkloadBuilder(
+            self.name, seed=self.seed, sink=_discard, flush_threshold=chunk_size
+        )
+        self.kernel(counter, hot_budget, **self.params)
+        counter.flush()
+        hot_len = len(counter)
+
+        assembler = _ChunkAssembler(self.name, chunk_size, emit)
+        sink: Callable[[list[Instruction]], None] = assembler.push
+        if self.cold_fraction > 0.0:
+            cold_budget = max(0, n_instructions - hot_len)
+            if cold_budget:
+                first_block = counter.rng.randrange(_COLD_POOL)
+                sink = _ColdInterleaver(
+                    self.name, hot_len, cold_budget, first_block, assembler
+                ).push
+        # Pass 2: the real emission, flushed through the interleaver into
+        # columnar chunks.  Same seed, same kernel, same state evolution
+        # as pass 1 (and as build()).
+        builder = WorkloadBuilder(
+            self.name, seed=self.seed, sink=sink, flush_threshold=chunk_size
+        )
+        self.kernel(builder, hot_budget, **self.params)
+        builder.flush()
+        assembler.close()
+
+
+class _StreamAbandoned(Exception):
+    """Raised inside the producer thread when the consumer went away."""
+
+
+def _discard(batch: list[Instruction]) -> None:
+    """Pass-1 sink: count-only, the builder tracks the running total."""
+
+
+class _ChunkAssembler:
+    """Repack variable-size instruction batches into fixed-size chunks."""
+
+    def __init__(
+        self, name: str, chunk_size: int, emit: Callable[[ColumnarTrace], None]
+    ) -> None:
+        self.name = name
+        self.chunk_size = chunk_size
+        self.emit = emit
+        self.chunk = ColumnarTrace(name)
+
+    def push(self, batch: list[Instruction]) -> None:
+        chunk = self.chunk
+        size = self.chunk_size
+        for inst in batch:
+            chunk.append(inst)
+            if len(chunk) >= size:
+                self.emit(chunk)
+                chunk = self.chunk = ColumnarTrace(self.name)
+
+    def close(self) -> None:
+        if len(self.chunk):
+            self.emit(self.chunk)
+            self.chunk = ColumnarTrace(self.name)
+
+
+class _ColdInterleaver:
+    """Inject cold-code bursts into a streamed hot instruction flow.
+
+    Replays exactly the schedule :func:`_sprinkle_cold_code` computes
+    after the fact: a burst of ``blocks_per_burst`` cold blocks after
+    hot instruction ``i`` whenever ``i`` crosses a multiple of the
+    burst spacing.  Generating the blocks *during* the kernel run (from
+    a detached builder) instead of after it is value-identical because
+    cold blocks read only their private data region above
+    ``_COLD_DATA_BASE``, which no kernel writes, and their ALU results
+    depend only on registers the block itself loads.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        hot_len: int,
+        cold_budget: int,
+        first_block: int,
+        assembler: _ChunkAssembler,
+        burst_spacing: int = 2500,
+    ) -> None:
+        n_bursts = max(1, hot_len // burst_spacing)
+        self.blocks_per_burst = max(1, cold_budget // (4 * n_bursts))
+        self.burst_spacing = burst_spacing
+        self.next_burst = burst_spacing
+        self.block = first_block
+        self.index = 0
+        self.assembler = assembler
+        # Detached builder for cold-block generation only; its RNG is
+        # never drawn from and its image only reads the cold region.
+        self.cold_builder = WorkloadBuilder(name, seed=0)
+
+    def push(self, batch: list[Instruction]) -> None:
+        out = self.assembler
+        i = self.index
+        for inst in batch:
+            out.push((inst,))
+            if i >= self.next_burst:
+                self.next_burst += self.burst_spacing
+                for _ in range(self.blocks_per_burst):
+                    out.push(_cold_block_instructions(self.cold_builder, self.block))
+                    self.block = (self.block + 1) % _COLD_POOL
+            i += 1
+        self.index = i
 
 
 _COLD_CODE_BASE = 0x2000000
@@ -116,33 +310,70 @@ def _sprinkle_cold_code(
 
 
 class WorkloadBuilder:
-    """Emit a self-consistent dynamic instruction stream."""
+    """Emit a self-consistent dynamic instruction stream.
 
-    def __init__(self, name: str, seed: int = 0) -> None:
+    With the default ``sink=None`` the builder accumulates every
+    instruction (finish with :meth:`build`).  With a ``sink`` callable
+    the builder *streams*: whenever the pending list reaches
+    ``flush_threshold`` it is handed to the sink and cleared, so memory
+    stays O(threshold) regardless of trace length.  Streaming builders
+    cannot use :meth:`build`/:meth:`checkpoint`/:meth:`take_from` —
+    those assume the full list is resident.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        seed: int = 0,
+        sink: Callable[[list[Instruction]], None] | None = None,
+        flush_threshold: int = DEFAULT_STREAM_CHUNK,
+    ) -> None:
         self.name = name
         self.rng = random.Random(seed ^ 0x5EED)
         self.image = MemoryImage()
         self.regs = RegisterFile()
         self._insts: list[Instruction] = []
+        self._sink = sink
+        self._flush_threshold = flush_threshold
+        self._flushed = 0
 
     # -- construction ----------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._insts)
+        return self._flushed + len(self._insts)
+
+    def _emit(self, inst: Instruction) -> None:
+        self._insts.append(inst)
+        if self._sink is not None and len(self._insts) >= self._flush_threshold:
+            self.flush()
+
+    def flush(self) -> None:
+        """Hand pending instructions to the sink (streaming mode only)."""
+        if self._sink is not None and self._insts:
+            batch = self._insts
+            self._flushed += len(batch)
+            self._insts = []
+            self._sink(batch)
 
     def build(self) -> Trace:
+        if self._sink is not None:
+            raise RuntimeError("streaming builders cannot build() a full Trace")
         return Trace(self.name, self._insts)
 
     def full(self, n_instructions: int) -> bool:
         """Budget check kernels poll in their outer loops."""
-        return len(self._insts) >= n_instructions
+        return self._flushed + len(self._insts) >= n_instructions
 
     def checkpoint(self) -> int:
         """Current emission position (pairs with :meth:`take_from`)."""
+        if self._sink is not None:
+            raise RuntimeError("checkpoint() is unavailable on streaming builders")
         return len(self._insts)
 
     def take_from(self, mark: int) -> list[Instruction]:
         """Detach and return everything emitted since ``mark``."""
+        if self._sink is not None:
+            raise RuntimeError("take_from() is unavailable on streaming builders")
         taken = self._insts[mark:]
         del self._insts[mark:]
         return taken
@@ -172,7 +403,7 @@ class WorkloadBuilder:
                 acc = (acc * 31 + self.regs.read(src)) & _MASK64
             value = acc
         self.regs.write(dest, value)
-        self._insts.append(
+        self._emit(
             Instruction(pc=pc, op=op, srcs=srcs, dests=(dest,), values=(value & _MASK64,))
         )
         return value & _MASK64
@@ -196,7 +427,7 @@ class WorkloadBuilder:
         )
         for dest, value in zip(dests, values):
             self.regs.write(dest, value)
-        self._insts.append(
+        self._emit(
             Instruction(
                 pc=pc,
                 op=OpClass.LOAD,
@@ -222,7 +453,7 @@ class WorkloadBuilder:
         simulator re-applies it at commit time)."""
         value &= (1 << (8 * size)) - 1
         self.image.write(addr, size, value)
-        self._insts.append(
+        self._emit(
             Instruction(
                 pc=pc,
                 op=OpClass.STORE,
@@ -235,7 +466,7 @@ class WorkloadBuilder:
 
     def branch(self, pc: int, taken: bool, target: int, srcs: tuple[int, ...] = ()) -> None:
         """Conditional direct branch."""
-        self._insts.append(
+        self._emit(
             Instruction(
                 pc=pc,
                 op=OpClass.BRANCH,
@@ -246,28 +477,28 @@ class WorkloadBuilder:
         )
 
     def jump(self, pc: int, target: int) -> None:
-        self._insts.append(
+        self._emit(
             Instruction(pc=pc, op=OpClass.JUMP, taken=True, target=target)
         )
 
     def call(self, pc: int, target: int) -> None:
-        self._insts.append(
+        self._emit(
             Instruction(pc=pc, op=OpClass.CALL, taken=True, target=target)
         )
 
     def ret(self, pc: int, return_to: int) -> None:
-        self._insts.append(
+        self._emit(
             Instruction(pc=pc, op=OpClass.RETURN, taken=True, target=return_to)
         )
 
     def indirect(self, pc: int, target: int, srcs: tuple[int, ...] = ()) -> None:
         """Indirect branch (interpreter dispatch, virtual call)."""
-        self._insts.append(
+        self._emit(
             Instruction(pc=pc, op=OpClass.INDIRECT, srcs=srcs, taken=True, target=target)
         )
 
     def nop(self, pc: int) -> None:
-        self._insts.append(Instruction(pc=pc, op=OpClass.NOP))
+        self._emit(Instruction(pc=pc, op=OpClass.NOP))
 
     # -- composite idioms ---------------------------------------------------
 

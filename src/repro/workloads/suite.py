@@ -17,8 +17,10 @@ the right way:
 
 from __future__ import annotations
 
-from repro.trace import Trace
-from repro.workloads.base import WorkloadSpec
+from collections.abc import Iterator
+
+from repro.trace import ColumnarTrace, Trace
+from repro.workloads.base import DEFAULT_STREAM_CHUNK, WorkloadSpec
 from repro.workloads.kernels import (
     bytecode_interpreter,
     conflicting_store_flood,
@@ -236,13 +238,40 @@ def workload_names(group: str | None = None) -> list[str]:
     return list(SUITE_GROUPS[group])
 
 
-def build_workload(name: str, n_instructions: int = DEFAULT_INSTRUCTIONS) -> Trace:
-    """Generate one named workload's trace."""
+def _spec_for(name: str) -> WorkloadSpec:
     try:
-        spec = SUITE[name]
+        return SUITE[name]
     except KeyError:
         raise KeyError(f"unknown workload: {name!r}") from None
+
+
+def build_workload(
+    name: str,
+    n_instructions: int = DEFAULT_INSTRUCTIONS,
+    *,
+    stream: bool = False,
+    chunk_size: int = DEFAULT_STREAM_CHUNK,
+) -> Trace | Iterator[ColumnarTrace]:
+    """Generate one named workload's trace.
+
+    With ``stream=True``, returns a generator of fixed-size
+    :class:`ColumnarTrace` chunks instead of a materialized
+    :class:`Trace` — same instructions bit for bit, O(chunk) memory
+    (million-instruction traces never hold O(trace) objects).
+    """
+    spec = _spec_for(name)
+    if stream:
+        return spec.build_stream(n_instructions, chunk_size)
     return spec.build(n_instructions)
+
+
+def build_workload_columnar(
+    name: str,
+    n_instructions: int = DEFAULT_INSTRUCTIONS,
+    chunk_size: int = DEFAULT_STREAM_CHUNK,
+) -> ColumnarTrace:
+    """One named workload as a full :class:`ColumnarTrace` (streamed build)."""
+    return _spec_for(name).build_columnar(n_instructions, chunk_size)
 
 
 def build_suite(

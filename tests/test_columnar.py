@@ -1,0 +1,310 @@
+"""The columnar trace engine: representation, streaming, serialization.
+
+Four concerns share this file because they share one invariant — the
+struct-of-arrays world must be *losslessly interchangeable* with the
+object world:
+
+* ``Trace ↔ ColumnarTrace ↔ v2 bytes`` round-trips bit for bit
+  (property-based, covering ``taken=None``, multi-destination loads,
+  128-bit vector values, empty ``srcs``/``values``);
+* streamed workload generation emits the same instruction stream as
+  the one-shot builder, in bounded memory;
+* serialization streams on both ends (the regression tests here fail
+  against the old buffer-everything save/load);
+* the bench gate's three voices (``bench.py`` default, the CI
+  invocation, the committed report) say the same thing.
+
+The *simulated-outcome* equivalence of the two engines lives in
+``test_golden_simresults.py``, which runs every golden cell through
+both.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import tracemalloc
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import bench
+from repro.isa import Instruction, OpClass
+from repro.trace import (
+    ColumnarTrace,
+    Trace,
+    iter_trace_chunks,
+    load_trace,
+    load_trace_columnar,
+    save_trace,
+    sniff_trace_format,
+)
+from repro.workloads import build_workload, build_workload_columnar
+
+REPO_ROOT = Path(__file__).parent.parent
+
+# ---------------------------------------------------------------------------
+# property-based round-trips
+# ---------------------------------------------------------------------------
+
+_U64 = st.integers(min_value=0, max_value=2**64 - 1)
+_U128 = st.integers(min_value=0, max_value=2**128 - 1)
+_REG = st.integers(min_value=0, max_value=2**32 - 1)
+_PC = st.integers(min_value=0, max_value=2**62 - 1).map(lambda v: v * 4)
+
+
+@st.composite
+def instructions(draw) -> Instruction:
+    op = draw(st.sampled_from(list(OpClass)))
+    kwargs = {"pc": draw(_PC), "op": op}
+    if op == OpClass.LOAD:
+        # loads: one value per destination; vector loads carry 128-bit
+        # values (two u64 halves in the columnar encoding)
+        ndests = draw(st.integers(min_value=1, max_value=4))
+        is_vector = draw(st.booleans())
+        values = st.lists(_U128 if is_vector else _U64,
+                          min_size=ndests, max_size=ndests)
+        kwargs.update(
+            dests=tuple(draw(st.lists(_REG, min_size=ndests, max_size=ndests))),
+            values=tuple(draw(values)),
+            mem_addr=draw(_U64),
+            mem_size=16 if is_vector else draw(st.sampled_from([1, 2, 4, 8])),
+            is_vector=is_vector,
+            srcs=tuple(draw(st.lists(_REG, max_size=3))),
+        )
+    elif op == OpClass.STORE:
+        kwargs.update(
+            mem_addr=draw(_U64),
+            mem_size=draw(st.sampled_from([1, 2, 4, 8])),
+            values=(draw(_U64),),
+            srcs=tuple(draw(st.lists(_REG, max_size=3))),
+        )
+    elif op == OpClass.BRANCH:
+        kwargs.update(
+            taken=draw(st.none() | st.booleans()),
+            target=draw(st.none() | _PC),
+        )
+    elif op in (OpClass.JUMP, OpClass.CALL, OpClass.RETURN, OpClass.INDIRECT):
+        kwargs.update(target=draw(st.none() | _PC))
+    else:
+        # ALU-ish ops: possibly empty srcs/dests/values — the ragged
+        # prefix-index encoding must represent zero-length rows
+        kwargs.update(
+            srcs=tuple(draw(st.lists(_REG, max_size=3))),
+            dests=tuple(draw(st.lists(_REG, max_size=2))),
+            values=tuple(draw(st.lists(_U64, max_size=2))),
+        )
+    return Instruction(**kwargs)
+
+
+traces = st.lists(instructions(), max_size=40).map(
+    lambda insts: Trace("prop", insts)
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(trace=traces)
+def test_columnar_roundtrip_lossless(trace):
+    columnar = ColumnarTrace.from_trace(trace)
+    assert len(columnar) == len(trace)
+    assert list(columnar) == list(trace.instructions)
+    back = columnar.to_trace()
+    assert list(back.instructions) == list(trace.instructions)
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=traces)
+def test_v2_serialization_roundtrip(tmp_path_factory, trace):
+    path = tmp_path_factory.mktemp("v2") / "t.trace"
+    save_trace(trace, path, format="v2", chunk_size=7)
+    assert sniff_trace_format(path) == 2
+    assert list(load_trace(path).instructions) == list(trace.instructions)
+    assert load_trace_columnar(path) == ColumnarTrace.from_trace(trace)
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=traces)
+def test_v1_serialization_roundtrip(tmp_path_factory, trace):
+    path = tmp_path_factory.mktemp("v1") / "t.trace"
+    save_trace(trace, path, format="v1")
+    assert sniff_trace_format(path) == 1
+    assert list(load_trace(path).instructions) == list(trace.instructions)
+    assert load_trace_columnar(path) == ColumnarTrace.from_trace(trace)
+
+
+def test_columnar_extend_rebases_ragged_indexes():
+    a = ColumnarTrace.from_trace(Trace("a", [
+        Instruction(pc=0, op=OpClass.ALU, srcs=(1, 2), dests=(3,), values=(9,)),
+    ]))
+    b = ColumnarTrace.from_trace(Trace("b", [
+        Instruction(pc=4, op=OpClass.ALU, srcs=(4,), dests=(5,), values=(8,)),
+    ]))
+    a.extend(b)
+    assert len(a) == 2
+    assert a.instruction(1).srcs == (4,)
+    assert a.instruction(1).values == (8,)
+
+
+# ---------------------------------------------------------------------------
+# streaming generation
+# ---------------------------------------------------------------------------
+
+STREAM_KERNELS = ("gzip", "mcf", "nat", "aifirf")
+
+
+@pytest.mark.parametrize("workload", STREAM_KERNELS)
+def test_stream_equals_build(workload):
+    """Chunked emission must replay the one-shot builder bit for bit."""
+    n = 6_000
+    reference = build_workload(workload, n)
+    streamed = []
+    for chunk in build_workload(workload, n, stream=True):
+        assert isinstance(chunk, ColumnarTrace)
+        streamed.extend(chunk)
+    assert streamed == list(reference.instructions)
+
+
+def test_stream_chunk_sizes():
+    chunks = list(build_workload("gzip", 6_000, stream=True, chunk_size=2_048))
+    assert [len(c) for c in chunks[:-1]] == [2_048] * (len(chunks) - 1)
+    assert 0 < len(chunks[-1]) <= 2_048
+    assert sum(len(c) for c in chunks) == len(build_workload("gzip", 6_000))
+
+
+def test_build_workload_columnar_matches():
+    assert build_workload_columnar("gzip", 4_000) == ColumnarTrace.from_trace(
+        build_workload("gzip", 4_000)
+    )
+
+
+def test_stream_abandonment_does_not_hang():
+    """Dropping the generator mid-stream must release the producer."""
+    gen = build_workload("gzip", 200_000, stream=True)
+    next(gen)
+    gen.close()      # must not deadlock on the bounded queue
+
+
+def test_streaming_peak_memory_is_chunk_bounded():
+    """O(chunk) generation: streaming 200k instructions must allocate
+    far less than materializing them (an object trace of that size is
+    well over 100 MB)."""
+    tracemalloc.start()
+    total = 0
+    for chunk in build_workload("gzip", 200_000, stream=True):
+        total += len(chunk)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert total >= 199_000
+    assert peak < 24 * 1024 * 1024, f"streaming peak {peak} bytes"
+
+
+# ---------------------------------------------------------------------------
+# serialization streams on both ends (regression: the old save built
+# the whole file in a StringIO; the old load read_text().splitlines())
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def big_trace():
+    return build_workload("gzip", 50_000)
+
+
+def test_v1_save_streams(tmp_path, big_trace):
+    path = tmp_path / "big.trace"
+    tracemalloc.start()
+    save_trace(big_trace, path)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    file_size = path.stat().st_size
+    assert file_size > 1_000_000
+    # pre-fix: the whole serialized text (>= file_size) sat in memory
+    assert peak < file_size / 2, f"save peak {peak} vs file {file_size}"
+
+
+def test_chunked_read_streams(tmp_path, big_trace):
+    path = tmp_path / "big.trace"
+    save_trace(big_trace, path)
+    file_size = path.stat().st_size
+    tracemalloc.start()
+    n = sum(len(chunk) for chunk in iter_trace_chunks(path, chunk_size=4_096))
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert n == len(big_trace)
+    # pre-fix: every line of the file was resident at once
+    assert peak < file_size / 2, f"read peak {peak} vs file {file_size}"
+
+
+def test_v2_chunked_roundtrip_of_generated_trace(tmp_path, big_trace):
+    v2 = tmp_path / "big.v2.trace"
+    save_trace(big_trace, v2, format="v2", chunk_size=8_192)
+    assert load_trace_columnar(v2) == ColumnarTrace.from_trace(big_trace)
+
+
+def test_save_trace_accepts_chunk_iterator(tmp_path):
+    path = tmp_path / "streamed.trace"
+    save_trace(build_workload("gzip", 12_000, stream=True), path, format="v2")
+    assert load_trace_columnar(path) == build_workload_columnar("gzip", 12_000)
+
+
+# ---------------------------------------------------------------------------
+# summary counts atomics (regression: ATOMIC was dropped from the
+# memory-op accounting)
+# ---------------------------------------------------------------------------
+
+
+def test_summary_counts_atomics():
+    trace = Trace("atomics", [
+        Instruction(pc=0, op=OpClass.LOAD, dests=(1,), values=(7,), mem_addr=64),
+        Instruction(pc=4, op=OpClass.ATOMIC, mem_addr=128, mem_size=8),
+        Instruction(pc=8, op=OpClass.ATOMIC, mem_addr=128, mem_size=8),
+        Instruction(pc=12, op=OpClass.STORE, values=(1,), mem_addr=64),
+    ])
+    summary = trace.summary()
+    assert summary.atomics == 2
+    assert summary.loads == 1
+    assert summary.stores == 1
+    columnar_summary = ColumnarTrace.from_trace(trace).summary()
+    assert columnar_summary == summary
+
+
+# ---------------------------------------------------------------------------
+# bench-gate coherence: one number, used everywhere
+# ---------------------------------------------------------------------------
+
+
+def test_bench_gate_is_coherent():
+    """bench.py's default, the CI invocation and the committed report
+    must agree (the pre-fix state: default 30%, CI 5%, docs ±20%)."""
+    ci = (REPO_ROOT / ".github" / "workflows" / "ci.yml").read_text()
+    ci_gate = re.search(r"--max-regression\s+([0-9.]+)", ci)
+    assert ci_gate is not None, "CI no longer passes --max-regression"
+    assert float(ci_gate.group(1)) == bench.DEFAULT_MAX_REGRESSION
+    assert bench.BENCH_REPORT_NAME in ci, (
+        "CI checks a different report than bench.BENCH_REPORT_NAME"
+    )
+    report_path = REPO_ROOT / bench.BENCH_REPORT_NAME
+    assert report_path.exists(), f"committed {bench.BENCH_REPORT_NAME} missing"
+    report = json.loads(report_path.read_text())
+    # the committed reference carries both engines' numbers
+    assert report.get("schemes"), "object-engine section missing"
+    assert report.get("columnar_schemes"), "columnar-engine section missing"
+    for section in ("schemes", "columnar_schemes"):
+        for scheme_id, entry in report[section].items():
+            assert entry["inst_per_s"] > 0, (section, scheme_id)
+
+
+def test_check_regression_covers_both_engines():
+    committed = {
+        "schemes": {"dlvp": {"inst_per_s": 100_000}},
+        "columnar_schemes": {"dlvp": {"inst_per_s": 100_000}},
+    }
+    current = {
+        "schemes": {"dlvp": {"inst_per_s": 99_000}},
+        "columnar_schemes": {"dlvp": {"inst_per_s": 50_000}},
+    }
+    failures = bench.check_regression(current, committed, 0.20)
+    assert len(failures) == 1
+    assert failures[0].startswith("columnar/dlvp")
+    # schemes/engines on only one side never fail retroactively
+    assert bench.check_regression({"schemes": {}}, committed, 0.20) == []

@@ -23,6 +23,7 @@ import pytest
 
 from repro.pipeline.core_model import simulate
 from repro.runtime.registry import get_scheme
+from repro.trace import ColumnarTrace
 from repro.workloads import SUITE, build_workload
 
 GOLDEN_PATH = Path(__file__).parent / "golden_simresults.json"
@@ -40,16 +41,21 @@ def kernel_representatives() -> list[tuple[str, str]]:
     return sorted(reps.items())
 
 
-def _trace(workload: str):
-    trace = _TRACES.get(workload)
+def _trace(workload: str, engine: str = "object"):
+    key = (workload, engine)
+    trace = _TRACES.get(key)
     if trace is None:
-        trace = _TRACES[workload] = build_workload(workload, INSTRUCTIONS)
+        if engine == "columnar":
+            trace = ColumnarTrace.from_trace(_trace(workload))
+        else:
+            trace = build_workload(workload, INSTRUCTIONS)
+        _TRACES[key] = trace
     return trace
 
 
-def simulate_cell(workload: str, scheme_id: str) -> dict:
+def simulate_cell(workload: str, scheme_id: str, engine: str = "object") -> dict:
     scheme = get_scheme(scheme_id).build()
-    return simulate(_trace(workload), scheme).to_dict()
+    return simulate(_trace(workload, engine), scheme).to_dict()
 
 
 def _cells() -> list[tuple[str, str]]:
@@ -74,12 +80,19 @@ def test_golden_covers_every_kernel(goldens):
     assert set(goldens["cells"]) == expected
 
 
+@pytest.mark.parametrize("engine", ["object", "columnar"])
 @pytest.mark.parametrize(
     "workload,scheme_id", _cells(), ids=lambda v: str(v)
 )
-def test_simresult_bit_identical(goldens, workload, scheme_id):
+def test_simresult_bit_identical(goldens, workload, scheme_id, engine):
+    """Both trace engines must hit the same goldens bit for bit.
+
+    The columnar leg is what licenses the struct-of-arrays fast loop in
+    ``core_model`` (and the flattened scheme dispatch under it) to skip
+    the object path entirely.
+    """
     golden = goldens["cells"][f"{workload}/{scheme_id}"]
-    assert simulate_cell(workload, scheme_id) == golden
+    assert simulate_cell(workload, scheme_id, engine) == golden
 
 
 def _regen() -> None:
