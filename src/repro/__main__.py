@@ -48,7 +48,7 @@ Examples::
     python -m repro trace aifirf --scheme dlvp --out trace.json
     python -m repro observe report
     python -m repro run aifirf --scheme dlvp --trace traces/
-    python -m repro bench throughput --output BENCH_pr8.json
+    python -m repro bench throughput --output BENCH_pr9.json
     python -m repro cache verify
     python -m repro cache gc --max-age-days 30 --max-size-mb 512
     python -m repro serve start --workers 4 --max-cache-mb 512
@@ -413,9 +413,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(f"wrote {path}", file=sys.stderr)
     if args.check:
         committed = bench.load_report(args.check)
+        warnings: list[str] = []
         failures = bench.check_regression(
-            report, committed, args.max_regression
+            report, committed, args.max_regression, warnings=warnings
         )
+        for warning in warnings:
+            print(f"WARNING {warning}", file=sys.stderr)
         for failure in failures:
             print(f"REGRESSION {failure}", file=sys.stderr)
         if failures:
@@ -804,7 +807,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="time the object (Instruction-list) engine "
                             "(default: both engines)")
     bench.add_argument("--output", default=None, metavar="FILE",
-                       help="write the JSON report (e.g. BENCH_pr8.json)")
+                       help="write the JSON report (e.g. BENCH_pr9.json)")
     bench.add_argument("--check", default=None, metavar="FILE",
                        help="fail if inst/s regresses versus this "
                             "committed report")

@@ -9,7 +9,7 @@ RSS) so the simulator's own performance trajectory is tracked in the
 repository alongside its accuracy.
 
 The committed report doubles as a regression baseline:
-``--check BENCH_pr8.json`` re-measures and fails when any scheme's
+``--check BENCH_pr9.json`` re-measures and fails when any scheme's
 best-of-N inst/s falls more than ``--max-regression`` below the
 committed number.  The gate is **coherent by construction**: the
 default here, the CI invocation and this docstring all say the same
@@ -33,7 +33,7 @@ import time
 from pathlib import Path
 from typing import Sequence
 
-BENCH_REPORT_NAME = "BENCH_pr8.json"
+BENCH_REPORT_NAME = "BENCH_pr9.json"
 DEFAULT_WORKLOAD = "gzip"
 DEFAULT_INSTRUCTIONS = 24_000
 DEFAULT_REPEATS = 3
@@ -158,30 +158,70 @@ def load_report(path: str | Path) -> dict:
     return json.loads(Path(path).read_text())
 
 
+def _usable_rate(entry) -> float | None:
+    """Best-of-N inst/s of a report cell, or None when malformed."""
+    if not isinstance(entry, dict):
+        return None
+    rate = entry.get("inst_per_s")
+    if isinstance(rate, bool) or not isinstance(rate, (int, float)):
+        return None
+    return rate
+
+
 def check_regression(
     current: dict,
     committed: dict,
     max_regression: float = DEFAULT_MAX_REGRESSION,
+    warnings: list[str] | None = None,
 ) -> list[str]:
     """Compare a fresh report against a committed one.
 
     Returns a list of human-readable failures — empty means every
     (engine, scheme) present in both reports is within
-    ``max_regression`` of its committed best-of-N inst/s.  Cells only
-    on one side are skipped (adding a scheme or an engine must not
-    break CI retroactively).
+    ``max_regression`` of its committed best-of-N inst/s.
+
+    Mismatches between the two reports are *warned and skipped*, never
+    failed: cells present on only one side (adding a scheme or an
+    engine must not break CI retroactively), engine sections missing
+    from either report, and entries without a usable ``inst_per_s``
+    number (a malformed cell is a report problem, not a performance
+    regression).  Pass a list as ``warnings`` to collect one message
+    per skipped mismatch; the CLI prints them.
     """
     failures = []
+    warn = warnings.append if warnings is not None else (lambda _msg: None)
     for engine, section in _ENGINE_SECTIONS.items():
-        committed_schemes = committed.get(section) or {}
-        for scheme_id, entry in (current.get(section) or {}).items():
+        current_schemes = current.get(section)
+        committed_schemes = committed.get(section)
+        if current_schemes and not committed_schemes:
+            warn(f"{engine}: committed report has no {section!r} section; "
+                 f"skipping the whole engine")
+        if committed_schemes and not current_schemes:
+            warn(f"{engine}: fresh report has no {section!r} section; "
+                 f"nothing to compare")
+        current_schemes = current_schemes or {}
+        committed_schemes = committed_schemes or {}
+        for scheme_id in committed_schemes:
+            if scheme_id not in current_schemes and current_schemes:
+                warn(f"{engine}/{scheme_id}: in the committed report only; "
+                     f"skipping")
+        for scheme_id, entry in current_schemes.items():
             base = committed_schemes.get(scheme_id)
             if base is None:
+                if committed_schemes:
+                    warn(f"{engine}/{scheme_id}: not in the committed "
+                         f"report; skipping")
                 continue
-            baseline_rate = base.get("inst_per_s", 0)
-            if baseline_rate <= 0:
+            baseline_rate = _usable_rate(base)
+            if baseline_rate is None or baseline_rate <= 0:
+                warn(f"{engine}/{scheme_id}: committed entry has no usable "
+                     f"inst_per_s; skipping")
                 continue
-            rate = entry["inst_per_s"]
+            rate = _usable_rate(entry)
+            if rate is None:
+                warn(f"{engine}/{scheme_id}: fresh entry has no usable "
+                     f"inst_per_s; skipping")
+                continue
             floor = baseline_rate * (1.0 - max_regression)
             if rate < floor:
                 failures.append(

@@ -168,6 +168,17 @@ class GlobalHistory:
         self._bits = ((bits << 1) | bit) & self._mask
         self.version += 1
 
+    def push_light(self, bit: int) -> None:
+        """Shift one bit in WITHOUT maintaining the folded registers.
+
+        For batched-key runs (repro.pipeline.batch): the folds go stale
+        but the raw bits — what :attr:`value`/:meth:`snapshot` readers
+        consume — stay exact.  :meth:`restore` rebuilds the folds, so a
+        later snapshot/restore re-synchronizes them.
+        """
+        self._bits = ((self._bits << 1) | (bit & 1)) & self._mask
+        self.version += 1
+
     def folded(self, target_bits: int) -> int:
         return fold_history(self._bits, self.length, target_bits)
 

@@ -89,8 +89,41 @@ class Tage:
         self._key_pc = -1
         self._key_version = -1
         self._key_cache: list[tuple[int, int]] = []
+        # Optional precomputed key batch (columnar runs; see
+        # repro.pipeline.batch.TageKeyBatch) and its chunk cursor.
+        self._kb = None
+        self._kb_keys: list = []
+        self._kb_pos = 0
+        self._kb_start = 0
+        self._kb_end = 0
         self.predictions = 0
         self.mispredictions = 0
+
+    # -- batched keys -------------------------------------------------
+
+    def bind_key_batch(self, batch) -> None:
+        """Attach (or with None, detach) a precomputed key batch.
+
+        While bound, :meth:`update` takes its per-table (index, tag)
+        sets from the batch — one entry per conditional branch in trace
+        order — and :meth:`update_history` stops maintaining the folded
+        registers (they go stale; only the raw history bits advance).
+        Callers must resolve every conditional of the batched trace in
+        order and must not call :meth:`predict` while bound.
+        """
+        self._kb = batch
+        self._kb_keys = []
+        self._kb_pos = 0
+        self._kb_start = 0
+        self._kb_end = 0
+
+    def _kb_refill(self, pos: int) -> None:
+        # Chunks holding only call events yield no keys; keep pulling.
+        while pos >= self._kb_end:
+            start, keys = self._kb.next_chunk()
+            self._kb_keys = keys
+            self._kb_start = start
+            self._kb_end = start + len(keys)
 
     # -- indexing -----------------------------------------------------
 
@@ -172,6 +205,15 @@ class Tage:
         :attr:`history` afterwards via :meth:`update_history` (kept
         separate so speculative-history schemes can manage it).
         """
+        if self._kb is not None:
+            pos = self._kb_pos
+            self._kb_pos = pos + 1
+            if pos >= self._kb_end:
+                self._kb_refill(pos)
+            # Preload the key memo; _lookup/_allocate then hit the cache.
+            self._key_pc = pc
+            self._key_version = self.history.version
+            self._key_cache = self._kb_keys[pos - self._kb_start]
         prediction, provider, alt_pred = self._lookup(pc)
         self.predictions += 1
         mispredicted = prediction != taken
@@ -225,8 +267,110 @@ class Tage:
         entry.ctr = 0 if taken else -1
         entry.useful = 0
 
+    def make_update_fused(self, unit_stats=None):
+        """Build a closure fusing :meth:`update` + :meth:`update_history`.
+
+        For the columnar hot loop: one call per conditional branch
+        replaces the update/_lookup/update_history/push chain, with the
+        tables, counters and history captured as closure cells.  Handles
+        both batched-key and live-fold modes, and trains identically to
+        the layered methods (pinned by the golden suite).  When
+        ``unit_stats`` (a BranchUnitStats) is given, the closure also
+        maintains its conditional counters, fusing the BranchUnit layer.
+        """
+        s = self
+        hist = self.history
+        hist_mask = hist._mask
+        tables = self._tables
+        base = self._base
+        base_entries = self.config.base_entries
+        ctr_max = self._ctr_max
+        ctr_min = self._ctr_min
+        useful_max = self._useful_max
+        allocate = self._allocate
+        keys_live = self._keys
+
+        def update_fused(pc: int, taken: bool) -> bool:
+            if unit_stats is not None:
+                unit_stats.conditional += 1
+            assert taken is not None
+            batched = s._kb is not None
+            if batched:
+                pos = s._kb_pos
+                s._kb_pos = pos + 1
+                if pos >= s._kb_end:
+                    s._kb_refill(pos)
+                keys = s._kb_keys[pos - s._kb_start]
+            else:
+                keys = keys_live(pc)
+            # _lookup, inlined (alt_pred falls back to bimodal lazily).
+            provider = None
+            provider_entry = None
+            prediction = False
+            alt_pred = None
+            for table in range(len(keys) - 1, -1, -1):
+                index, tag = keys[table]
+                entry = tables[table][index]
+                if entry.tag == tag:
+                    if provider is None:
+                        provider = table
+                        provider_entry = entry
+                        prediction = entry.ctr >= 0
+                    else:
+                        alt_pred = entry.ctr >= 0
+                        break
+            base_idx = (pc >> 2) % base_entries
+            if alt_pred is None:
+                alt_pred = base[base_idx] >= 2
+            if provider is None:
+                prediction = alt_pred
+            s.predictions += 1
+            mispredicted = prediction != taken
+
+            if provider is None or alt_pred == prediction:
+                counter = base[base_idx]
+                base[base_idx] = (
+                    min(3, counter + 1) if taken else max(0, counter - 1)
+                )
+
+            if provider is not None:
+                entry = provider_entry
+                if taken:
+                    entry.ctr = min(ctr_max, entry.ctr + 1)
+                else:
+                    entry.ctr = max(ctr_min, entry.ctr - 1)
+                if prediction != alt_pred:
+                    if prediction == taken:
+                        entry.useful = min(useful_max, entry.useful + 1)
+                    else:
+                        entry.useful = max(0, entry.useful - 1)
+
+            if mispredicted:
+                s.mispredictions += 1
+                if unit_stats is not None:
+                    unit_stats.conditional_mispredicted += 1
+                # _allocate reads keys through the memo; preload it
+                # (only needed here — the common path skips the stores).
+                s._key_pc = pc
+                s._key_version = hist.version
+                s._key_cache = keys
+                allocate(pc, taken, provider)
+
+            # update_history, inlined (push_light when batched).
+            if batched:
+                hist._bits = ((hist._bits << 1) | (1 if taken else 0)) & hist_mask
+                hist.version += 1
+            else:
+                hist.push(1 if taken else 0)
+            return mispredicted
+
+        return update_fused
+
     def update_history(self, taken: bool) -> None:
-        self.history.push(1 if taken else 0)
+        if self._kb is not None:
+            self.history.push_light(1 if taken else 0)
+        else:
+            self.history.push(1 if taken else 0)
 
     @property
     def accuracy(self) -> float:

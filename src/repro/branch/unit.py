@@ -63,6 +63,12 @@ class BranchUnit:
         self.ittage = Ittage(ittage_config)
         self.ras = ReturnAddressStack(ras_depth)
         self.stats = BranchUnitStats()
+        # The TAGE global branch history (VTAGE's context source).  A
+        # plain attribute, not a property: the value-prediction schemes
+        # alias this object at bind() and read .value once per load, so
+        # the reference must be stable for the lifetime of the unit
+        # (Tage never rebinds its history register).
+        self.global_history = self.tage.history
 
     def resolve(self, inst: Instruction) -> bool:
         """Predict + train on one control instruction.
@@ -107,6 +113,16 @@ class BranchUnit:
             return mispredicted
 
         raise ValueError(f"not a control instruction: {inst.op!r}")
+
+    def make_resolve_conditional(self):
+        """Fused BRANCH arm of :meth:`resolve_fields` for the hot loop.
+
+        Returns a ``(pc, taken) -> mispredicted`` closure combining the
+        conditional stats and the whole TAGE update/history chain into
+        one call (see :meth:`Tage.make_update_fused`).  Same updates,
+        same return value as ``resolve_fields(BRANCH, ...)``.
+        """
+        return self.tage.make_update_fused(self.stats)
 
     def resolve_fields(
         self, op: int, pc: int, taken: bool | None, target: int | None
@@ -156,8 +172,3 @@ class BranchUnit:
             return mispredicted
 
         raise ValueError(f"not a control instruction: op={op}")
-
-    @property
-    def global_history(self):
-        """The TAGE global branch history (VTAGE's context source)."""
-        return self.tage.history

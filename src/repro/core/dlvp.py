@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.isa import Instruction, fetch_group_address
+from repro.isa import Instruction, OpClass, fetch_group_address
 from repro.isa.fetch import FETCH_GROUP_BYTES
 from repro.memory import MemoryHierarchy, MemoryImage
 from repro.predictors.base import AddressPrediction
@@ -30,6 +30,15 @@ from repro.core.paq import PaqEntry, PredictedAddressQueue
 
 _PROBE_BYTES = 32      # captures LDM footprints up to 4 x 8B / VLD 2 x 16B
 _FGA_MASK = ~(FETCH_GROUP_BYTES - 1)      # fetch_group_address(), inlined
+_LOAD_INT = int(OpClass.LOAD)
+
+# Flat-protocol handle for an LSCD-blocked load.  Identity-checked in
+# flat_execute_train, so one shared tuple serves every blocked load
+# (the flat twin of DlvpFetchHandle.lscd_blocked).  The -1 fields keep
+# it distinct from every real handle: CPython merges equal constant
+# tuples across a module, so a (0, 0, None) literal elsewhere would BE
+# this object and turn ordinary unpredicted loads into blocked ones.
+_FLAT_BLOCKED = (-1, -1, None)
 
 
 @dataclass
@@ -182,10 +191,56 @@ class DlvpEngine:
             self._path_push = None
             self._compute_key = None
             self._apt_predict = None
+        # Optional per-run batched APT keys (columnar loop only); see
+        # bind_key_batch().
+        self._kb = None
+        self._kb_pos = 0
+        self._kb_start = 0
+        self._kb_end = 0
+        self._kb_idx0: list[int] = []
+        self._kb_tag0: list[int] = []
+        self._kb_idx1: list[int] = []
+        self._kb_tag1: list[int] = []
 
     @property
     def _uses_pap(self) -> bool:
         return self._is_pap
+
+    def bind_key_batch(self, batch) -> None:
+        """Attach (or detach, with None) a per-run APT key batch.
+
+        ``batch`` is a :class:`repro.pipeline.batch.PapKeyBatch` built
+        over the exact trace this engine is about to consume.  With a
+        batch bound, the flat fetch path reads precomputed (index, tag)
+        keys by load ordinal instead of hashing the live folded history —
+        and therefore skips the live history pushes entirely; the batch
+        already accounts for every dynamic load's path bit, and nothing
+        else reads the load-path history at run time.  Blocked and
+        beyond-slot-limit loads advance the cursor without reading keys.
+        """
+        self._kb = batch
+        self._kb_pos = self._kb_start = self._kb_end = 0
+        self._kb_idx0 = []
+        self._kb_tag0 = []
+        self._kb_idx1 = []
+        self._kb_tag1 = []
+
+    def _kb_refill(self, pos: int) -> None:
+        """Pull batch chunks until the cursor position is in range.
+
+        A single next_chunk() is not always enough: blocked and
+        unpredicted loads advance the cursor without touching the key
+        lists, so ``pos`` may have moved past a whole chunk of loads
+        whose keys were never read.
+        """
+        while pos >= self._kb_end:
+            start, idx0, tag0, idx1, tag1 = self._kb.next_chunk()
+            self._kb_start = start
+            self._kb_end = start + len(idx0)
+            self._kb_idx0 = idx0
+            self._kb_tag0 = tag0
+            self._kb_idx1 = idx1
+            self._kb_tag1 = tag1
 
     def attach_tracer(self, tracer) -> None:
         """Opt into per-event instrumentation (see :mod:`repro.observe`).
@@ -427,6 +482,484 @@ class DlvpEngine:
             self.hierarchy.prefetch_fill(entry.addr)
             stats.prefetches += 1
         return handle, None
+
+    # -- flat fetch/execute (columnar simulate() path) ----------------------
+    #
+    # Scalar twins of fetch_probe_predict / execute_train /
+    # on_load_fetch_unpredicted: no Instruction view, no DlvpFetchHandle
+    # allocation — the handle is a plain ``(apt_index, apt_tag,
+    # predicted_addr)`` tuple (``predicted_addr`` None when the load was
+    # not address-predicted or its PAQ entry was rejected/dropped), or
+    # the shared _FLAT_BLOCKED sentinel.  The columnar loop never runs
+    # with a tracer attached, so these carry no reference-path dispatch.
+    # Outcomes are pinned to the object path by the golden suite.
+
+    def flat_load_unpredicted(self, pc: int) -> None:
+        """Flat twin of :meth:`on_load_fetch_unpredicted`."""
+        self.stats.loads_seen += 1
+        if self._is_pap:
+            if self._kb is not None:
+                self._kb_pos += 1
+            else:
+                self._path_push((pc >> 2) & 1)    # path_history_bit(pc)
+
+    def flat_fetch_probe_predict(
+        self,
+        pc: int,
+        mem_size: int,
+        ndests: int,
+        fetch_cycle: int,
+        slot: int,
+        probe_cycle: int,
+    ) -> tuple[tuple, tuple[int, ...] | None]:
+        """Flat twin of :meth:`fetch_probe_predict`; returns
+        ``(handle_tuple, predicted_values | None)``."""
+        if self._lscd_enabled and pc in self._lscd_pcs:    # lscd.blocks(), inlined
+            self.lscd.filtered += 1
+            if self._is_pap:
+                if self._kb is not None:
+                    self._kb_pos += 1
+                else:
+                    self._path_push((pc >> 2) & 1)
+            return _FLAT_BLOCKED, None
+
+        if self._is_pap:
+            if self._kb is not None:
+                pos = self._kb_pos
+                self._kb_pos = pos + 1
+                if pos >= self._kb_end:
+                    self._kb_refill(pos)
+                j = pos - self._kb_start
+                if slot:
+                    index = self._kb_idx1[j]
+                    tag = self._kb_tag1[j]
+                else:
+                    index = self._kb_idx0[j]
+                    tag = self._kb_tag0[j]
+            else:
+                # PapPredictor.compute_key, inlined (live folded history).
+                key_pc = (pc & _FGA_MASK) | (slot << 2)
+                word = key_pc >> 2
+                index_bits = self._apt_index_bits
+                index = (
+                    word ^ (word >> index_bits) ^ (word >> (2 * index_bits))
+                    ^ self._apt_idx_fold.value
+                ) & self._apt_index_mask
+                tag = (
+                    word ^ (key_pc >> self._apt_tag_shift) ^ self._apt_tag_fold.value
+                ) & self._apt_tag_mask
+                self._path_push((pc >> 2) & 1)    # path_history_bit(pc)
+            entry = self._apt_entries[index]
+            if entry is None or entry.tag != tag or entry.confidence < self._apt_conf_max:
+                return (index, tag, None), None
+            pred_addr = entry.addr
+            pred_size = _SIZE_FROM_CODE[entry.size_code]
+            pred_way = entry.way if self._apt_use_way else None
+        else:
+            index = tag = 0
+            prediction = self.predictor.predict_pc(pc)
+            if prediction is None:
+                return (0, 0, None), None
+            pred_addr = prediction.addr
+            pred_size = prediction.size
+            pred_way = prediction.way
+
+        # PAQ push (inlined PredictedAddressQueue.push).
+        paq = self.paq
+        queue = paq._queue
+        if len(queue) >= paq.capacity:
+            paq.rejected_full += 1
+            return (index, tag, None), None
+        queue.append(
+            PaqEntry(pred_addr, pred_size, pred_way, fetch_cycle, bypass=not queue)
+        )
+        paq.enqueued += 1
+
+        # PAQ drain (inlined PredictedAddressQueue.service).
+        drop_cycles = paq.drop_cycles
+        entry = None
+        while queue:
+            candidate = queue.popleft()
+            if probe_cycle - candidate.allocated_cycle > drop_cycles:
+                paq.dropped += 1
+                continue
+            paq.serviced += 1
+            if candidate.bypass:
+                paq.bypassed += 1
+            entry = candidate
+            break
+        if entry is None:
+            return (index, tag, None), None
+
+        handle = (index, tag, pred_addr)
+        stats = self.stats
+        stats.probes += 1
+        way_predicted = self._way_pred_enabled and entry.way is not None
+        if way_predicted:
+            stats.probes_way_predicted += 1
+        hit, actual_way = self.hierarchy.probe_l1(entry.addr)
+        if hit and way_predicted and entry.way != actual_way:
+            stats.way_mispredictions += 1
+            hit = False
+        if hit:
+            stats.probe_hits += 1
+            if ndests == 1:
+                if mem_size > _PROBE_BYTES:
+                    return handle, None
+                # Word-granular footprints read exactly what the load
+                # covers: read() is pure, so reading mem_size bytes is
+                # bit-identical to masking a _PROBE_BYTES read down —
+                # and hits the single-word fast path for 4-byte loads.
+                if mem_size and not mem_size & 3:
+                    return handle, (self.image.read(entry.addr, mem_size),)
+                raw = self.image.read(entry.addr, _PROBE_BYTES)
+                return handle, (raw & ((1 << (8 * mem_size)) - 1),)
+            raw = self.image.read(entry.addr, _PROBE_BYTES)
+            # predicted_values(), inlined for the multi-destination case.
+            if mem_size * (ndests or 1) > _PROBE_BYTES:
+                return handle, None
+            mask = (1 << (8 * mem_size)) - 1
+            return handle, tuple(
+                (raw >> (8 * mem_size * k)) & mask for k in range(ndests)
+            )
+        stats.probe_misses += 1
+        if self._prefetch_on_miss:
+            self.hierarchy.prefetch_fill(entry.addr)
+            stats.prefetches += 1
+        return handle, None
+
+    def flat_execute_train(
+        self,
+        handle: tuple,
+        pc: int,
+        mem_addr: int,
+        mem_size: int,
+        values: tuple[int, ...],
+        actual_way: int | None,
+        value_predicted: bool,
+        predicted: tuple[int, ...] | None,
+    ) -> tuple[bool, bool]:
+        """Flat twin of :meth:`execute_train`."""
+        stats = self.stats
+        stats.loads_seen += 1
+
+        if handle is _FLAT_BLOCKED:
+            stats.lscd_blocked += 1
+            return False, False
+
+        pred_addr = handle[2]
+        addr_correct = pred_addr is not None and pred_addr == mem_addr
+        if pred_addr is not None:
+            stats.address_predictions += 1
+            if addr_correct:
+                stats.address_correct += 1
+
+        if self._is_pap:
+            self.predictor.train(handle[0], handle[1], mem_addr, mem_size, actual_way)
+        else:
+            self.predictor.train(pc, mem_addr)
+
+        value_correct = False
+        if value_predicted:
+            mask = (1 << (8 * mem_size)) - 1
+            if len(values) == 1:
+                value_correct = predicted == (values[0] & mask,)
+            else:
+                value_correct = predicted == tuple(v & mask for v in values)
+            stats.value_predictions += 1
+            if value_correct:
+                stats.value_correct += 1
+            elif addr_correct:
+                stats.inflight_conflicts += 1
+                if self._lscd_enabled:
+                    self.lscd.insert(pc)
+
+        return value_predicted, value_correct
+
+    # -- fused columnar fast path ----------------------------------------
+
+    def make_flat_fetch(self):
+        """Build the fused per-load fetch closure for the columnar loop.
+
+        A drop-in for ``DlvpScheme.flat_fetch`` (same signature and
+        return contract): the scheme wrapper, flat_fetch_probe_predict,
+        the PAQ push/drain and ``hierarchy.probe_l1`` collapsed into a
+        single call with every hot attribute captured as a closure cell
+        — per-load attribute chasing was the dominant scheme-side cost.
+        Must be rebuilt per run (``flat_prepare``) because the closure
+        owns the batched-key cursor.  Outcome equivalence with the
+        layered methods is pinned by the golden suite.
+        """
+        lscd_enabled = self._lscd_enabled
+        lscd_pcs = self._lscd_pcs
+        lscd = self.lscd
+        stats = self.stats
+        is_pap = self._is_pap
+        path_push = self._path_push
+        kb = self._kb
+        kb_pos = 0
+        kb_end = 0
+        kb_start = 0
+        kb_idx0: list = []
+        kb_tag0: list = []
+        kb_idx1: list = []
+        kb_tag1: list = []
+        if is_pap:
+            apt_idx_fold = self._apt_idx_fold
+            apt_tag_fold = self._apt_tag_fold
+            index_bits = self._apt_index_bits
+            index_bits2 = 2 * self._apt_index_bits
+            index_mask = self._apt_index_mask
+            tag_mask = self._apt_tag_mask
+            tag_shift = self._apt_tag_shift
+            apt_entries = self._apt_entries
+            conf_max = self._apt_conf_max
+            use_way = self._apt_use_way
+            predict_pc = None
+        else:
+            predict_pc = self.predictor.predict_pc
+        paq = self.paq
+        queue = paq._queue
+        paq_capacity = paq.capacity
+        drop_cycles = paq.drop_cycles
+        way_pred_enabled = self._way_pred_enabled
+        prefetch_on_miss = self._prefetch_on_miss
+        hierarchy = self.hierarchy
+        tlb_shift = hierarchy._tlb_shift
+        tlb_mask = hierarchy._tlb_mask
+        tlb_where = hierarchy._tlb_where
+        tlb_lru = hierarchy._tlb_lru
+        tlb_stats = hierarchy._tlb_stats
+        tlb_fill = hierarchy._tlb_array.fill
+        l1_shift = hierarchy._l1_shift
+        l1_mask = hierarchy._l1_mask
+        l1_where = hierarchy._l1_where
+        l1_stats = hierarchy._l1_stats
+        prefetch_fill = hierarchy.prefetch_fill
+        image_read = self.image.read
+        size_from_code = _SIZE_FROM_CODE
+
+        def flat_fetch(
+            pc, op, mem_addr, mem_size, flags, ndests, values,
+            fetch_cycle, load_slot, probe_cycle,
+        ):
+            nonlocal kb_pos, kb_start, kb_end, kb_idx0, kb_tag0, kb_idx1, kb_tag1
+            if op != _LOAD_INT:
+                return None
+            if load_slot is None:
+                # on_load_fetch_unpredicted: count, advance the history.
+                stats.loads_seen += 1
+                if is_pap:
+                    if kb is not None:
+                        kb_pos += 1
+                    else:
+                        path_push((pc >> 2) & 1)
+                return None
+            if lscd_enabled and pc in lscd_pcs:       # lscd.blocks(), inlined
+                lscd.filtered += 1
+                if is_pap:
+                    if kb is not None:
+                        kb_pos += 1
+                    else:
+                        path_push((pc >> 2) & 1)
+                return (None, False, _FLAT_BLOCKED, ndests)
+
+            if is_pap:
+                if kb is not None:
+                    pos = kb_pos
+                    kb_pos = pos + 1
+                    if pos >= kb_end:
+                        while pos >= kb_end:
+                            kb_start, kb_idx0, kb_tag0, kb_idx1, kb_tag1 = (
+                                kb.next_chunk()
+                            )
+                            kb_end = kb_start + len(kb_idx0)
+                    j = pos - kb_start
+                    if load_slot:
+                        index = kb_idx1[j]
+                        tag = kb_tag1[j]
+                    else:
+                        index = kb_idx0[j]
+                        tag = kb_tag0[j]
+                else:
+                    # PapPredictor.compute_key, inlined (live folds).
+                    key_pc = (pc & _FGA_MASK) | (load_slot << 2)
+                    word = key_pc >> 2
+                    index = (
+                        word ^ (word >> index_bits) ^ (word >> index_bits2)
+                        ^ apt_idx_fold.value
+                    ) & index_mask
+                    tag = (
+                        word ^ (key_pc >> tag_shift) ^ apt_tag_fold.value
+                    ) & tag_mask
+                    path_push((pc >> 2) & 1)
+                entry = apt_entries[index]
+                if entry is None or entry.tag != tag or entry.confidence < conf_max:
+                    return (None, False, (index, tag, None), ndests)
+                pred_addr = entry.addr
+                pred_way = entry.way if use_way else None
+            else:
+                index = tag = 0
+                prediction = predict_pc(pc)
+                if prediction is None:
+                    return (None, False, (0, 0, None), ndests)
+                pred_addr = prediction.addr
+                pred_way = prediction.way
+
+            # PAQ push + drain.  The queue is almost always empty, in
+            # which case the pushed entry is immediately drained again
+            # (bypass) — no PaqEntry, no deque traffic.
+            if not queue and paq_capacity:
+                paq.enqueued += 1
+                if probe_cycle - fetch_cycle > drop_cycles:
+                    paq.dropped += 1
+                    return (None, False, (index, tag, None), ndests)
+                paq.serviced += 1
+                paq.bypassed += 1
+                entry_addr = pred_addr
+                entry_way = pred_way
+            else:
+                if len(queue) >= paq_capacity:
+                    paq.rejected_full += 1
+                    return (None, False, (index, tag, None), ndests)
+                pred_size = (
+                    size_from_code[entry.size_code] if is_pap else prediction.size
+                )
+                queue.append(
+                    PaqEntry(pred_addr, pred_size, pred_way, fetch_cycle,
+                             bypass=not queue)
+                )
+                paq.enqueued += 1
+                drained = None
+                while queue:
+                    candidate = queue.popleft()
+                    if probe_cycle - candidate.allocated_cycle > drop_cycles:
+                        paq.dropped += 1
+                        continue
+                    paq.serviced += 1
+                    if candidate.bypass:
+                        paq.bypassed += 1
+                    drained = candidate
+                    break
+                if drained is None:
+                    return (None, False, (index, tag, None), ndests)
+                entry_addr = drained.addr
+                entry_way = drained.way
+
+            handle = (index, tag, pred_addr)
+            stats.probes += 1
+            way_predicted = way_pred_enabled and entry_way is not None
+            if way_predicted:
+                stats.probes_way_predicted += 1
+            # hierarchy.probe_l1, inlined: TLB translate, L1 residency.
+            block = entry_addr >> tlb_shift
+            set_idx = block & tlb_mask
+            way = tlb_where[set_idx].get(block)
+            if way is not None:
+                lru = tlb_lru[set_idx]
+                if lru[0] != way:
+                    lru.remove(way)
+                    lru.insert(0, way)
+                tlb_stats.hits += 1
+            else:
+                tlb_stats.misses += 1
+                tlb_fill(entry_addr)
+            block = entry_addr >> l1_shift
+            actual_way = l1_where[block & l1_mask].get(block)
+            if actual_way is not None:
+                l1_stats.probe_hits += 1
+                hit = True
+                if way_predicted and entry_way != actual_way:
+                    stats.way_mispredictions += 1
+                    hit = False
+            else:
+                l1_stats.probe_misses += 1
+                hit = False
+            if hit:
+                stats.probe_hits += 1
+                mask = (1 << (8 * mem_size)) - 1
+                if ndests == 1:
+                    if mem_size > _PROBE_BYTES:
+                        return (None, False, handle, ndests)
+                    if mem_size and not mem_size & 3:
+                        v = image_read(entry_addr, mem_size)
+                    else:
+                        v = image_read(entry_addr, _PROBE_BYTES) & mask
+                    # _masked_values compare, flattened (scheme wrapper).
+                    if len(values) == 1:
+                        correct = v == (values[0] & mask)
+                    else:
+                        correct = (v,) == tuple(x & mask for x in values)
+                    return ((v,), correct, handle, ndests)
+                if mem_size * (ndests or 1) > _PROBE_BYTES:
+                    return (None, False, handle, ndests)
+                raw = image_read(entry_addr, _PROBE_BYTES)
+                pred = tuple(
+                    (raw >> (8 * mem_size * k)) & mask for k in range(ndests)
+                )
+                correct = pred == tuple(x & mask for x in values)
+                return (pred, correct, handle, ndests)
+            stats.probe_misses += 1
+            if prefetch_on_miss:
+                prefetch_fill(entry_addr)
+                stats.prefetches += 1
+            return (None, False, handle, ndests)
+
+        return flat_fetch
+
+    def make_flat_execute(self):
+        """Fused execute-side twin of :meth:`make_flat_fetch`.
+
+        Drop-in for ``DlvpScheme.flat_execute``: the scheme wrapper and
+        :meth:`flat_execute_train` as one closure.
+        """
+        stats = self.stats
+        is_pap = self._is_pap
+        train = self.predictor.train
+        lscd_enabled = self._lscd_enabled
+        lscd_insert = self.lscd.insert
+
+        def flat_execute(
+            pc, op, mem_addr, mem_size, flags, ndests, values,
+            handle, predicted, way, value_predicted,
+        ):
+            stats.loads_seen += 1
+            if handle is _FLAT_BLOCKED:
+                stats.lscd_blocked += 1
+                return False, False
+
+            pred_addr = handle[2]
+            if pred_addr is not None:
+                addr_correct = pred_addr == mem_addr
+                stats.address_predictions += 1
+                if addr_correct:
+                    stats.address_correct += 1
+            else:
+                addr_correct = False
+
+            if is_pap:
+                train(handle[0], handle[1], mem_addr, mem_size, way)
+            else:
+                train(pc, mem_addr)
+
+            value_correct = False
+            if value_predicted:
+                mask = (1 << (8 * mem_size)) - 1
+                if len(values) == 1:
+                    value_correct = predicted == (values[0] & mask,)
+                else:
+                    value_correct = predicted == tuple(v & mask for v in values)
+                stats.value_predictions += 1
+                if value_correct:
+                    stats.value_correct += 1
+                elif addr_correct:
+                    stats.inflight_conflicts += 1
+                    if lscd_enabled:
+                        lscd_insert(pc)
+
+            return value_predicted, value_correct
+
+        return flat_execute
 
     # -- value extraction ---------------------------------------------------
 

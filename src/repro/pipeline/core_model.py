@@ -42,6 +42,8 @@ from repro.isa import (
 from repro.isa.fetch import FETCH_GROUP_BYTES
 from repro.mdp import StoreSetsPredictor
 from repro.memory import HierarchyConfig, MemoryHierarchy, MemoryImage
+from repro.memory.prefetcher import _StrideEntry as _PfStrideEntry
+from repro.pipeline import batch as _key_batch
 from repro.pipeline.config import CoreConfig
 from repro.pipeline.recovery import RecoveryMode
 from repro.pipeline.schemes import Scheme
@@ -645,26 +647,32 @@ def _simulate_columnar(
 
     A line-for-line twin of the object loop in :func:`simulate`, with
     every per-instruction attribute read replaced by an array index and
-    opcode tests on plain integers.  An :class:`~repro.isa.Instruction`
-    view is materialized only where a scheme inspects one (predicted
-    loads, or every instruction for fetch-all-ops schemes); scheme
-    dispatch goes through the flattened tuple protocol
-    (``Scheme.flat_fetch``/``flat_execute``), so the common path
-    allocates no per-instruction objects at all.  Outcomes are pinned
-    bit-identical to the object path by the golden-equivalence suite's
-    columnar leg.
+    opcode tests on plain integers.  Native flat-protocol schemes
+    (``Scheme.flat_protocol``) are driven entirely with raw column
+    scalars — ``flat_fetch``/``flat_execute`` never see an
+    :class:`~repro.isa.Instruction`, and ``flat_prepare`` runs once
+    before the loop so schemes can precompute chunk-level batched
+    predictor keys (see :mod:`repro.pipeline.batch`).  Third-party
+    object-API schemes are adapted inline, materializing one view per
+    scheme call.  Outcomes are pinned bit-identical to the object path
+    by the golden-equivalence suite's columnar leg.
     """
     cfg = core_config or CoreConfig()
     hierarchy = MemoryHierarchy(hierarchy_config)
     image = MemoryImage()
     branch_unit = BranchUnit()
+    # TAGE history is trace-determined, so its per-table keys can be
+    # precomputed in chunks (no-op without numpy; the live folded
+    # registers then run exactly as in the object engine).
+    tage_batch = _key_batch.tage_key_batch(trace, branch_unit.tage)
+    if tage_batch is not None:
+        branch_unit.tage.bind_key_batch(tage_batch)
     mdp = StoreSetsPredictor()
     if scheme is not None:
         scheme.bind(hierarchy, image, branch_unit)
 
     n = len(trace)
     commit_cycles = [0] * n
-    reg_ready: dict[int, int] = {}
     ls_ports = _IssuePorts(cfg.ls_lanes)
     gen_ports = _IssuePorts(cfg.generic_lanes)
     word_store: dict[int, tuple[int, int, int]] = {}
@@ -702,16 +710,26 @@ def _simulate_columnar(
     srcs_flat = trace.srcs.tolist()
     dests_index = trace.dests_index.tolist()
     dests_flat = trace.dests.tolist()
-    values_index = trace.values_index
-    values_lo = trace.values_lo
-    values_hi = trace.values_hi
+    values_index = trace.values_index.tolist()
+    values_lo = trace.values_lo.tolist()
+    values_hi = trace.values_hi.tolist()
     inst_view = trace.instruction
 
     LOAD = int(OpClass.LOAD)
     STORE = int(OpClass.STORE)
-    ls_ops = frozenset(int(op) for op in _LS_OPS)
-    branch_ops = frozenset(int(op) for op in OpClass if is_branch_op(op))
+    BRANCH = int(OpClass.BRANCH)
+    # Opcode predicates as value-indexed lists: a list index beats a
+    # frozenset probe, and op is already a small contiguous int.
+    is_ls_op = [op in _LS_OPS for op in OPCLASS_BY_VALUE]
+    is_br_op = [is_branch_op(op) for op in OPCLASS_BY_VALUE]
     exec_latency = [EXECUTION_LATENCY[op] for op in OPCLASS_BY_VALUE]
+    # Register scoreboard as a flat list: register ids are small dense
+    # ints, so list indexing replaces per-operand dict hashing.
+    nregs = 1 + max(
+        max(srcs_flat, default=-1),
+        max(dests_flat, default=-1),
+    )
+    reg_ready = [0] * nregs
     fga_mask = ~(FETCH_GROUP_BYTES - 1)
     fetch_width = cfg.fetch_width
     rob_entries = cfg.rob_entries
@@ -746,21 +764,45 @@ def _simulate_columnar(
     l1_fill = hierarchy.l1d.fill
     fill_from_below = hierarchy._fill_from_below
     prefetcher = hierarchy.prefetcher
-    prefetch_observe = prefetcher.observe if prefetcher is not None else None
     prefetch_fill = hierarchy.prefetch_fill
+    # Stride-prefetcher observe(), inlined at the load site below:
+    # table and thresholds aliased, entry construction via the class.
+    pf_table = prefetcher._table if prefetcher is not None else None
+    if prefetcher is not None:
+        pf_entries = prefetcher.entries
+        pf_threshold = prefetcher.threshold
+        pf_degree = prefetcher.degree
+        pf_entry_cls = _PfStrideEntry
+    # Store-sets load_dependence(), inlined at the load site below (the
+    # event counter and clears are shared with the store_* methods).
+    mdp_ssit = mdp._ssit
+    mdp_lfst = mdp._lfst
+    mdp_ssit_entries = mdp.config.ssit_entries
+    mdp_lfst_entries = mdp.config.lfst_entries
+    mdp_clear_interval = mdp.config.clear_interval
     image_write = image.write
     branch_resolve_fields = branch_unit.resolve_fields
-    mdp_load_dependence = mdp.load_dependence
+    branch_resolve_conditional = branch_unit.make_resolve_conditional()
     mdp_store_fetched = mdp.store_fetched
     mdp_store_executed = mdp.store_executed
     mdp_report_violation = mdp.report_violation
-    reg_ready_get = reg_ready.get
     word_store_get = word_store.get
     oracle_replay = recovery == RecoveryMode.ORACLE_REPLAY
     fetch_all_ops = scheme is not None and not scheme.fetch_loads_only
+    flat_native = False
     if scheme is not None:
-        scheme_flat_fetch = scheme.flat_fetch
-        scheme_flat_execute = scheme.flat_execute
+        # Native flat-protocol schemes take raw column scalars and get a
+        # pre-loop hook for chunk-level batched precomputation;
+        # third-party object-API schemes are adapted inline (one
+        # Instruction view per scheme call).
+        flat_native = scheme.flat_protocol
+        if flat_native:
+            scheme.flat_prepare(trace)
+            scheme_flat_fetch = scheme.flat_fetch
+            scheme_flat_execute = scheme.flat_execute
+        else:
+            scheme_fetch_side = scheme.fetch_side
+            scheme_execute_side = scheme.execute_side
         vpe_stats = scheme.vpe.stats
         pvt_try_allocate = scheme.vpe.pvt.try_allocate
         pvt_note_read = scheme.vpe.pvt.note_consumer_read
@@ -827,13 +869,35 @@ def _simulate_columnar(
             loads_in_group += 1
         fp = None
         if scheme is not None and (op == LOAD or fetch_all_ops):
-            inst = inst_view(i)
-            fp = scheme_flat_fetch(inst, fetch_cycle, load_slot, fetch_cycle + 2)
+            if flat_native:
+                ndests_i = dests_index[i + 1] - dests_index[i]
+                vs = values_index[i]
+                ve = values_index[i + 1]
+                if ve - vs == 1:
+                    hv = values_hi[vs]
+                    vals = ((hv << 64) | values_lo[vs] if hv else values_lo[vs],)
+                elif ve == vs:
+                    vals = ()
+                else:
+                    vals = tuple(
+                        (values_hi[k] << 64) | values_lo[k]
+                        if values_hi[k] else values_lo[k]
+                        for k in range(vs, ve)
+                    )
+                fp = scheme_flat_fetch(
+                    pc, op, mem_addr_col[i], mem_size_col[i], flags_col[i],
+                    ndests_i, vals, fetch_cycle, load_slot, fetch_cycle + 2,
+                )
+            else:
+                inst = inst_view(i)
+                sp = scheme_fetch_side(inst, fetch_cycle, load_slot, fetch_cycle + 2)
+                if sp is not None:
+                    fp = (sp.values, sp.correct, sp, sp.registers)
 
         # ---- issue timing -----------------------------------------------
         src_ready = 0
         for k in range(srcs_index[i], srcs_index[i + 1]):
-            ready = reg_ready_get(srcs_flat[k], 0)
+            ready = reg_ready[srcs_flat[k]]
             if ready > src_ready:
                 src_ready = ready
         ready = fetch_cycle + fetch_to_execute
@@ -843,7 +907,19 @@ def _simulate_columnar(
         acc_way = None
         if op == LOAD:
             addr = mem_addr_col[i]
-            dep_seq = mdp_load_dependence(pc)
+            # mdp.load_dependence(pc), inlined (tick, SSIT, then LFST).
+            ev = mdp._events + 1
+            mdp._events = ev
+            if ev % mdp_clear_interval == 0:
+                mdp_ssit.clear()
+                mdp_lfst.clear()
+            dep_seq = None
+            store_set = mdp_ssit.get((pc >> 2) % mdp_ssit_entries)
+            if store_set is not None:
+                dep_entry = mdp_lfst.get(store_set % mdp_lfst_entries)
+                if dep_entry is not None:
+                    mdp.dependencies_predicted += 1
+                    dep_seq = dep_entry[1]
             if dep_seq is not None and dep_seq in store_done:
                 if commit_cycles[dep_seq] > ready:
                     dep_done = store_done[dep_seq]
@@ -884,9 +960,27 @@ def _simulate_columnar(
                 l1_stats.misses += 1
                 acc_way = l1_fill(addr)
                 acc_latency += fill_from_below(addr)
-            if prefetch_observe is not None:
-                for target in prefetch_observe(pc, addr):
-                    prefetch_fill(target)
+            # prefetcher.observe(pc, addr), inlined: train the stride
+            # entry; issue `degree` prefetches once confident.
+            if pf_table is not None:
+                slot = pc % pf_entries
+                pf = pf_table.get(slot)
+                if pf is None:
+                    pf_table[slot] = pf_entry_cls(addr)
+                else:
+                    stride = addr - pf.last_addr
+                    if stride == pf.stride and stride != 0:
+                        if pf.confidence < pf_threshold:
+                            pf.confidence += 1
+                    else:
+                        pf.stride = stride
+                        pf.confidence = 0
+                    pf.last_addr = addr
+                    if stride != 0 and pf.confidence >= pf_threshold:
+                        prefetcher.trained += 1
+                        for k in range(1, pf_degree + 1):
+                            prefetch_fill(addr + stride * k)
+                        prefetcher.issued += pf_degree
             ndests = dests_index[i + 1] - dests_index[i]
             nbytes = mem_size_col[i] * (ndests or 1)
             first = addr >> 2
@@ -953,7 +1047,7 @@ def _simulate_columnar(
                     word_store[word] = entry
             store_done[i] = done
             mdp_store_executed(pc)
-        elif op in ls_ops:
+        elif is_ls_op[op]:
             issue = ready
             count = ls_busy_get(issue, 0)
             while count >= ls_width:
@@ -971,12 +1065,18 @@ def _simulate_columnar(
             done = issue + exec_latency[op]
 
         # ---- branches ----------------------------------------------------
-        if op in branch_ops:
+        if is_br_op[op]:
             done = issue + branch_latency
             fl = flags_col[i]
             taken = bool(fl & F_TAKEN) if fl & F_TAKEN_KNOWN else None
-            target = target_col[i] if fl & F_TARGET else None
-            if branch_resolve_fields(op, pc, taken, target):
+            if op == BRANCH:
+                # Conditionals dominate the control stream: the fused
+                # closure collapses the resolve/update/history chain.
+                mispredicted = branch_resolve_conditional(pc, taken)
+            else:
+                target = target_col[i] if fl & F_TARGET else None
+                mispredicted = branch_resolve_fields(op, pc, taken, target)
+            if mispredicted:
                 flushes.branch += 1
                 pending_redirect = done + 1
                 force_new_group = True
@@ -994,9 +1094,15 @@ def _simulate_columnar(
                     value_predicted = True
                 else:
                     vpe_stats.pvt_rejections += 1
-            value_correct = scheme_flat_execute(
-                inst, fp[2], fp_values, acc_way, value_predicted
-            )[1]
+            if flat_native:
+                value_correct = scheme_flat_execute(
+                    pc, op, mem_addr_col[i], mem_size_col[i], flags_col[i],
+                    ndests_i, vals, fp[2], fp_values, acc_way, value_predicted,
+                )[1]
+            else:
+                value_correct = scheme_execute_side(
+                    inst, fp[2], acc_way, value_predicted
+                )[1]
             if value_predicted:
                 vpe_stats.value_predictions += 1
                 if value_correct:

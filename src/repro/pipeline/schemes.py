@@ -17,13 +17,17 @@ from dataclasses import dataclass
 from repro.branch import BranchUnit
 from repro.core import DlvpConfig, DlvpEngine, ValuePredictionEngine
 from repro.isa import Instruction, OpClass
+from repro.isa.fetch import FETCH_GROUP_BYTES
 from repro.memory import MemoryHierarchy, MemoryImage
 from repro.predictors.cap import CapConfig, CapPredictor
+from repro.pipeline import batch as _key_batch
 from repro.pipeline.stats import register_stats_type
 from repro.predictors.tournament import ChooserStats, TournamentChooser
 from repro.predictors.vtage import VtageConfig, VtageHandle, VtagePredictor
+from repro.trace.columnar import F_VECTOR
 
 _MASK64 = (1 << 64) - 1
+_LOAD = int(OpClass.LOAD)
 
 # ChooserStats lives in repro.predictors (import-order-safe to register here;
 # predictors cannot depend on the pipeline package).
@@ -121,36 +125,26 @@ class Scheme(abc.ABC):
 
     # -- flattened dispatch (columnar simulate() path) -------------------
     #
-    # The columnar loop avoids one SchemePrediction allocation per
-    # fetched load by speaking a tuple protocol: ``flat_fetch`` returns
-    # ``(values, correct, handle, registers)`` (or None) and
-    # ``flat_execute`` receives the handle and values back as plain
-    # arguments.  The defaults below adapt any third-party scheme by
-    # wrapping its object API — the SchemePrediction itself becomes the
-    # handle — so only the built-in schemes carry native overrides.
-    # Outcomes are pinned to the object path by the golden suite.
+    # Schemes that set ``flat_protocol = True`` speak a raw-scalar tuple
+    # protocol to the columnar loop: ``flat_fetch(pc, op, mem_addr,
+    # mem_size, flags, ndests, values, fetch_cycle, load_slot,
+    # probe_cycle)`` returns ``(values, correct, handle, registers)`` (or
+    # None), and ``flat_execute(pc, op, mem_addr, mem_size, flags,
+    # ndests, values, handle, predicted, way, value_predicted)`` returns
+    # ``(value_predicted, value_correct)`` — no Instruction view or
+    # SchemePrediction is ever materialized.  ``values`` are the
+    # architectural (trace) values; ``predicted`` is what flat_fetch
+    # returned.  Third-party schemes leave ``flat_protocol`` False and
+    # the columnar loop adapts their object API (one Instruction view
+    # per call).  Outcomes are pinned to the object path by the golden
+    # suite.  ``flat_prepare`` runs once per columnar simulation, after
+    # bind(), with the full trace — the hook for chunk-level batched
+    # precomputation (see repro.pipeline.batch).
 
-    def flat_fetch(
-        self,
-        inst: Instruction,
-        fetch_cycle: int,
-        load_slot: int | None,
-        probe_cycle: int,
-    ) -> tuple | None:
-        sp = self.fetch_side(inst, fetch_cycle, load_slot, probe_cycle)
-        if sp is None:
-            return None
-        return (sp.values, sp.correct, sp, sp.registers)
+    flat_protocol = False
 
-    def flat_execute(
-        self,
-        inst: Instruction,
-        handle: object,
-        values: tuple[int, ...] | None,
-        way: int | None,
-        value_predicted: bool,
-    ) -> tuple[bool, bool]:
-        return self.execute_side(inst, handle, way, value_predicted)
+    def flat_prepare(self, trace) -> None:
+        """Per-run hook before the columnar loop starts (no-op default)."""
 
     def on_value_flush(self) -> None:
         """A value misprediction flushed the pipeline."""
@@ -195,6 +189,7 @@ class DlvpScheme(Scheme):
     constructed with ``use_cap=True``."""
 
     fetch_loads_only = True
+    flat_protocol = True
 
     def __init__(
         self,
@@ -226,6 +221,43 @@ class DlvpScheme(Scheme):
         self._fetch_probe_predict = self.engine.fetch_probe_predict
         self._execute_train = self.engine.execute_train
         self._on_unpredicted = self.engine.on_load_fetch_unpredicted
+        self._flat_fetch_engine = self.engine.flat_fetch_probe_predict
+        self._flat_execute_engine = self.engine.flat_execute_train
+        self._flat_unpredicted = self.engine.flat_load_unpredicted
+        # Drop fused closures from any previous run: they captured the
+        # previous engine.  flat_prepare() rebuilds them for this one.
+        self.__dict__.pop("flat_fetch", None)
+        self.__dict__.pop("flat_execute", None)
+
+    def flat_prepare(self, trace) -> None:
+        """Precompute batched APT keys and build the fused fast path.
+
+        Without numpy (or for CAP, or APT histories wider than the
+        64-bit batch fold), the engine falls back to live incremental
+        folds — same bits, pinned by the golden suite.  Either way the
+        per-run flat_fetch/flat_execute instance closures (with every
+        hot attribute captured as a cell) shadow the layered class
+        methods for the columnar loop.
+        """
+        engine = self.engine
+        engine.bind_key_batch(None)
+        if engine._is_pap and _key_batch.np is not None:
+            predictor = engine.predictor
+            history_bits = predictor.config.history_bits
+            if history_bits <= 64:   # batch folds pack windows into uint64
+                engine.bind_key_batch(
+                    _key_batch.PapKeyBatch(
+                        trace,
+                        load_op=_LOAD,
+                        history_bits=history_bits,
+                        index_bits=predictor._index_bits,
+                        tag_bits=predictor.config.tag_bits,
+                        tag_shift=predictor._tag_shift,
+                        fetch_group_bytes=FETCH_GROUP_BYTES,
+                    )
+                )
+        self.flat_fetch = engine.make_flat_fetch()
+        self.flat_execute = engine.make_flat_execute()
 
     def attach_tracer(self, tracer) -> None:
         super().attach_tracer(tracer)
@@ -253,21 +285,35 @@ class DlvpScheme(Scheme):
             sp.values if value_predicted else None,
         )
 
-    def flat_fetch(self, inst, fetch_cycle, load_slot, probe_cycle):
-        if inst.op != OpClass.LOAD:
+    def flat_fetch(
+        self, pc, op, mem_addr, mem_size, flags, ndests, values,
+        fetch_cycle, load_slot, probe_cycle,
+    ):
+        if op != _LOAD:
             return None
         if load_slot is None:
-            self._on_unpredicted(inst)
+            self._flat_unpredicted(pc)
             return None
-        handle, values = self._fetch_probe_predict(
-            inst, fetch_cycle, load_slot, probe_cycle
+        handle, pred = self._flat_fetch_engine(
+            pc, mem_size, ndests, fetch_cycle, load_slot, probe_cycle
         )
-        correct = values is not None and values == _masked_values(inst)
-        return (values, correct, handle, len(inst.dests))
+        if pred is None:
+            return (None, False, handle, ndests)
+        # _masked_values(), flattened.
+        mask = (1 << (8 * mem_size)) - 1
+        if len(values) == 1:
+            correct = pred == (values[0] & mask,)
+        else:
+            correct = pred == tuple(v & mask for v in values)
+        return (pred, correct, handle, ndests)
 
-    def flat_execute(self, inst, handle, values, way, value_predicted):
-        return self._execute_train(
-            handle, inst, way, value_predicted, values if value_predicted else None
+    def flat_execute(
+        self, pc, op, mem_addr, mem_size, flags, ndests, values,
+        handle, predicted, way, value_predicted,
+    ):
+        return self._flat_execute_engine(
+            handle, pc, mem_addr, mem_size, values, way, value_predicted,
+            predicted if value_predicted else None,
         )
 
     def on_value_flush(self) -> None:
@@ -306,12 +352,21 @@ class DlvpScheme(Scheme):
 class VtageScheme(Scheme):
     """VTAGE driven by the core's global branch history."""
 
+    flat_protocol = True
+
     def __init__(self, config: VtageConfig | None = None) -> None:
         super().__init__()
         self.config = config or VtageConfig()
         self.name = "vtage"
         self.predictor = VtagePredictor(self.config)
         self.fetch_loads_only = self.config.loads_only
+
+    def bind(self, hierarchy, image, branch_unit) -> None:
+        super().bind(hierarchy, image, branch_unit)
+        # Hot-path aliases: the history object outlives the run and the
+        # per-load flat calls read only its .value.
+        self._history = branch_unit.global_history
+        self._loads_only = self.config.loads_only
 
     def fetch_side(self, inst, fetch_cycle, load_slot, probe_cycle):
         if not inst.dests or not inst.values:
@@ -338,24 +393,36 @@ class VtageScheme(Scheme):
         correct = self.predictor.finish(sp.handle, inst)
         return value_predicted, correct
 
-    def flat_fetch(self, inst, fetch_cycle, load_slot, probe_cycle):
-        if not inst.dests or not inst.values:
+    def flat_fetch(
+        self, pc, op, mem_addr, mem_size, flags, ndests, values,
+        fetch_cycle, load_slot, probe_cycle,
+    ):
+        if not ndests or not values:
             return None
-        if self.config.loads_only and inst.op != OpClass.LOAD:
+        if self._loads_only and op != _LOAD:
             return None
-        handle = self.predictor.begin(inst, self.branch_unit.global_history.value)
+        is_vector = bool(flags & F_VECTOR)
+        handle = self.predictor.begin_flat(
+            pc, op, ndests, is_vector, values, self._history.value
+        )
         if handle is None:
             return None
-        values = handle.prediction
-        if inst.op == OpClass.LOAD and load_slot is None:
-            values = None              # per-cycle prediction-port limit
-        correct = values is not None and values == tuple(
-            v & _MASK64 if not inst.is_vector else v for v in inst.values
+        vals_pred = handle.prediction
+        if op == _LOAD and load_slot is None:
+            vals_pred = None           # per-cycle prediction-port limit
+        correct = vals_pred is not None and vals_pred == (
+            values if is_vector else tuple(v & _MASK64 for v in values)
         )
-        return (values, correct, handle, inst.value_prediction_slots())
+        registers = (2 * ndests) if is_vector else ndests
+        return (vals_pred, correct, handle, registers)
 
-    def flat_execute(self, inst, handle, values, way, value_predicted):
-        return value_predicted, self.predictor.finish(handle, inst)
+    def flat_execute(
+        self, pc, op, mem_addr, mem_size, flags, ndests, values,
+        handle, predicted, way, value_predicted,
+    ):
+        return value_predicted, self.predictor.finish_flat(
+            handle, op, ndests, bool(flags & F_VECTOR), values
+        )
 
     def result_stats(self):
         return self.predictor.stats
@@ -379,6 +446,7 @@ class DvtageScheme(Scheme):
     """
 
     fetch_loads_only = True
+    flat_protocol = True
 
     def __init__(self, config: "DvtageConfig | None" = None) -> None:
         super().__init__()
@@ -387,6 +455,10 @@ class DvtageScheme(Scheme):
         self.name = "dvtage"
         from repro.predictors.dvtage import DvtagePredictor
         self.predictor = DvtagePredictor(self.config)
+
+    def bind(self, hierarchy, image, branch_unit) -> None:
+        super().bind(hierarchy, image, branch_unit)
+        self._history = branch_unit.global_history
 
     def fetch_side(self, inst, fetch_cycle, load_slot, probe_cycle):
         if inst.op != OpClass.LOAD:
@@ -414,28 +486,38 @@ class DvtageScheme(Scheme):
         )
         return value_predicted, correct
 
-    def flat_fetch(self, inst, fetch_cycle, load_slot, probe_cycle):
-        if inst.op != OpClass.LOAD:
+    def flat_fetch(
+        self, pc, op, mem_addr, mem_size, flags, ndests, values,
+        fetch_cycle, load_slot, probe_cycle,
+    ):
+        if op != _LOAD:
             return None
-        history = self.branch_unit.global_history.value
-        prediction = self.predictor.predict(inst, history)
+        history = self._history.value
+        prediction = self.predictor.predict_flat(
+            pc, op, ndests, bool(flags & F_VECTOR), history
+        )
         if load_slot is None:
             prediction = None
         correct = (
             prediction is not None
-            and (prediction,) == tuple(v & _MASK64 for v in inst.values)
+            and (prediction,) == tuple(v & _MASK64 for v in values)
         )
         return (
             (prediction,) if prediction is not None else None,
             correct,
             history,
-            len(inst.dests),
+            ndests,
         )
 
-    def flat_execute(self, inst, handle, values, way, value_predicted):
-        prediction = self.predictor.train(inst, handle)
+    def flat_execute(
+        self, pc, op, mem_addr, mem_size, flags, ndests, values,
+        handle, predicted, way, value_predicted,
+    ):
+        prediction = self.predictor.train_flat(
+            pc, op, ndests, bool(flags & F_VECTOR), values, handle
+        )
         correct = prediction is not None and (prediction,) == tuple(
-            v & _MASK64 for v in inst.values
+            v & _MASK64 for v in values
         )
         return value_predicted, correct
 
@@ -486,6 +568,7 @@ class TournamentScheme(Scheme):
     """DLVP and VTAGE running concurrently with a 2-bit chooser."""
 
     fetch_loads_only = True
+    flat_protocol = True
 
     def __init__(
         self,
@@ -504,6 +587,18 @@ class TournamentScheme(Scheme):
         super().bind(hierarchy, image, branch_unit)
         self.dlvp.bind(hierarchy, image, branch_unit)
         self.vtage.bind(hierarchy, image, branch_unit)
+        # Sub-scheme flat entry points, aliased for the per-load calls.
+        self._dlvp_flat_fetch = self.dlvp.flat_fetch
+        self._dlvp_flat_execute = self.dlvp.flat_execute
+        self._vtage_flat_fetch = self.vtage.flat_fetch
+        self._vtage_flat_execute = self.vtage.flat_execute
+
+    def flat_prepare(self, trace) -> None:
+        self.dlvp.flat_prepare(trace)
+        # flat_prepare installs per-run fused closures on the DLVP side;
+        # re-alias so the tournament dispatch picks them up.
+        self._dlvp_flat_fetch = self.dlvp.flat_fetch
+        self._dlvp_flat_execute = self.dlvp.flat_execute
 
     def attach_tracer(self, tracer) -> None:
         super().attach_tracer(tracer)
@@ -570,18 +665,27 @@ class TournamentScheme(Scheme):
         self.chooser.update(inst.pc, a_correct, b_correct)
         return value_predicted, value_correct
 
-    def flat_fetch(self, inst, fetch_cycle, load_slot, probe_cycle):
-        if inst.op != OpClass.LOAD:
+    def flat_fetch(
+        self, pc, op, mem_addr, mem_size, flags, ndests, values,
+        fetch_cycle, load_slot, probe_cycle,
+    ):
+        if op != _LOAD:
             return None
-        d = self.dlvp.flat_fetch(inst, fetch_cycle, load_slot, probe_cycle)
-        v = self.vtage.flat_fetch(inst, fetch_cycle, load_slot, probe_cycle)
+        d = self._dlvp_flat_fetch(
+            pc, op, mem_addr, mem_size, flags, ndests, values,
+            fetch_cycle, load_slot, probe_cycle,
+        )
+        v = self._vtage_flat_fetch(
+            pc, op, mem_addr, mem_size, flags, ndests, values,
+            fetch_cycle, load_slot, probe_cycle,
+        )
         self.stats.loads += 1
 
-        prefer_dlvp = self.chooser.choose_a(inst.pc)
+        prefer_dlvp = self.chooser.choose_a(pc)
         d_values = d[0] if d is not None else None
         v_values = v[0] if v is not None else None
         if d_values is None and v_values is None:
-            return (None, False, (d, v, prefer_dlvp), len(inst.dests))
+            return (None, False, (d, v, prefer_dlvp), ndests)
         # Candidate preference, flattened: the chooser's pick when that
         # side predicted, else whichever side did (DLVP first — the
         # same order the object path's candidate list encodes).
@@ -597,7 +701,10 @@ class TournamentScheme(Scheme):
             self.stats.final_by_vtage += 1
         return (chosen[0], chosen[1], (d, v, final_is_dlvp), chosen[3])
 
-    def flat_execute(self, inst, handle, values, way, value_predicted):
+    def flat_execute(
+        self, pc, op, mem_addr, mem_size, flags, ndests, values,
+        handle, predicted, way, value_predicted,
+    ):
         d, v, final_is_dlvp = handle
         a_correct: bool | None = None
         b_correct: bool | None = None
@@ -605,19 +712,25 @@ class TournamentScheme(Scheme):
         if d is not None:
             d_values = d[0]
             dlvp_used = value_predicted and final_is_dlvp
-            _, d_correct = self.dlvp.flat_execute(inst, d[2], d_values, way, dlvp_used)
+            _, d_correct = self._dlvp_flat_execute(
+                pc, op, mem_addr, mem_size, flags, ndests, values,
+                d[2], d_values, way, dlvp_used,
+            )
             if d_values is not None:
                 a_correct = d[1]
             if dlvp_used:
                 value_correct = d_correct
         if v is not None:
             v_values = v[0]
-            _, v_correct = self.vtage.flat_execute(inst, v[2], v_values, way, False)
+            _, v_correct = self._vtage_flat_execute(
+                pc, op, mem_addr, mem_size, flags, ndests, values,
+                v[2], v_values, way, False,
+            )
             if v_values is not None:
                 b_correct = v[1]
             if value_predicted and not final_is_dlvp:
                 value_correct = v_correct
-        self.chooser.update(inst.pc, a_correct, b_correct)
+        self.chooser.update(pc, a_correct, b_correct)
         return value_predicted, value_correct
 
     def on_value_flush(self) -> None:

@@ -27,10 +27,11 @@ from dataclasses import dataclass
 from repro.isa import Instruction, OpClass
 from repro.predictors.base import PredictorStats
 from repro.predictors.confidence import VTAGE_FPC_VECTOR, fpc_advance
-from repro.predictors.vtage import _FILTERED_TYPES, instruction_type
+from repro.predictors.vtage import _FILTERED_TYPES, _itype_flat
 from repro.branch.history import fold_history
 
 _MASK64 = (1 << 64) - 1
+_LOAD = int(OpClass.LOAD)
 
 
 @dataclass(frozen=True)
@@ -90,9 +91,15 @@ class DvtagePredictor:
     # -- eligibility / keys ----------------------------------------------
 
     def eligible(self, inst: Instruction) -> bool:
-        if inst.op != OpClass.LOAD or len(inst.dests) != 1:
+        return self.eligible_flat(int(inst.op), len(inst.dests), inst.is_vector)
+
+    def eligible_flat(self, op: int, ndests: int, is_vector: bool) -> bool:
+        """:meth:`eligible` over raw column scalars (columnar hot path)."""
+        if op != _LOAD or ndests != 1:
             return False
-        if self.config.static_filter and instruction_type(inst) in _FILTERED_TYPES:
+        if self.config.static_filter and (
+            _itype_flat(op, ndests, is_vector) in _FILTERED_TYPES
+        ):
             return False
         return True
 
@@ -118,13 +125,21 @@ class DvtagePredictor:
 
     def predict(self, inst: Instruction, history: int) -> int | None:
         """Predicted value (last value + provider stride), or None."""
-        if not self.eligible(inst):
+        return self.predict_flat(
+            inst.pc, int(inst.op), len(inst.dests), inst.is_vector, history
+        )
+
+    def predict_flat(
+        self, pc: int, op: int, ndests: int, is_vector: bool, history: int
+    ) -> int | None:
+        """:meth:`predict` over raw column scalars (columnar hot path)."""
+        if not self.eligible_flat(op, ndests, is_vector):
             return None
-        lvt_index, lvt_tag = self._lvt_key(inst.pc)
+        lvt_index, lvt_tag = self._lvt_key(pc)
         lvt = self._lvt[lvt_index]
         if lvt is None or lvt.tag != lvt_tag:
             return None
-        provider = self._provider(inst.pc, history)
+        provider = self._provider(pc, history)
         if provider is None:
             return None
         entry = provider[2]
@@ -144,14 +159,29 @@ class DvtagePredictor:
 
     def train(self, inst: Instruction, history: int) -> int | None:
         """Predict-and-train; returns the prediction that was made."""
-        if inst.op == OpClass.LOAD:
-            self.stats.loads_seen += 1
-        if not self.eligible(inst):
-            return None
-        value = inst.values[0] & _MASK64
-        prediction = self.predict(inst, history)
+        return self.train_flat(
+            inst.pc, int(inst.op), len(inst.dests), inst.is_vector,
+            inst.values, history,
+        )
 
-        lvt_index, lvt_tag = self._lvt_key(inst.pc)
+    def train_flat(
+        self,
+        pc: int,
+        op: int,
+        ndests: int,
+        is_vector: bool,
+        values: tuple[int, ...],
+        history: int,
+    ) -> int | None:
+        """:meth:`train` over raw column scalars (columnar hot path)."""
+        if op == _LOAD:
+            self.stats.loads_seen += 1
+        if not self.eligible_flat(op, ndests, is_vector):
+            return None
+        value = values[0] & _MASK64
+        prediction = self.predict_flat(pc, op, ndests, is_vector, history)
+
+        lvt_index, lvt_tag = self._lvt_key(pc)
         lvt = self._lvt[lvt_index]
         stride_mask = (1 << self.config.stride_bits) - 1
 
@@ -160,7 +190,7 @@ class DvtagePredictor:
             # Strides are narrow (16 bits, sign-extended) in hardware.
             if observed & ~stride_mask and (observed | stride_mask) != _MASK64:
                 observed = None      # stride not representable
-            self._train_stride(inst.pc, history, observed)
+            self._train_stride(pc, history, observed)
             lvt.last_value = value
         else:
             self._lvt[lvt_index] = _LvtEntry(tag=lvt_tag, last_value=value)

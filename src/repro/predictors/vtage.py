@@ -45,17 +45,29 @@ class OpcodeFilterMode(enum.Enum):
     STATIC = "static"
 
 
+_LOAD = int(OpClass.LOAD)
+_EXCLUDED_OPS = frozenset(
+    {int(OpClass.STORE), int(OpClass.ATOMIC), int(OpClass.BARRIER)}
+)
+_OP_NAMES = {int(op): op.name.lower() for op in OpClass}
+
+
 def instruction_type(inst: Instruction) -> str:
     """Coarse instruction type used by the opcode filters."""
-    if inst.op == OpClass.LOAD:
-        if inst.is_vector:
+    return _itype_flat(int(inst.op), len(inst.dests), inst.is_vector)
+
+
+def _itype_flat(op: int, ndests: int, is_vector: bool) -> str:
+    """:func:`instruction_type` over raw column scalars."""
+    if op == _LOAD:
+        if is_vector:
             return "vld"
-        if len(inst.dests) == 2:
+        if ndests == 2:
             return "ldp"
-        if len(inst.dests) > 2:
+        if ndests > 2:
             return "ldm"
         return "load"
-    return inst.op.name.lower()
+    return _OP_NAMES[op]
 
 
 _FILTERED_TYPES = frozenset({"ldp", "ldm", "vld"})
@@ -145,13 +157,21 @@ class VtagePredictor:
 
     def eligible(self, inst: Instruction) -> bool:
         """May this instruction be predicted / may it update the tables?"""
-        if not inst.dests or not inst.values:
+        return self.eligible_flat(
+            int(inst.op), len(inst.dests), inst.is_vector, inst.values
+        )
+
+    def eligible_flat(
+        self, op: int, ndests: int, is_vector: bool, values: tuple[int, ...]
+    ) -> bool:
+        """:meth:`eligible` over raw column scalars (columnar hot path)."""
+        if not ndests or not values:
             return False
-        if self.config.loads_only and inst.op != OpClass.LOAD:
+        if self.config.loads_only and op != _LOAD:
             return False
-        if inst.op in (OpClass.STORE, OpClass.ATOMIC, OpClass.BARRIER):
+        if op in _EXCLUDED_OPS:
             return False
-        itype = instruction_type(inst)
+        itype = _itype_flat(op, ndests, is_vector)
         mode = self.config.filter_mode
         if mode == OpcodeFilterMode.STATIC and itype in _FILTERED_TYPES:
             return False
@@ -227,42 +247,60 @@ class VtagePredictor:
         still stall the consumers of the unpredicted registers and still
         risk a flush).
         """
-        lookups = self._lookups(inst, history)
+        lookups = self._lookups_flat(
+            inst.pc, int(inst.op), len(inst.dests), inst.is_vector,
+            inst.values, history,
+        )
         if lookups is None:
             return None
-        values = self._slot_values(inst, lookups)
+        values = [lk.prediction for lk in lookups]
         if any(v is None for v in values):
             return None
-        return self._assemble(inst, values)  # type: ignore[arg-type]
+        return self._assemble_flat(len(inst.dests), inst.is_vector, values)
 
     def _lookups(self, inst: Instruction, history: int) -> list[_SlotLookup] | None:
-        if not self.eligible(inst):
+        return self._lookups_flat(
+            inst.pc, int(inst.op), len(inst.dests), inst.is_vector,
+            inst.values, history,
+        )
+
+    def _lookups_flat(
+        self,
+        pc: int,
+        op: int,
+        ndests: int,
+        is_vector: bool,
+        values: tuple[int, ...],
+        history: int,
+    ) -> list[_SlotLookup] | None:
+        if not self.eligible_flat(op, ndests, is_vector, values):
             return None
-        num_slots = inst.value_prediction_slots()
+        num_slots = (2 * ndests) if is_vector else ndests
         return [
-            self._lookup_slot(self._slot_keys(inst.pc, num_slots, slot, history))
+            self._lookup_slot(self._slot_keys(pc, num_slots, slot, history))
             for slot in range(num_slots)
         ]
 
-    def _slot_values(self, inst: Instruction, lookups: list[_SlotLookup]) -> list[int | None]:
-        return [lk.prediction for lk in lookups]
-
-    def _assemble(self, inst: Instruction, slot_values: list[int]) -> tuple[int, ...]:
+    def _assemble_flat(
+        self, ndests: int, is_vector: bool, slot_values: list[int]
+    ) -> tuple[int, ...]:
         """Recombine 64-bit slots into per-destination values."""
-        if not inst.is_vector:
+        if not is_vector:
             return tuple(slot_values)
         values = []
-        for i in range(len(inst.dests)):
+        for i in range(ndests):
             low, high = slot_values[2 * i], slot_values[2 * i + 1]
             values.append((high << 64) | low)
         return tuple(values)
 
-    def _slot_targets(self, inst: Instruction) -> list[int]:
+    def _slot_targets_flat(
+        self, is_vector: bool, values: tuple[int, ...]
+    ) -> list[int]:
         """The correct 64-bit value for each prediction slot."""
-        if not inst.is_vector:
-            return [v & ((1 << 64) - 1) for v in inst.values]
+        if not is_vector:
+            return [v & ((1 << 64) - 1) for v in values]
         targets = []
-        for value in inst.values:
+        for value in values:
             targets.append(value & ((1 << 64) - 1))
             targets.append((value >> 64) & ((1 << 64) - 1))
         return targets
@@ -275,15 +313,30 @@ class VtagePredictor:
         Counts every load toward the coverage denominator, eligible or
         not — the paper's coverage is over *all* dynamic loads.
         """
-        if inst.op == OpClass.LOAD:
+        return self.begin_flat(
+            inst.pc, int(inst.op), len(inst.dests), inst.is_vector,
+            inst.values, history,
+        )
+
+    def begin_flat(
+        self,
+        pc: int,
+        op: int,
+        ndests: int,
+        is_vector: bool,
+        values: tuple[int, ...],
+        history: int,
+    ) -> VtageHandle | None:
+        """:meth:`begin` over raw column scalars (columnar hot path)."""
+        if op == _LOAD:
             self.stats.loads_seen += 1
-        lookups = self._lookups(inst, history)
+        lookups = self._lookups_flat(pc, op, ndests, is_vector, values, history)
         if lookups is None:
             return None
-        slot_values = self._slot_values(inst, lookups)
+        slot_values = [lk.prediction for lk in lookups]
         prediction = None
         if all(v is not None for v in slot_values):
-            prediction = self._assemble(inst, slot_values)  # type: ignore[arg-type]
+            prediction = self._assemble_flat(ndests, is_vector, slot_values)
         return VtageHandle(lookups=lookups, prediction=prediction)
 
     def finish(self, handle: VtageHandle, inst: Instruction) -> bool:
@@ -291,7 +344,23 @@ class VtagePredictor:
 
         Returns True when the (made) prediction was fully correct.
         """
-        return self._train_with_lookups(handle.lookups, inst)
+        return self._train_with_lookups_flat(
+            handle.lookups, int(inst.op), len(inst.dests), inst.is_vector,
+            inst.values,
+        )
+
+    def finish_flat(
+        self,
+        handle: VtageHandle,
+        op: int,
+        ndests: int,
+        is_vector: bool,
+        values: tuple[int, ...],
+    ) -> bool:
+        """:meth:`finish` over raw column scalars (columnar hot path)."""
+        return self._train_with_lookups_flat(
+            handle.lookups, op, ndests, is_vector, values
+        )
 
     # -- training ---------------------------------------------------------
 
@@ -302,21 +371,33 @@ class VtagePredictor:
         the same history value — the idealised speculative-history
         management the standalone drivers use.
         """
-        if inst.op == OpClass.LOAD:
+        op = int(inst.op)
+        ndests = len(inst.dests)
+        is_vector = inst.is_vector
+        if op == _LOAD:
             self.stats.loads_seen += 1
-        lookups = self._lookups(inst, history)
+        lookups = self._lookups_flat(
+            inst.pc, op, ndests, is_vector, inst.values, history
+        )
         if lookups is None:
             return None
-        slot_values = self._slot_values(inst, lookups)
+        slot_values = [lk.prediction for lk in lookups]
         predicted_all = all(v is not None for v in slot_values)
-        self._train_with_lookups(lookups, inst)
+        self._train_with_lookups_flat(lookups, op, ndests, is_vector, inst.values)
         if not predicted_all:
             return None
-        return self._assemble(inst, slot_values)  # type: ignore[arg-type]
+        return self._assemble_flat(ndests, is_vector, slot_values)
 
-    def _train_with_lookups(self, lookups: list[_SlotLookup], inst: Instruction) -> bool:
-        targets = self._slot_targets(inst)
-        slot_values = self._slot_values(inst, lookups)
+    def _train_with_lookups_flat(
+        self,
+        lookups: list[_SlotLookup],
+        op: int,
+        ndests: int,
+        is_vector: bool,
+        values: tuple[int, ...],
+    ) -> bool:
+        targets = self._slot_targets_flat(is_vector, values)
+        slot_values = [lk.prediction for lk in lookups]
         predicted_all = all(v is not None for v in slot_values)
         correct_all = predicted_all and all(
             v == t for v, t in zip(slot_values, targets)
@@ -325,12 +406,12 @@ class VtagePredictor:
         for lookup, target in zip(lookups, targets):
             self._train_slot(lookup, target)
 
-        if inst.op == OpClass.LOAD and predicted_all:
+        if op == _LOAD and predicted_all:
             self.stats.predictions += 1
             if correct_all:
                 self.stats.correct += 1
 
-        itype = instruction_type(inst)
+        itype = _itype_flat(op, ndests, is_vector)
         acc = self._type_accuracy.setdefault(itype, _TypeAccuracy())
         if predicted_all:
             acc.predictions += 1

@@ -160,10 +160,33 @@ class ColumnarTrace:
                     f"got {col.typecode!r}"
                 )
             setattr(out, attr, col)
+        if len(columns["values_hi"]) != len(columns["values_lo"]):
+            raise ValueError(
+                f"values_hi length {len(columns['values_hi'])} != "
+                f"values_lo length {len(columns['values_lo'])}"
+            )
+        flat_for_index = {
+            "srcs_index": "srcs",
+            "dests_index": "dests",
+            "values_index": "values_lo",
+        }
         for attr in ("srcs_index", "dests_index", "values_index"):
             idx = columns[attr]
-            if len(idx) != n + 1 or (n >= 0 and idx[0] != 0):
+            if len(idx) != n + 1 or idx[0] != 0:
                 raise ValueError(f"column {attr!r}: malformed prefix index")
+            flat = columns[flat_for_index[attr]]
+            if idx[-1] != len(flat):
+                raise ValueError(
+                    f"column {attr!r}: final index {idx[-1]} != flat "
+                    f"column length {len(flat)}"
+                )
+            prev = 0
+            for x in idx:
+                if x < prev:
+                    raise ValueError(
+                        f"column {attr!r}: prefix index not monotonic"
+                    )
+                prev = x
         return out
 
     # -- read surface ----------------------------------------------------

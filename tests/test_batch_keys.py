@@ -1,0 +1,155 @@
+"""Batched predictor-key precomputation (repro.pipeline.batch).
+
+Two contracts guard the numpy fast path:
+
+* **Fallback equivalence** — with numpy forced off (``batch.np = None``)
+  the columnar engine must still reproduce the committed goldens bit
+  for bit: the batch layer is an optional accelerator, never a
+  semantic dependency.
+* **Key equivalence** — the vectorized APT and TAGE key pipelines must
+  emit exactly the keys the live incremental folded registers would,
+  over random streams and across chunk-carry boundaries (including the
+  >64-bit TAGE history windows split into lo/hi columns).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.isa import Instruction, OpClass
+from repro.isa.fetch import FETCH_GROUP_BYTES
+from repro.pipeline import batch
+from repro.pipeline.core_model import simulate
+from repro.runtime.registry import get_scheme
+from repro.trace import ColumnarTrace
+from repro.workloads import build_workload
+
+GOLDEN_PATH = Path(__file__).parent / "golden_simresults.json"
+
+numpy_required = pytest.mark.skipif(
+    not batch.numpy_available(), reason="numpy not importable"
+)
+
+
+# ---------------------------------------------------------------------------
+# no-numpy fallback reproduces the goldens
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("scheme_id", ["dlvp", "tournament"])
+def test_no_numpy_columnar_matches_goldens(monkeypatch, scheme_id):
+    """Golden smoke with the batch layer disabled at the module gate."""
+    monkeypatch.setattr(batch, "np", None)
+    goldens = json.loads(GOLDEN_PATH.read_text())
+    trace = ColumnarTrace.from_trace(build_workload("mcf", 3_000))
+    result = simulate(trace, get_scheme(scheme_id).build()).to_dict()
+    assert result == goldens["cells"][f"mcf/{scheme_id}"]
+
+
+# ---------------------------------------------------------------------------
+# PapKeyBatch == sequential compute_key over the live load-path folds
+# ---------------------------------------------------------------------------
+
+
+@numpy_required
+def test_pap_key_batch_matches_sequential():
+    from repro.predictors.pap import PapPredictor
+
+    rng = random.Random(0x5EED)
+    pcs = [rng.randrange(1 << 48) * 4 for _ in range(500)]
+    trace = ColumnarTrace("rand-loads", (
+        Instruction(pc=pc, op=OpClass.LOAD, dests=(1,), values=(0,),
+                    mem_addr=pc, mem_size=4)
+        for pc in pcs
+    ))
+    predictor = PapPredictor()
+    kb = batch.PapKeyBatch(
+        trace,
+        load_op=int(OpClass.LOAD),
+        history_bits=predictor.config.history_bits,
+        index_bits=predictor._index_bits,
+        tag_bits=predictor.config.tag_bits,
+        tag_shift=predictor._tag_shift,
+        fetch_group_bytes=FETCH_GROUP_BYTES,
+        chunk_loads=37,       # force many chunks and history carry
+    )
+    assert kb.loads == len(pcs)
+    got: list[tuple[int, int, int, int]] = []
+    while len(got) < len(pcs):
+        start, idx0, tag0, idx1, tag1 = kb.next_chunk()
+        assert start == len(got)
+        got.extend(zip(idx0, tag0, idx1, tag1))
+    fga_mask = ~(FETCH_GROUP_BYTES - 1)
+    for pc, (i0, t0, i1, t1) in zip(pcs, got):
+        fga = pc & fga_mask
+        # the scheme keys FGA | (slot << 2) *before* pushing this load
+        assert (i0, t0) == predictor.compute_key(fga)
+        assert (i1, t1) == predictor.compute_key(fga | 4)
+        predictor.history.push_load(pc)
+    with pytest.raises(RuntimeError):
+        kb.next_chunk()
+
+
+# ---------------------------------------------------------------------------
+# TageKeyBatch == sequential Tage._keys over the live global-history folds
+# ---------------------------------------------------------------------------
+
+
+@numpy_required
+def test_tage_key_batch_matches_sequential():
+    from repro.branch.tage import Tage
+
+    rng = random.Random(0x7A6E)
+    insts = []
+    for _ in range(800):
+        pc = rng.randrange(1 << 30) * 4
+        r = rng.random()
+        if r < 0.5:
+            insts.append(Instruction(pc=pc, op=OpClass.BRANCH,
+                                     taken=rng.random() < 0.5))
+        elif r < 0.75:
+            insts.append(Instruction(pc=pc, op=OpClass.CALL, target=64))
+        else:
+            insts.append(Instruction(pc=pc, op=OpClass.ALU))
+    trace = ColumnarTrace("rand-branches", insts)
+
+    tage = Tage()
+    kb = batch.tage_key_batch(trace, tage)
+    assert kb is not None
+    kb._chunk = 50            # cross chunk carries incl. the hi window
+    got: list = []
+    while len(got) < kb.branches:
+        start, keys = kb.next_chunk()
+        assert start == len(got)
+        got.extend(keys)      # call-only chunks contribute nothing
+
+    j = 0
+    for inst in insts:
+        if inst.op is OpClass.BRANCH:
+            assert list(got[j]) == tage._keys(inst.pc), f"branch {j}"
+            tage.history.push(1 if inst.taken else 0)
+            j += 1
+        elif inst.op is OpClass.CALL:
+            tage.history.push(1)
+    assert j == kb.branches == len(got)
+    with pytest.raises(RuntimeError):
+        kb.next_chunk()
+
+
+@numpy_required
+def test_tage_key_batch_builder_guards():
+    """tage_key_batch declines predictors it cannot serve exactly."""
+    from repro.branch.tage import Tage
+
+    trace = ColumnarTrace("empty")
+    warm = Tage()
+    warm.history.push(1)
+    assert batch.tage_key_batch(trace, warm) is None     # non-zero history
+    trained = Tage()
+    trained.update(0x40, True)
+    assert batch.tage_key_batch(trace, trained) is None  # already predicting
+    assert batch.tage_key_batch(trace, Tage()) is not None
