@@ -128,7 +128,11 @@ def _runtime_from_args(
         faults=faults,
         resume_from=args.resume,
         trace_dir=getattr(args, "trace", None),
-        trace_format="columnar" if getattr(args, "columnar", False) else "object",
+        trace_format=(
+            "shared" if getattr(args, "fabric", False)
+            else "columnar" if getattr(args, "columnar", False)
+            else "object"
+        ),
     )
 
 
@@ -365,8 +369,32 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_report_checks(args: argparse.Namespace, report: dict) -> int:
+    """Shared ``--output`` / ``--check`` tail of both bench targets."""
+    from repro import bench
+
+    if args.output:
+        path = bench.write_report(report, args.output)
+        print(f"wrote {path}", file=sys.stderr)
+    if args.check:
+        committed = bench.load_report(args.check)
+        warnings: list[str] = []
+        failures = bench.check_regression(
+            report, committed, args.max_regression, warnings=warnings
+        )
+        for warning in warnings:
+            print(f"WARNING {warning}", file=sys.stderr)
+        for failure in failures:
+            print(f"REGRESSION {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"{args.target} within {args.max_regression:.0%} of "
+              f"{args.check}", file=sys.stderr)
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
-    """``bench throughput``: measure simulate() inst/s per scheme."""
+    """``bench throughput`` / ``bench sweep``: benchmark the simulator."""
     from repro import bench
 
     unknown = [s for s in args.schemes if s not in scheme_ids()]
@@ -374,6 +402,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(f"unknown scheme(s) {unknown}; registered: {scheme_ids()}",
               file=sys.stderr)
         return 2
+    if args.target == "sweep":
+        return _cmd_bench_sweep(args)
+    instructions = args.instructions or 24_000
     if args.columnar and args.object:
         engines = ("object", "columnar")
     elif args.columnar:
@@ -382,12 +413,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
         engines = ("object",)
     else:
         engines = bench.DEFAULT_ENGINES
-    print(f"bench throughput — {args.workload} x {args.instructions} "
+    print(f"bench throughput — {args.workload} x {instructions} "
           f"instructions, best of {args.repeats}, "
           f"engines: {'+'.join(engines)}", file=sys.stderr)
     report = bench.run_throughput(
         workload=args.workload,
-        instructions=args.instructions,
+        instructions=instructions,
         schemes=args.schemes,
         repeats=args.repeats,
         engines=engines,
@@ -408,24 +439,42 @@ def cmd_bench(args: argparse.Namespace) -> int:
     ))
     print(f"peak RSS {report['peak_rss_kib']} KiB, "
           f"total wall {report['wall_s']:.1f}s")
-    if args.output:
-        path = bench.write_report(report, args.output)
-        print(f"wrote {path}", file=sys.stderr)
-    if args.check:
-        committed = bench.load_report(args.check)
-        warnings: list[str] = []
-        failures = bench.check_regression(
-            report, committed, args.max_regression, warnings=warnings
+    return _bench_report_checks(args, report)
+
+
+def _cmd_bench_sweep(args: argparse.Namespace) -> int:
+    """``bench sweep``: grid wall-clock, shared trace fabric off vs on."""
+    from repro import bench
+
+    workloads = args.workloads or list(bench.DEFAULT_SWEEP_WORKLOADS)
+    instructions = args.instructions or bench.DEFAULT_SWEEP_INSTRUCTIONS
+    print(f"bench sweep — {len(args.schemes)} schemes x "
+          f"{len(workloads)} workloads x {instructions} instructions, "
+          f"jobs={args.jobs}", file=sys.stderr)
+    try:
+        report = bench.run_sweep(
+            workloads=workloads,
+            schemes=args.schemes,
+            instructions=instructions,
+            jobs=args.jobs,
+            progress=lambda mode, entry: print(
+                f"  {mode:<11} ({entry['engine']:<7} engine) "
+                f"{entry['wall_s']:.2f}s  "
+                f"{entry['inst_per_s']:>9,} inst/s", file=sys.stderr),
         )
-        for warning in warnings:
-            print(f"WARNING {warning}", file=sys.stderr)
-        for failure in failures:
-            print(f"REGRESSION {failure}", file=sys.stderr)
-        if failures:
-            return 1
-        print(f"throughput within {args.max_regression:.0%} of "
-              f"{args.check}", file=sys.stderr)
-    return 0
+    except RuntimeError as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return 1
+    sweep = report["sweep"]
+    rows = [
+        [mode, sweep[mode]["engine"], f"{sweep[mode]['wall_s']:.2f}",
+         f"{sweep[mode]['inst_per_s']:,}"]
+        for mode in ("fabric_off", "fabric_on")
+    ]
+    print(format_table(["mode", "engine", "wall s", "inst/s"], rows))
+    print(f"speedup {sweep['speedup']:.2f}x, identical results: "
+          f"{sweep['identical_results']}")
+    return _bench_report_checks(args, report)
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -729,6 +778,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--columnar", action="store_true",
                      help="simulate from the struct-of-arrays trace engine "
                           "(bit-identical results, bounded memory)")
+    run.add_argument("--fabric", action="store_true",
+                     help="publish each trace once into shared memory and "
+                          "attach it from every worker (implies columnar)")
     _add_runtime_flags(run)
 
     fig = sub.add_parser("figure", help="regenerate one figure or table")
@@ -757,6 +809,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--columnar", action="store_true",
                        help="simulate from the struct-of-arrays trace engine "
                             "(bit-identical results, bounded memory)")
+    sweep.add_argument("--fabric", action="store_true",
+                       help="publish each trace once into shared memory and "
+                            "attach it from every worker (implies columnar)")
     _add_runtime_flags(sweep)
 
     chaos = sub.add_parser(
@@ -790,11 +845,21 @@ def build_parser() -> argparse.ArgumentParser:
         "bench",
         help="benchmark the simulator itself (inst/s per scheme)",
     )
-    bench.add_argument("target", choices=["throughput"],
-                       help="what to benchmark")
+    bench.add_argument("target", choices=["throughput", "sweep"],
+                       help="throughput: simulate() inst/s per scheme; "
+                            "sweep: end-to-end grid wall-clock, shared trace "
+                            "fabric off vs on")
     bench.add_argument("--workload", default="gzip",
-                       choices=sorted(SUITE))
-    bench.add_argument("--instructions", type=int, default=24_000)
+                       choices=sorted(SUITE),
+                       help="throughput: the single workload to time")
+    bench.add_argument("--workloads", nargs="+", default=None,
+                       choices=sorted(SUITE), metavar="workload",
+                       help="sweep: the grid's workload axis "
+                            "(default: gzip perlbmk nat)")
+    bench.add_argument("--instructions", type=int, default=None,
+                       help="default: 24000 (throughput) / 40000 (sweep)")
+    bench.add_argument("--jobs", type=int, default=1,
+                       help="sweep: worker processes per grid run")
     bench.add_argument("--schemes", nargs="+", metavar="scheme",
                        default=["baseline"] + list(_RUN_SCHEMES),
                        help="scheme ids to time (default: all built-ins)")
@@ -807,7 +872,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="time the object (Instruction-list) engine "
                             "(default: both engines)")
     bench.add_argument("--output", default=None, metavar="FILE",
-                       help="write the JSON report (e.g. BENCH_pr9.json)")
+                       help="write the JSON report (e.g. BENCH_pr10.json)")
     bench.add_argument("--check", default=None, metavar="FILE",
                        help="fail if inst/s regresses versus this "
                             "committed report")

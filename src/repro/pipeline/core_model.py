@@ -698,21 +698,24 @@ def _simulate_columnar(
     # ---- hot-loop local aliases (columns + config + substrate) --------
     # Columns are snapshotted into plain lists: indexing an array.array
     # boxes a fresh int every read, while list indexing returns the
-    # already-boxed object.  tolist() converts at C speed once; the
-    # lists live only for the duration of this run.
-    pcs = trace.pc.tolist()
-    ops = trace.op.tolist()
-    flags_col = trace.flags.tolist()
-    mem_addr_col = trace.mem_addr.tolist()
-    mem_size_col = trace.mem_size.tolist()
-    target_col = trace.target
-    srcs_index = trace.srcs_index.tolist()
-    srcs_flat = trace.srcs.tolist()
-    dests_index = trace.dests_index.tolist()
-    dests_flat = trace.dests.tolist()
-    values_index = trace.values_index.tolist()
-    values_lo = trace.values_lo.tolist()
-    values_hi = trace.values_hi.tolist()
+    # already-boxed object.  trace.snapshots() converts at C speed once
+    # and memoizes on the trace, so a sweep group running several
+    # schemes over one trace shares a single conversion.
+    (
+        pcs,
+        ops,
+        flags_col,
+        mem_addr_col,
+        mem_size_col,
+        target_col,
+        srcs_index,
+        srcs_flat,
+        dests_index,
+        dests_flat,
+        values_index,
+        values_lo,
+        values_hi,
+    ) = trace.snapshots()
     inst_view = trace.instruction
 
     LOAD = int(OpClass.LOAD)

@@ -35,8 +35,10 @@ from repro.runtime.executor import (
 from repro.runtime.jobs import (
     CODE_SALT_ENV,
     Job,
+    TraceGroup,
     code_version_salt,
     execute_job,
+    execute_job_info,
     job_from_identity,
     make_job,
     trace_cache_key,
@@ -63,6 +65,8 @@ __all__ = [
     "make_job",
     "job_from_identity",
     "execute_job",
+    "execute_job_info",
+    "TraceGroup",
     "code_version_salt",
     "trace_cache_key",
     "ResultCache",

@@ -376,3 +376,25 @@ class ResultCache:
             except OSError:
                 pass
             raise
+
+    def put_trace_image(self, key: str, image: bytes) -> None:
+        """Store an already-serialized v2 image under ``key`` atomically.
+
+        ``image`` is exactly what ``v2_bytes`` produced — a valid v2
+        file — so a caller that just serialized a trace for the shared
+        fabric can land the identical bytes in the disk cache without
+        paying a second serialization.
+        """
+        path = self.trace_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(image)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

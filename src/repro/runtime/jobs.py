@@ -86,11 +86,18 @@ class Job:
     # bit-identical to not tracing, so the result is the same cell.
     trace_dir: str | None = None
     # In-memory trace representation the worker simulates against:
-    # "object" (a Trace of Instruction objects) or "columnar" (a
-    # ColumnarTrace through the struct-of-arrays fast loop).  Not part
-    # of the key — the two engines are golden-verified bit-identical,
-    # so either way it is the same result.
+    # "object" (a Trace of Instruction objects), "columnar" (a
+    # ColumnarTrace through the struct-of-arrays fast loop), or
+    # "shared" (columnar, preferring a fabric attach via ``trace_ref``).
+    # Not part of the key — the engines are golden-verified
+    # bit-identical, so any way it is the same result.
     trace_format: str = "object"
+    # Trace-fabric attach ref ("shm:..."/"file:...") published by the
+    # scheduling parent.  Not part of the key: an attached trace is
+    # bit-identical to a locally built one, and a worker that cannot
+    # attach (segment already unlinked) silently falls back to
+    # building, so the ref changes cost, never results.
+    trace_ref: str | None = None
 
     @property
     def key(self) -> str:
@@ -148,10 +155,11 @@ def make_job(
     timeout: float | None = None,
     trace_dir: str | None = None,
     trace_format: str = "object",
+    trace_ref: str | None = None,
 ) -> Job:
     """Build a job for a registered scheme id, filling hash metadata."""
     spec = get_scheme(scheme_id)
-    if trace_format not in ("object", "columnar"):
+    if trace_format not in ("object", "columnar", "shared"):
         raise ValueError(f"unknown trace format: {trace_format!r}")
     return Job(
         workload=workload,
@@ -164,11 +172,12 @@ def make_job(
         timeout=timeout,
         trace_dir=trace_dir,
         trace_format=trace_format,
+        trace_ref=trace_ref,
     )
 
 
 def _trace_for(job: Job, cache: ResultCache | None):
-    columnar = job.trace_format == "columnar"
+    columnar = job.trace_format in ("columnar", "shared")
     if cache is None:
         if columnar:
             return build_workload_columnar(job.workload, job.n_instructions)
@@ -187,38 +196,95 @@ def _trace_for(job: Job, cache: ResultCache | None):
     return trace
 
 
-def execute_job(
-    job: Job,
-    cache_dir: str | None = None,
-    attempt: int = 1,
-    fault_spec: str | None = None,
-) -> dict:
-    """Run one job to completion; returns ``SimResult.to_dict()``.
+# Worker-resident trace memo, capacity one.  A retried job lands on a
+# worker that (under serial execution, or a pool whose process survived)
+# already generated its trace; re-deriving it is the single largest cost
+# of a retry, so the last trace is kept and reused when the next job
+# names the same content.  Capacity is deliberately 1: the memo exists
+# for retries and trace-grouped dispatch, not as a second trace cache.
+_TRACE_MEMO: dict = {}
 
-    This is the worker-side entry point.  The scheme's defining module
-    is imported first so spawned workers (which do not inherit the
-    parent's registry) see the same registrations; under ``fork`` the
-    import is a cached no-op.  ``cache_dir`` enables the shared trace
-    cache only — result caching is the parent's responsibility, so a
-    cache hit never even reaches a worker.
 
-    ``attempt`` and ``fault_spec`` feed :mod:`repro.faults`: when a
-    fault plan (explicit spec or ``$REPRO_FAULT_SPEC``) matches this
-    (job, attempt), the injector acts it out *here*, in the worker —
-    crashing, hanging, raising or stalling exactly where a real
-    misbehaving simulation would.
+def _memo_key(job: Job) -> tuple:
+    fmt = "columnar" if job.trace_format in ("columnar", "shared") else "object"
+    return (trace_cache_key(job.workload, job.n_instructions, job.salt), fmt)
+
+
+def _acquire_trace(job: Job, cache: ResultCache | None, attempt: int):
+    """Obtain the job's trace by the cheapest live route.
+
+    Order: fabric attach (``job.trace_ref``) → worker memo → shared
+    trace cache → generate.  Returns ``(trace, info, handle)`` where
+    ``info`` describes provenance for the result envelope and
+    ``handle`` is a fabric handle to close after simulating (or None).
+    An attach failure — segment unlinked, file gone, torn header — is
+    never fatal: the worker quietly builds locally instead, so the
+    fabric only ever changes cost, not outcomes.
     """
-    plan = faults.active_plan(fault_spec)
-    if plan is not None:
-        faults.inject(job.workload, job.scheme_id, attempt, job.key, plan)
+    if job.trace_ref is not None:
+        try:
+            from repro.trace.share import attach as fabric_attach
+
+            handle = fabric_attach(job.trace_ref)
+        except Exception:
+            pass  # fall through to memo / cache / build
+        else:
+            return handle.trace, {"trace_source": "shared"}, handle
+
+    memo_key = _memo_key(job)
+    entry = _TRACE_MEMO.get(memo_key)
+    if entry is not None:
+        info = {"trace_source": "memo"}
+        if not entry["announced"]:
+            info["trace_built_attempt"] = entry["built_attempt"]
+            info["entry"] = entry
+        return entry["trace"], info, None
+
+    built = False
+    if cache is None:
+        trace = _trace_for(job, cache)
+        built = True
+    else:
+        key = trace_cache_key(job.workload, job.n_instructions, job.salt)
+        if job.trace_format in ("columnar", "shared"):
+            trace = cache.get_trace_columnar(key)
+        else:
+            trace = cache.get_trace(key)
+        if trace is None:
+            trace = _trace_for(job, None)
+            cache.put_trace(key, trace)
+            built = True
+
+    entry = {"trace": trace, "built_attempt": attempt if built else None, "announced": False}
+    _TRACE_MEMO.clear()
+    _TRACE_MEMO[memo_key] = entry
+    info = {"trace_source": "built" if built else "cache"}
+    if built:
+        info["trace_built_attempt"] = attempt
+        info["entry"] = entry
+    return trace, info, None
+
+
+def _announce(info: dict) -> None:
+    """Mark the memo entry's build as reported, exactly once.
+
+    Called only after a *successful* simulation: a worker that built a
+    trace and then crashed should let the retry report the (re)build it
+    actually observes, not a phantom from the dead attempt.
+    """
+    entry = info.pop("entry", None)
+    if entry is not None:
+        entry["announced"] = True
+
+
+def _simulate_cell(job: Job, trace) -> dict:
+    """Simulate one cell against an already-acquired trace."""
     if job.scheme_module:
         try:
             importlib.import_module(job.scheme_module)
         except ImportError:
             pass  # fall through: under fork the registry is inherited
     spec = get_scheme(job.scheme_id)
-    cache = ResultCache(cache_dir) if cache_dir else None
-    trace = _trace_for(job, cache)
     scheme = spec.build()
     if job.trace_dir:
         # Observability path: full tracer stack, Chrome trace written
@@ -238,6 +304,108 @@ def execute_job(
         return run.result.to_dict()
     result = simulate(trace, scheme=scheme, recovery=RecoveryMode(job.recovery))
     return result.to_dict()
+
+
+def execute_job_info(
+    job: Job,
+    cache_dir: str | None = None,
+    attempt: int = 1,
+    fault_spec: str | None = None,
+) -> tuple[dict, dict]:
+    """Like :func:`execute_job` but also returns trace provenance.
+
+    The second element is ``{"trace_source": ..., "trace_built_attempt"?}``
+    — which route produced the trace (``shared``/``memo``/``cache``/
+    ``built``) and, the first time a worker-built trace carries a
+    successful result, the attempt number that generated it.  Faults
+    are injected *after* trace acquisition: the injector models a
+    failing simulation, and a real mid-simulation death happens with
+    the trace already generated — which is exactly what makes the memo
+    worth having on the retry.
+    """
+    cache = ResultCache(cache_dir) if cache_dir else None
+    trace, info, handle = _acquire_trace(job, cache, attempt)
+    try:
+        plan = faults.active_plan(fault_spec)
+        if plan is not None:
+            faults.inject(job.workload, job.scheme_id, attempt, job.key, plan)
+        payload = _simulate_cell(job, trace)
+    finally:
+        if handle is not None:
+            handle.close()
+    _announce(info)
+    info.pop("entry", None)
+    return payload, info
+
+
+def execute_job(
+    job: Job,
+    cache_dir: str | None = None,
+    attempt: int = 1,
+    fault_spec: str | None = None,
+) -> dict:
+    """Run one job to completion; returns ``SimResult.to_dict()``.
+
+    This is the worker-side entry point.  The scheme's defining module
+    is imported so spawned workers (which do not inherit the parent's
+    registry) see the same registrations; under ``fork`` the import is
+    a cached no-op.  ``cache_dir`` enables the shared trace cache only
+    — result caching is the parent's responsibility, so a cache hit
+    never even reaches a worker.
+
+    ``attempt`` and ``fault_spec`` feed :mod:`repro.faults`: when a
+    fault plan (explicit spec or ``$REPRO_FAULT_SPEC``) matches this
+    (job, attempt), the injector acts it out *here*, in the worker —
+    crashing, hanging, raising or stalling exactly where a real
+    misbehaving simulation would.
+    """
+    payload, _ = execute_job_info(job, cache_dir, attempt, fault_spec)
+    return payload
+
+
+class TraceGroup:
+    """Worker-side context for running many cells over one trace.
+
+    The scheduling parent groups grid cells that share a trace key and
+    ships the whole group to a single worker; this context acquires the
+    trace once (fabric attach, memo, cache, or build — same ladder as a
+    single job) and lets the caller run each cell against it.  Cells
+    stay independent: a cell that raises does not poison its siblings,
+    and the caller wraps each :meth:`run_cell` in its own timeout.
+    """
+
+    def __init__(self, jobs: list[Job], cache_dir: str | None = None):
+        if not jobs:
+            raise ValueError("empty trace group")
+        self.jobs = jobs
+        self._cache = ResultCache(cache_dir) if cache_dir else None
+        self.trace = None
+        self.trace_source: str | None = None
+        self.trace_built_attempt: int | None = None
+        self._info: dict = {}
+        self._handle = None
+
+    def __enter__(self) -> "TraceGroup":
+        self.trace, self._info, self._handle = _acquire_trace(
+            self.jobs[0], self._cache, attempt=1
+        )
+        self.trace_source = self._info.get("trace_source")
+        self.trace_built_attempt = self._info.get("trace_built_attempt")
+        return self
+
+    def run_cell(self, job: Job, attempt: int = 1, fault_spec: str | None = None) -> dict:
+        plan = faults.active_plan(fault_spec)
+        if plan is not None:
+            faults.inject(job.workload, job.scheme_id, attempt, job.key, plan)
+        return _simulate_cell(job, self.trace)
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        if exc_type is None:
+            _announce(self._info)
+        self._info.pop("entry", None)
 
 
 def result_from_payload(payload: dict) -> SimResult:

@@ -75,6 +75,7 @@ from repro.runtime import (
     ResultCache,
     RunJournal,
     read_journal,
+    trace_cache_key,
 )
 from repro.serve.protocol import GridRequest
 from repro.serve.tickets import TicketRecordError, TicketStore
@@ -168,6 +169,12 @@ class _InFlight:
     # monotonic clock of the running attempt's start; the watchdog
     # compares it against ``lease_timeout`` to spot wedged slots
     attempt_started: float | None = None
+    # the cell's own attempt has actually begun on the worker
+    # (``job_started`` seen since dispatch).  A cell dispatched as part
+    # of a trace group waits its turn on the lease thread with
+    # ``running=True`` but ``started=False`` — the watchdog must not
+    # attribute a groupmate's hang to a cell still waiting in line.
+    started: bool = False
 
 
 class Scheduler:
@@ -197,6 +204,7 @@ class Scheduler:
         tickets: TicketStore | None = None,
         lease_timeout: float | None = None,
         heartbeat: float | None = None,
+        group_cells: int = 8,
     ) -> None:
         self.cache = cache
         self.journal = journal
@@ -208,6 +216,12 @@ class Scheduler:
         self.max_pending_cost = max_pending_cost
         self.max_cache_mb = max_cache_mb
         self.tickets = tickets
+        # Trace-group dispatch: a worker pulling a cell also steals up
+        # to group_cells-1 more cells *from the same tenant's queue*
+        # that share the cell's trace key, and runs the whole group on
+        # one lease over one generated trace.  Stealing never crosses
+        # tenants, so round-robin fairness is untouched.  1 disables.
+        self.group_cells = max(1, group_cells)
         self.lease_timeout = lease_timeout
         self.leases = [
             JobLease(retries=retries, backoff=backoff,
@@ -671,7 +685,17 @@ class Scheduler:
     # -- dispatch --------------------------------------------------------
 
     async def _worker(self, lease: JobLease) -> None:
-        """One worker slot: pull fairly, execute on the lease, settle."""
+        """One worker slot: pull fairly, execute on the lease, settle.
+
+        When the pulled cell shares its trace key with other cells of
+        the *same tenant's* queue, up to ``group_cells`` of them are
+        dispatched together onto the lease: its single worker process
+        persists across the cells, so it acquires the trace once —
+        fabric attach or the worker memo — and simulates every scheme
+        against it, which is where the sweep-throughput win comes from.
+        Cells still run (and settle) one at a time, so per-cell events,
+        retries and watchdog attribution are identical to solo dispatch.
+        """
         loop = asyncio.get_running_loop()
         while True:
             key = await self._next_key()
@@ -680,27 +704,76 @@ class Scheduler:
             entry = self._inflight.get(key)
             if entry is None:          # settled while queued (shutdown race)
                 continue
-            entry.running = True
-            entry.lease = lease
-            entry.attempt_started = time.monotonic()
+            group = [(key, entry)]
+            if self.group_cells > 1 and not entry.job.trace_dir:
+                group.extend(self._steal_group(entry))
+            for _, member in group:
+                member.running = True
+                member.started = False
+                member.lease = lease
+                member.attempt_started = time.monotonic()
             self._busy += 1
+            if len(group) > 1:
+                self.counters["groups_dispatched"] += 1
+                self.journal.event(
+                    "group_dispatched", key=key,
+                    workload=entry.job.workload,
+                    trace_key=trace_cache_key(
+                        entry.job.workload, entry.job.n_instructions,
+                        entry.job.salt),
+                    cells=len(group),
+                    schemes=[m.job.scheme_id for _, m in group],
+                )
 
-            def on_event(kind: str, job: Job, fields: dict,
-                         _key: str = key) -> None:
+            def on_event(kind: str, job: Job, fields: dict) -> None:
                 # lease thread -> loop thread; journal+stream stay
                 # single-threaded
-                loop.call_soon_threadsafe(self._job_event, kind, _key, fields)
+                loop.call_soon_threadsafe(self._job_event, kind, job.key,
+                                          fields)
 
+            any_ok = False
             try:
-                outcome = await asyncio.to_thread(
-                    lease.run_one, entry.job, self._cache_dir(), on_event,
-                    self.fault_spec,
-                )
+                for cell_key, member in group:
+                    outcome = await asyncio.to_thread(
+                        lease.run_one, member.job, self._cache_dir(),
+                        on_event, self.fault_spec,
+                    )
+                    # settle as each cell lands: subscribers see results
+                    # stream in, and a settled cell leaves _inflight so
+                    # the watchdog only ever sees the cell actually on
+                    # the worker
+                    self._settle(cell_key, outcome)
+                    any_ok = any_ok or outcome.ok
             finally:
                 self._busy -= 1
-            self._settle(key, outcome)
-            if outcome.ok and self.max_cache_mb is not None:
+            if any_ok and self.max_cache_mb is not None:
                 await self._enforce_cache_bound()
+
+    def _steal_group(self, entry: _InFlight) -> list[tuple[str, _InFlight]]:
+        """Pull same-trace cells off ``entry``'s tenant queue (cap-1).
+
+        Only the owning tenant's queue is touched — group formation
+        must not let one tenant's sweep vacuum up a neighbour's cells —
+        and observability cells (``trace_dir``) are never grouped.
+        """
+        queue = self._queues.get(entry.tenant)
+        if not queue:
+            return []
+        tkey = trace_cache_key(entry.job.workload, entry.job.n_instructions,
+                               entry.job.salt)
+        stolen: list[tuple[str, _InFlight]] = []
+        for cand in list(queue):
+            if len(stolen) >= self.group_cells - 1:
+                break
+            cand_entry = self._inflight.get(cand)
+            if cand_entry is None or cand_entry.job.trace_dir:
+                continue
+            job = cand_entry.job
+            if trace_cache_key(job.workload, job.n_instructions,
+                               job.salt) == tkey:
+                queue.remove(cand)
+                stolen.append((cand, cand_entry))
+        return stolen
 
     async def _next_key(self) -> str | None:
         """The next job key, round-robin across tenants; None to exit."""
@@ -725,6 +798,7 @@ class Scheduler:
             return
         if kind == "job_started":
             # each (re)attempt re-arms the watchdog deadline
+            entry.started = True
             entry.attempt_started = time.monotonic()
         self.journal.event(kind, key=key, workload=entry.job.workload,
                            scheme=entry.job.scheme_id, **fields)
@@ -738,6 +812,11 @@ class Scheduler:
         surfaces in :meth:`JobLease.run_one` as a dead worker, which
         retries on a fresh pool (with backoff) or settles ``"error"``
         once attempts are exhausted — the cell pays, the slot survives.
+
+        Only cells whose attempt has actually *started* on the worker
+        are candidates: a cell waiting its turn inside a trace group is
+        running in the dispatch sense but cannot be the hang, and its
+        own clock re-arms when its ``job_started`` fires.
         """
         assert self.lease_timeout is not None
         interval = min(1.0, max(0.05, self.lease_timeout / 4))
@@ -745,11 +824,13 @@ class Scheduler:
             await asyncio.sleep(interval)
             now = time.monotonic()
             for key, entry in list(self._inflight.items()):
+                bound = self.lease_timeout
                 if (
                     entry.running
+                    and entry.started
                     and entry.lease is not None
                     and entry.attempt_started is not None
-                    and now - entry.attempt_started > self.lease_timeout
+                    and now - entry.attempt_started > bound
                 ):
                     silent = now - entry.attempt_started
                     entry.attempt_started = now    # re-arm, no double reap
@@ -759,7 +840,7 @@ class Scheduler:
                         workload=entry.job.workload,
                         scheme=entry.job.scheme_id,
                         silent_s=round(silent, 3),
-                        bound_s=self.lease_timeout,
+                        bound_s=bound,
                     )
                     entry.lease.reap()
 
@@ -904,6 +985,7 @@ class Scheduler:
                 else None,
             },
             "lease_timeout": self.lease_timeout,
+            "group_cells": self.group_cells,
             "counters": dict(self.counters),
             "closing": self.closing,
         }

@@ -100,6 +100,10 @@ class SweepServer:
         max_cache_mb: Size bound for the shared store — LRU-evicted
             after each fresh result beyond it.
         max_pending_per_tenant: Bounded per-tenant queue depth.
+        group_cells: Trace-group dispatch width — a worker pulling a
+            cell also takes up to this many same-tenant cells sharing
+            its trace key, running them on one lease over one generated
+            trace (1 disables grouping).
         grace: Seconds running cells get to finish on shutdown before
             their leases are cancelled.
     """
@@ -123,6 +127,7 @@ class SweepServer:
         max_pending_cost: int | None = None,
         lease_timeout: float | None = None,
         heartbeat: float | None = None,
+        group_cells: int = 8,
         grace: float = DEFAULT_GRACE,
     ) -> None:
         self.host = host
@@ -147,6 +152,7 @@ class SweepServer:
         self.max_pending_cost = max_pending_cost
         self.lease_timeout = lease_timeout
         self.heartbeat = heartbeat
+        self.group_cells = group_cells
         self.grace = grace
         self.started = 0.0
         self.journal: RunJournal | None = None
@@ -185,6 +191,7 @@ class SweepServer:
             tickets=TicketStore(self.cache_dir / TICKETS_DIRNAME),
             lease_timeout=self.lease_timeout,
             heartbeat=self.heartbeat,
+            group_cells=self.group_cells,
         )
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port,

@@ -23,8 +23,17 @@ from repro.trace.serialization import (
     iter_trace_chunks,
     load_trace,
     load_trace_columnar,
+    map_v2_columns,
     save_trace,
     sniff_trace_format,
+    v2_bytes,
+)
+from repro.trace.share import (
+    TraceHandle,
+    TraceStore,
+    attach,
+    gc_orphans,
+    shm_available,
 )
 
 __all__ = [
@@ -38,6 +47,13 @@ __all__ = [
     "iter_trace_chunks",
     "load_trace",
     "load_trace_columnar",
+    "map_v2_columns",
     "save_trace",
     "sniff_trace_format",
+    "v2_bytes",
+    "TraceHandle",
+    "TraceStore",
+    "attach",
+    "gc_orphans",
+    "shm_available",
 ]

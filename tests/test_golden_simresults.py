@@ -30,7 +30,38 @@ GOLDEN_PATH = Path(__file__).parent / "golden_simresults.json"
 INSTRUCTIONS = 3_000
 SCHEMES = ("baseline", "dlvp", "cap", "vtage", "dvtage", "tournament")
 
-_TRACES: dict[str, object] = {}
+_TRACES: dict[tuple[str, str], object] = {}
+_STORE = None
+_HANDLES: list[object] = []
+
+
+def _shared_trace(workload: str):
+    """Publish the columnar trace and re-attach it through the fabric.
+
+    The attached trace is memoryview-backed over the live segment, so
+    this leg proves the zero-copy path — not a reconstruction of it.
+    """
+    global _STORE
+    from repro.trace.share import TraceStore
+
+    if _STORE is None:
+        _STORE = TraceStore()
+    ref = _STORE.publish(f"golden/{workload}", _trace(workload, "columnar"))
+    handle = _STORE.attach(ref)
+    _HANDLES.append(handle)
+    return handle.trace
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fabric_cleanup():
+    yield
+    global _STORE
+    for handle in _HANDLES:
+        handle.close()
+    _HANDLES.clear()
+    if _STORE is not None:
+        _STORE.close()
+        _STORE = None
 
 
 def kernel_representatives() -> list[tuple[str, str]]:
@@ -45,7 +76,9 @@ def _trace(workload: str, engine: str = "object"):
     key = (workload, engine)
     trace = _TRACES.get(key)
     if trace is None:
-        if engine == "columnar":
+        if engine == "shared":
+            trace = _shared_trace(workload)
+        elif engine == "columnar":
             trace = ColumnarTrace.from_trace(_trace(workload))
         else:
             trace = build_workload(workload, INSTRUCTIONS)
@@ -80,16 +113,18 @@ def test_golden_covers_every_kernel(goldens):
     assert set(goldens["cells"]) == expected
 
 
-@pytest.mark.parametrize("engine", ["object", "columnar"])
+@pytest.mark.parametrize("engine", ["object", "columnar", "shared"])
 @pytest.mark.parametrize(
     "workload,scheme_id", _cells(), ids=lambda v: str(v)
 )
 def test_simresult_bit_identical(goldens, workload, scheme_id, engine):
-    """Both trace engines must hit the same goldens bit for bit.
+    """All three trace engines must hit the same goldens bit for bit.
 
     The columnar leg is what licenses the struct-of-arrays fast loop in
     ``core_model`` (and the flattened scheme dispatch under it) to skip
-    the object path entirely.
+    the object path entirely.  The shared leg simulates straight off a
+    memoryview-backed trace attached from the shared-memory fabric,
+    which is what licenses workers to attach instead of rebuilding.
     """
     golden = goldens["cells"][f"{workload}/{scheme_id}"]
     assert simulate_cell(workload, scheme_id, engine) == golden

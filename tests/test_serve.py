@@ -184,12 +184,28 @@ class TestFairness:
             handle.stop()
         assert responses["small"].complete and responses["flood"].complete
         events = farm_journal(tmp_path)
-        order = [e["key"] for e in events if e["event"] == "job_started"]
         small_key = responses["small"].cells[("vtage", "gzip")].key
-        # round-robin: the single-cell tenant is dispatched well before
-        # the flooding tenant's backlog drains (never later than the
-        # cell after the flood's in-flight one)
-        assert order.index(small_key) <= 2, order
+        # round-robin across *dispatches*: the single-cell tenant goes
+        # out well before the flooding tenant's backlog drains (never
+        # later than the dispatch after the flood's in-flight one).  A
+        # dispatch is one lease grant — either a trace group (announced
+        # by group_dispatched, covering its next `cells` job_started
+        # lines) or a lone cell's job_started.
+        dispatch = 0
+        small_dispatch = None
+        grouped_left = 0
+        for event in events:
+            if event["event"] == "group_dispatched":
+                dispatch += 1
+                grouped_left = event["cells"]
+            elif event["event"] == "job_started":
+                if grouped_left > 0:
+                    grouped_left -= 1
+                else:
+                    dispatch += 1
+                if event["key"] == small_key and small_dispatch is None:
+                    small_dispatch = dispatch
+        assert small_dispatch is not None and small_dispatch <= 3, events
 
     def test_tenant_queue_bound_rejects_whole_submission(self, tmp_path):
         server, handle = start_server(
@@ -208,6 +224,46 @@ class TestFairness:
         assert kinds["submit_rejected"] == 1
         # all-or-nothing admission: nothing from the rejected grid ran
         assert kinds.get("job_started", 0) == 0
+
+
+class TestGroupDispatch:
+    def test_same_trace_cells_dispatch_as_one_group(self, tmp_path):
+        """One lease carries the whole same-trace scheme family."""
+        server, handle = start_server(tmp_path, workers=1)
+        try:
+            client = ServeClient(host=handle.host, port=handle.port)
+            response = client.submit(
+                ["baseline", "dlvp", "cap"], ["gzip"], n_instructions=N,
+                tenant="alice",
+            )
+            assert response.complete
+            assert response.summary["failed"] == 0
+            for scheme in ("baseline", "dlvp", "cap"):
+                assert response.result(scheme, "gzip").instructions > 0
+        finally:
+            handle.stop()
+        events = farm_journal(tmp_path)
+        groups = [e for e in events if e["event"] == "group_dispatched"]
+        assert groups, "same-trace cells must ride one dispatch"
+        assert groups[0]["workload"] == "gzip"
+        assert groups[0]["cells"] == 3
+        assert sorted(groups[0]["schemes"]) == ["baseline", "cap", "dlvp"]
+        # exactly-once still holds cell by cell
+        assert set(started_counts(events).values()) == {1}
+
+    def test_group_cells_one_disables_grouping(self, tmp_path):
+        server, handle = start_server(tmp_path, workers=1, group_cells=1)
+        try:
+            client = ServeClient(host=handle.host, port=handle.port)
+            response = client.submit(
+                ["baseline", "dlvp"], ["gzip"], n_instructions=N,
+                tenant="alice",
+            )
+            assert response.complete
+        finally:
+            handle.stop()
+        events = farm_journal(tmp_path)
+        assert not [e for e in events if e["event"] == "group_dispatched"]
 
 
 class TestFaultMasking:
